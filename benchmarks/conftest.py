@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+Scales are small by default (a pure-Python interpreter is ~two orders of
+magnitude slower than the paper's Qizx/Java setup); override with
+``REPRO_BENCH_SCALE`` for bigger runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.figure4 import Figure4Workload
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+
+
+@pytest.fixture(scope="session")
+def figure4_workload() -> Figure4Workload:
+    """One paper-faithful (unindexed, uncached) fragmented auction stream."""
+    return Figure4Workload.build(bench_scale())
+
+
+@pytest.fixture(scope="session")
+def engineered_workload() -> Figure4Workload:
+    """The same stream with the engineered (indexed + memoized) store."""
+    return Figure4Workload.build(bench_scale(), paper_faithful=False)

@@ -1,0 +1,11 @@
+"""Standalone Figure 4 table printer (same as the ``repro-figure4`` CLI).
+
+Run:  python benchmarks/figure4.py [--scales 0.0,0.01,0.02] [--repeats N]
+"""
+
+import sys
+
+from repro.cli import figure4_main
+
+if __name__ == "__main__":
+    sys.exit(figure4_main(sys.argv[1:]))

@@ -1,0 +1,69 @@
+"""Ablation A5: tag-name compression (paper §4.1).
+
+Measures the wire-size reduction and the encode/decode cost of shipping
+filler payloads with Tag-Structure-derived tag codes, on the XMark auction
+stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Fragmenter
+from repro.streams.compression import TagCodec
+from repro.temporal import XSDateTime
+from repro.xmark import auction_tag_structure, generate_auction_document
+
+
+@pytest.fixture(scope="module")
+def auction_fillers():
+    structure = auction_tag_structure()
+    document = generate_auction_document(0.005)
+    return structure, Fragmenter(structure).fragment(
+        document, XSDateTime(2003, 1, 1)
+    )
+
+
+def test_encode_cost(benchmark, auction_fillers):
+    structure, fillers = auction_fillers
+    codec = TagCodec(structure)
+    payloads = [filler.to_xml() for filler in fillers]
+
+    def encode_all():
+        return [codec.encode_wire(p) for p in payloads]
+
+    encoded = benchmark.pedantic(encode_all, rounds=3, iterations=1, warmup_rounds=1)
+    raw = sum(len(p.encode()) for p in payloads)
+    packed = sum(len(p.encode()) for p in encoded)
+    benchmark.extra_info["raw_bytes"] = raw
+    benchmark.extra_info["packed_bytes"] = packed
+    benchmark.extra_info["savings_pct"] = round(100 * (1 - packed / raw), 1)
+    assert packed < raw
+
+
+def test_decode_cost(benchmark, auction_fillers):
+    structure, fillers = auction_fillers
+    codec = TagCodec(structure)
+    encoded = [codec.encode_wire(filler.to_xml()) for filler in fillers]
+
+    def decode_all():
+        return [codec.decode_wire(p) for p in encoded]
+
+    decoded = benchmark.pedantic(decode_all, rounds=3, iterations=1, warmup_rounds=1)
+    assert decoded[0] == fillers[0].to_xml()
+
+
+def test_round_trip_lossless(benchmark, auction_fillers):
+    structure, fillers = auction_fillers
+    codec = TagCodec(structure)
+
+    def round_trip():
+        mismatches = 0
+        for filler in fillers:
+            payload = filler.to_xml()
+            if codec.decode_wire(codec.encode_wire(payload)) != payload:
+                mismatches += 1
+        return mismatches
+
+    mismatches = benchmark.pedantic(round_trip, rounds=1, iterations=1)
+    assert mismatches == 0

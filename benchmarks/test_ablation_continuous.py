@@ -1,0 +1,96 @@
+"""Ablation A3: continuous re-evaluation cost vs. arrival batch size.
+
+The paper defers operator scheduling to future work (§8); its model simply
+re-evaluates standing queries over the fragment state.  This ablation
+measures the cost of one re-evaluation as a function of how many events
+arrive per poll — i.e., the amortized per-event cost of polling frequently
+(batch=1) vs. rarely (batch=32).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Channel, SimulatedClock, Strategy, StreamClient, StreamServer, TagStructure
+from repro.dom import Element, parse_document
+
+from tests.conftest import CREDIT_TAG_STRUCTURE_XML
+
+QUERY = (
+    'for $a in stream("credit")//account '
+    "where sum($a/transaction?[now-PT1H,now]/amount) >= 10000 "
+    'return <hot id="{$a/@id}"/>'
+)
+
+
+def build_rig():
+    clock = SimulatedClock("2003-10-01T00:00:00")
+    channel = Channel()
+    client = StreamClient(clock)
+    client.tune_in(channel)
+    server = StreamServer(
+        "credit", TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML), channel, clock
+    )
+    server.announce()
+    server.publish_document(
+        parse_document(
+            "<creditAccounts><account id='1'>"
+            "<customer>X</customer><creditLimit>100</creditLimit>"
+            "</account></creditAccounts>"
+        )
+    )
+    account_hole = server.hole_id(0, "account", "1")
+    query = client.register_query(QUERY, strategy=Strategy.QAC)
+    return clock, server, client, query, account_hole
+
+
+def transaction(txn_id: int) -> Element:
+    txn = Element("transaction", {"id": str(txn_id)})
+    vendor = Element("vendor")
+    vendor.add_text("V")
+    txn.append(vendor)
+    amount = Element("amount")
+    amount.add_text("3")
+    txn.append(amount)
+    return txn
+
+
+@pytest.mark.parametrize("batch", [1, 8, 32])
+def test_poll_cost_by_batch_size(benchmark, batch):
+    clock, server, client, query, account_hole = build_rig()
+    counter = [0]
+
+    def one_cycle():
+        for _ in range(batch):
+            counter[0] += 1
+            server.emit_event(account_hole, transaction(counter[0]))
+            clock.advance("PT1S")
+        client.poll()
+
+    benchmark.pedantic(one_cycle, rounds=5, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["events_per_poll"] = batch
+    benchmark.extra_info["total_events"] = counter[0]
+
+
+def test_evaluation_cost_grows_with_history(benchmark):
+    """Re-evaluation touches the whole retained history — the cost of the
+    paper's no-expiry store grows with stream length."""
+    import time
+
+    def measure() -> dict[int, float]:
+        clock, server, client, query, account_hole = build_rig()
+        timings: dict[int, float] = {}
+        counter = 0
+        for checkpoint in (50, 100, 200):
+            while counter < checkpoint:
+                counter += 1
+                server.emit_event(account_hole, transaction(counter))
+                clock.advance("PT1S")
+            started = time.perf_counter()
+            query.evaluate(clock.now())
+            timings[checkpoint] = time.perf_counter() - started
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["timings"] = {k: round(v, 4) for k, v in timings.items()}
+    assert timings[200] > timings[50]

@@ -1,0 +1,171 @@
+"""Ablation A1: fragmentation granularity vs. update cost and query time.
+
+Paper §1: "It is essential ... that a server does a reasonable
+fragmentation of data to accommodate future updates with minimal
+overhead."  We fragment the same credit-card data three ways —
+
+- *coarse*: only ``account`` fragments (one update retransmits the whole
+  account subtree),
+- *paper*: the §4.1 layout (account / creditLimit / transaction / status),
+- *unfragmented*: nothing fragments (an update retransmits the document) —
+
+and measure (a) bytes on the wire to apply one status update and (b) the
+run time of the paper's Query 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Fragmenter, FragmentStore, TagStructure, XCQLEngine
+from repro.dom import Element, parse_document, serialize
+from repro.temporal import XSDateTime
+
+NOW = XSDateTime.parse("2003-12-15T00:00:00")
+
+_PAPER = {
+    "account": "temporal",
+    "creditLimit": "temporal",
+    "transaction": "event",
+    "status": "temporal",
+}
+_COARSE = {"account": "temporal"}
+_UNFRAGMENTED: dict[str, str] = {"account": "snapshot"}
+
+_SPEC = {
+    "name": "creditAccounts",
+    "children": [
+        {
+            "name": "account",
+            "children": [
+                {"name": "customer"},
+                {"name": "creditLimit"},
+                {
+                    "name": "transaction",
+                    "children": [
+                        {"name": "vendor"},
+                        {"name": "status"},
+                        {"name": "amount"},
+                    ],
+                },
+            ],
+        }
+    ],
+}
+
+QUERY = """
+for $a in stream("credit")//account
+where sum($a/transaction?[2003-01-01,now][status = "charged"]/amount) >= 500
+return $a/@id
+"""
+
+
+def structure_with(roles: dict[str, str]) -> TagStructure:
+    def apply(spec: dict) -> dict:
+        out = {
+            "name": spec["name"],
+            "type": roles.get(spec["name"], "snapshot"),
+            "children": [apply(c) for c in spec.get("children", ())],
+        }
+        return out
+
+    return TagStructure.build(apply(_SPEC))
+
+
+def build_document(accounts: int = 40, transactions: int = 5):
+    parts = ["<creditAccounts>"]
+    for a in range(accounts):
+        parts.append(f'<account id="{a}"><customer>C{a}</customer>')
+        parts.append("<creditLimit>1000</creditLimit>")
+        for t in range(transactions):
+            parts.append(
+                f'<transaction id="{a}-{t}"><vendor>V</vendor>'
+                f"<amount>{50 + t}</amount><status>charged</status></transaction>"
+            )
+        parts.append("</account>")
+    parts.append("</creditAccounts>")
+    return parse_document("".join(parts))
+
+
+def build_engine(roles: dict[str, str]):
+    structure = structure_with(roles)
+    engine = XCQLEngine(default_now=NOW)
+    store = FragmentStore(structure)
+    engine.register_stream("credit", structure, store)
+    fragmenter = Fragmenter(structure)
+    engine.feed(
+        "credit", fragmenter.fragment(build_document(), XSDateTime(2003, 1, 1))
+    )
+    return engine, store, fragmenter
+
+
+_GRANULARITIES = {
+    "paper-layout": _PAPER,
+    "coarse-account": _COARSE,
+    "unfragmented": _UNFRAGMENTED,
+}
+
+
+@pytest.mark.parametrize("granularity", sorted(_GRANULARITIES))
+def test_query_time_by_granularity(benchmark, granularity):
+    engine, _store, _fragmenter = build_engine(_GRANULARITIES[granularity])
+    compiled = engine.compile(QUERY)
+
+    def run():
+        return engine.execute(compiled)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["result_count"] = len(result)
+
+
+def test_update_cost_by_granularity(benchmark):
+    """Finer fragments make updates dramatically cheaper on the wire."""
+
+    def measure() -> dict[str, int]:
+        costs: dict[str, int] = {}
+        for label, roles in _GRANULARITIES.items():
+            engine, store, fragmenter = build_engine(roles)
+            before = store.wire_size
+            # Apply one logical update: account 0's first status flips.
+            if label == "paper-layout":
+                account_hole = fragmenter.hole_registry[(0, "account", "0")]
+                txn_hole = fragmenter.hole_registry[(account_hole, "transaction", "0-0")]
+                status_id = fragmenter.hole_registry[(txn_hole, "status", "0-0")]
+                status_tsid = store.tag_structure.resolve_path(
+                    ["creditAccounts", "account", "transaction", "status"]
+                ).tsid
+                new_status = Element("status")
+                new_status.add_text("suspended")
+                from repro.fragments.model import Filler
+
+                store.append(Filler(status_id, status_tsid, NOW, new_status))
+            elif label == "coarse-account":
+                account_id = fragmenter.hole_registry[(0, "account", "0")]
+                account = store.versions_of(account_id)[0].copy()
+                del account.attrs["vtFrom"], account.attrs["vtTo"]
+                status = account.first("transaction").first("status")
+                status.children[0].text = "suspended"
+                from repro.fragments.model import Filler
+
+                store.append(
+                    Filler(
+                        account_id,
+                        store.tag_structure.resolve_path(["creditAccounts", "account"]).tsid,
+                        NOW,
+                        account,
+                    )
+                )
+            else:  # unfragmented: retransmit the whole document as filler 0
+                root = store.versions_of(0)[0].copy()
+                status = root.first("account").first("transaction").first("status")
+                status.children[0].text = "suspended"
+                from repro.fragments.model import Filler
+
+                store.append(Filler(0, 1, NOW, root))
+            costs[label] = store.wire_size - before
+        return costs
+
+    costs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["update_bytes"] = costs
+    # The paper's granularity argument: finer fragmentation -> cheaper updates.
+    assert costs["paper-layout"] < costs["coarse-account"] < costs["unfragmented"]

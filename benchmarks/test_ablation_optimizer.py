@@ -1,0 +1,86 @@
+"""Ablation A4: the §8 get_fillers hoisting rewrite.
+
+Measures the paper's Query 1 (three hole crossings of the same account
+fragment per tuple) with and without the let-hoisting rewrite, on a store
+in paper-faithful scan mode where repeated ``get_fillers`` calls are
+expensive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Fragmenter, FragmentStore, TagStructure, XCQLEngine
+from repro.core import Strategy
+from repro.dom import parse_document
+from repro.temporal import XSDateTime
+
+from tests.conftest import CREDIT_TAG_STRUCTURE_XML
+
+NOW = XSDateTime.parse("2003-12-01T00:00:00")
+
+QUERY_1 = """
+for $a in stream("credit")//account
+where sum($a/transaction?[2003-01-01,2003-12-01][status = "charged"]/amount) >=
+      $a/creditLimit?[now]
+return <account id="{$a/@id}">{ $a/customer, $a/creditLimit }</account>
+"""
+
+
+@pytest.fixture(scope="module")
+def scan_engine():
+    structure = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+    engine = XCQLEngine(default_now=NOW)
+    store = FragmentStore(structure, use_index=False, use_cache=False)
+    engine.register_stream("credit", structure, store)
+    parts = ["<creditAccounts>"]
+    for a in range(40):
+        parts.append(f'<account id="{a}"><customer>C{a}</customer>')
+        parts.append(f"<creditLimit>{1000 + a}</creditLimit>")
+        for t in range(6):
+            stamp = f"2003-{(t % 9) + 1:02d}-11T09:00:00"
+            parts.append(
+                f'<transaction id="{a}-{t}" vtFrom="{stamp}" vtTo="{stamp}">'
+                f"<vendor>V</vendor><amount>{100 + t}</amount>"
+                f'<status vtFrom="{stamp}" vtTo="now">charged</status></transaction>'
+            )
+        parts.append("</account>")
+    parts.append("</creditAccounts>")
+    engine.feed(
+        "credit",
+        Fragmenter(structure).fragment_temporal_view(
+            parse_document("".join(parts)), XSDateTime(2003, 1, 1)
+        ),
+    )
+    return engine
+
+
+@pytest.mark.parametrize("optimized", [False, True], ids=["plain", "hoisted"])
+def test_query1_hoisting(benchmark, scan_engine, optimized):
+    compiled = scan_engine.compile(QUERY_1, Strategy.QAC, optimize=optimized)
+
+    def run():
+        return scan_engine.execute(compiled, now=NOW)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["result_count"] = len(result)
+    benchmark.extra_info["hoisted_calls"] = compiled.hoisted_calls
+
+
+def test_hoisting_speeds_up_scan_mode(benchmark, scan_engine):
+    import time
+
+    def measure():
+        timings = {}
+        for label, optimize in (("plain", False), ("hoisted", True)):
+            compiled = scan_engine.compile(QUERY_1, Strategy.QAC, optimize=optimize)
+            best = float("inf")
+            for _ in range(3):
+                started = time.perf_counter()
+                scan_engine.execute(compiled, now=NOW)
+                best = min(best, time.perf_counter() - started)
+            timings[label] = best
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert timings["hoisted"] < timings["plain"]

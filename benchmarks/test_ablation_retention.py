@@ -1,0 +1,91 @@
+"""Ablation A6: bounded retention vs. the paper's full-history model.
+
+Extends A3's observation that evaluation cost grows with retained history:
+after pruning history older than the query's window, window queries return
+identical answers at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Fragmenter, FragmentStore, TagStructure, XCQLEngine
+from repro.dom import Element, parse_document, serialize
+from repro.fragments.model import Filler
+from repro.temporal import XSDateTime, XSDuration
+
+from tests.conftest import CREDIT_TAG_STRUCTURE_XML
+
+NOW = XSDateTime.parse("2003-12-31T00:00:00")
+WINDOW_QUERY = (
+    'for $a in stream("credit")//account '
+    "return sum($a/transaction?[now-P7D, now]/amount)"
+)
+
+
+def build_engine(days_of_history: int):
+    """One account accumulating 10 transactions/day for N days."""
+    structure = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+    engine = XCQLEngine(default_now=NOW)
+    store = FragmentStore(structure, use_index=False, use_cache=False)
+    engine.register_stream("credit", structure, store)
+    root = Element("creditAccounts")
+    root.append(Element("hole", {"id": "1", "tsid": "2"}))
+    account = Element("account", {"id": "1"})
+    account.append(Element("hole", {"id": "2", "tsid": "5"}))
+    store.append(Filler(0, 1, XSDateTime(2003, 1, 1), root))
+    store.append(Filler(1, 2, XSDateTime(2003, 1, 1), account))
+    start = NOW - XSDuration.parse(f"P{days_of_history}D")
+    for day in range(days_of_history):
+        for hour in range(10):
+            stamp = start + XSDuration.parse(f"P{day}DT{hour}H")
+            txn = Element("transaction", {"id": f"{day}-{hour}"})
+            amount = Element("amount")
+            amount.add_text("3")
+            txn.append(amount)
+            vendor = Element("vendor")
+            vendor.add_text("V")
+            txn.append(vendor)
+            store.append(Filler(2, 5, stamp, txn))
+    return engine, store
+
+
+@pytest.mark.parametrize("retention", ["full-history", "pruned-to-window"])
+def test_window_query_cost(benchmark, retention):
+    engine, store = build_engine(days_of_history=60)
+    if retention == "pruned-to-window":
+        store.prune_before(NOW - XSDuration.parse("P7D"))
+    compiled = engine.compile(WINDOW_QUERY)
+
+    def run():
+        return engine.execute(compiled, now=NOW)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["fillers_retained"] = store.filler_count
+    benchmark.extra_info["window_sum"] = result
+
+
+def test_prune_preserves_window_answers_and_wins(benchmark):
+    import time
+
+    def measure():
+        full_engine, _ = build_engine(days_of_history=60)
+        pruned_engine, pruned_store = build_engine(days_of_history=60)
+        pruned_store.prune_before(NOW - XSDuration.parse("P7D"))
+        expected = full_engine.execute(WINDOW_QUERY, now=NOW)
+        actual = pruned_engine.execute(WINDOW_QUERY, now=NOW)
+        assert actual == expected
+
+        def best(engine):
+            times = []
+            compiled = engine.compile(WINDOW_QUERY)
+            for _ in range(3):
+                started = time.perf_counter()
+                engine.execute(compiled, now=NOW)
+                times.append(time.perf_counter() - started)
+            return min(times)
+
+        return {"full": best(full_engine), "pruned": best(pruned_engine)}
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert timings["pruned"] < timings["full"]

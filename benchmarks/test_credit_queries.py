@@ -1,0 +1,91 @@
+"""Benchmarks for the paper's §3.1 credit-card queries (qualitative).
+
+The paper gives no numbers for Query 1/Query 2; these benches record their
+cost on a synthetic credit stream under each strategy so regressions in
+the temporal-projection path are visible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Fragmenter, FragmentStore, TagStructure, XCQLEngine
+from repro.dom import parse_document
+from repro.temporal import XSDateTime
+
+from tests.conftest import CREDIT_TAG_STRUCTURE_XML
+from repro.core import Strategy
+
+NOW = XSDateTime.parse("2003-12-01T00:00:00")
+
+QUERY_1 = """
+for $a in stream("credit")//account
+where sum($a/transaction?[2003-11-01,2003-12-01][status = "charged"]/amount) >=
+      $a/creditLimit?[now]
+return <account id="{$a/@id}"/>
+"""
+
+QUERY_2 = """
+for $a in stream("credit")//account
+where sum($a/transaction?[now-PT1H,now][status = "charged"]/amount) >=
+      max($a/creditLimit?[now] * 0.9, 5000)
+return <alert id="{$a/@id}"/>
+"""
+
+
+def synth_credit_document(accounts: int, transactions: int, seed: int = 11):
+    rng = random.Random(seed)
+    parts = ["<creditAccounts>"]
+    for a in range(accounts):
+        parts.append(f'<account id="{a}"><customer>Customer {a}</customer>')
+        parts.append(f"<creditLimit>{rng.choice((500, 1000, 5000))}</creditLimit>")
+        for t in range(transactions):
+            month = rng.randint(9, 11)
+            day = rng.randint(1, 28)
+            stamp = f"2003-{month:02d}-{day:02d}T12:00:00"
+            parts.append(
+                f'<transaction id="{a}-{t}" vtFrom="{stamp}" vtTo="{stamp}">'
+                f"<vendor>V{t}</vendor><amount>{rng.randint(10, 900)}</amount>"
+                f'<status vtFrom="{stamp}" vtTo="now">charged</status>'
+                "</transaction>"
+            )
+        parts.append("</account>")
+    parts.append("</creditAccounts>")
+    return parse_document("".join(parts))
+
+
+@pytest.fixture(scope="module")
+def credit_workload():
+    structure = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+    engine = XCQLEngine(default_now=NOW)
+    store = FragmentStore(structure)
+    engine.register_stream("credit", structure, store)
+    document = synth_credit_document(accounts=30, transactions=8)
+    engine.feed(
+        "credit",
+        Fragmenter(structure).fragment_temporal_view(document, XSDateTime(2003, 1, 1)),
+    )
+    return engine
+
+
+_CASES = [
+    (name, strategy)
+    for name in ("query1", "query2")
+    for strategy in (Strategy.QAC_PLUS, Strategy.QAC, Strategy.CAQ)
+]
+
+
+@pytest.mark.parametrize(
+    "name, strategy", _CASES, ids=[f"{n}-{s.value}" for n, s in _CASES]
+)
+def test_credit_query(benchmark, credit_workload, name, strategy):
+    query = QUERY_1 if name == "query1" else QUERY_2
+    compiled = credit_workload.compile(query, strategy)
+
+    def run():
+        return credit_workload.execute(compiled, now=NOW)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["result_count"] = len(result)

@@ -1,0 +1,68 @@
+"""Figure 4 (paper §7): Q1/Q2/Q5 under CaQ / QaC / QaC+.
+
+One pytest-benchmark per (query, strategy) cell at the session scale, plus
+a shape check: the paper's ordering QaC+ ≤ QaC < CaQ must hold.
+
+Run:  pytest benchmarks/test_figure4.py --benchmark-only
+For the full multi-scale table in the paper's layout:  repro-figure4
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Strategy
+from repro.xmark import PAPER_QUERIES
+
+_CELLS = [
+    (query_name, strategy)
+    for query_name in ("Q1", "Q2", "Q5")
+    for strategy in (Strategy.QAC_PLUS, Strategy.QAC, Strategy.CAQ)
+]
+
+
+@pytest.mark.parametrize(
+    "query_name, strategy",
+    _CELLS,
+    ids=[f"{q}-{s.value}" for q, s in _CELLS],
+)
+def test_figure4_cell(benchmark, figure4_workload, query_name, strategy):
+    query = PAPER_QUERIES[query_name]
+    compiled = figure4_workload.engine.compile(query, strategy)
+
+    def run():
+        return figure4_workload.engine.execute(compiled)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["result_count"] = len(result)
+    benchmark.extra_info["scale"] = figure4_workload.scale
+    benchmark.extra_info["file_size"] = figure4_workload.file_size
+
+
+def test_figure4_shape(benchmark, figure4_workload):
+    """The paper's headline: QaC+ wins, CaQ loses, on every query."""
+    import time
+
+    def measure() -> dict:
+        timings: dict[str, dict[str, float]] = {}
+        for query_name, query in PAPER_QUERIES.items():
+            row = {}
+            for strategy in (Strategy.QAC_PLUS, Strategy.QAC, Strategy.CAQ):
+                best = float("inf")
+                for _ in range(2):  # best-of-2 smooths GC/alloc noise
+                    started = time.perf_counter()
+                    figure4_workload.run(query, strategy)
+                    best = min(best, time.perf_counter() - started)
+                row[strategy.value] = best
+            timings[query_name] = row
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for query_name, row in timings.items():
+        assert row["CaQ"] > row["QaC"], f"{query_name}: CaQ should lose to QaC ({row})"
+        assert row["CaQ"] > 1.5 * row["QaC+"], (
+            f"{query_name}: CaQ should clearly lose to QaC+ ({row})"
+        )
+    # Aggregate-style queries show the strongest tsid advantage (paper:
+    # widest gaps on the selective Q1/Q5).
+    assert timings["Q5"]["QaC"] > timings["Q5"]["QaC+"]

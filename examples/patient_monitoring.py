@@ -1,0 +1,209 @@
+"""Patient monitoring: the paper's first motivating domain (§1).
+
+"Medical information systems store information on patient histories and
+how each patient responds to certain treatments over time."
+
+Two streams are correlated:
+
+- ``ward`` — patient records: prescriptions are *temporal* fragments
+  (a dose is valid until changed), vitals are *event* fragments;
+- ``lab`` — lab results arriving asynchronously as events.
+
+The continuous query flags patients whose systolic pressure stayed above
+a threshold for the entire hour after a dose increase — a "non-response"
+coincidence between the prescription's lifespan and the vitals window.
+
+Run:  python examples/patient_monitoring.py
+"""
+
+from repro import (
+    Channel,
+    SimulatedClock,
+    Strategy,
+    StreamClient,
+    StreamServer,
+    TagStructure,
+)
+from repro.dom import Element, parse_document, serialize
+
+WARD_STRUCTURE = TagStructure.build(
+    {
+        "name": "ward",
+        "type": "snapshot",
+        "children": [
+            {
+                "name": "patient",
+                "type": "temporal",
+                "children": [
+                    {"name": "name", "type": "snapshot"},
+                    {"name": "prescription", "type": "temporal",
+                     "children": [
+                         {"name": "drug", "type": "snapshot"},
+                         {"name": "dose", "type": "snapshot"},
+                     ]},
+                    {"name": "vitals", "type": "event",
+                     "children": [
+                         {"name": "systolic", "type": "snapshot"},
+                         {"name": "pulse", "type": "snapshot"},
+                     ]},
+                ],
+            }
+        ],
+    }
+)
+
+LAB_STRUCTURE = TagStructure.build(
+    {
+        "name": "lab",
+        "type": "snapshot",
+        "children": [
+            {
+                "name": "result",
+                "type": "event",
+                "children": [
+                    {"name": "patient", "type": "snapshot"},
+                    {"name": "marker", "type": "snapshot"},
+                    {"name": "value", "type": "snapshot"},
+                ],
+            }
+        ],
+    }
+)
+
+WARD_INITIAL = """
+<ward>
+  <patient id="p1">
+    <name>A. Jones</name>
+    <prescription><drug>lisinopril</drug><dose>10</dose></prescription>
+  </patient>
+  <patient id="p2">
+    <name>B. Chen</name>
+    <prescription><drug>lisinopril</drug><dose>10</dose></prescription>
+  </patient>
+</ward>
+"""
+
+# Patients whose latest dose change is at least an hour old and whose
+# every systolic reading since that change stayed >= 150: the treatment
+# is not responding.
+NON_RESPONDERS = """
+for $p in stream("ward")//patient
+let $rx := $p/prescription#[last]
+where vtFrom($rx) <= now - PT1H
+  and exists($p/vitals?[vtFrom($rx), now])
+  and (every $v in $p/vitals?[vtFrom($rx), now]
+       satisfies $v/systolic >= 150)
+return
+  <escalate patient="{$p/@id}" dose="{$rx/dose/text()}"/>
+"""
+
+# Coincidence across streams: a high potassium lab result while the
+# patient is on an increased dose.
+LAB_INTERACTION = """
+for $r in stream("lab")//result
+    $p in stream("ward")//patient?[vtFrom($r), vtTo($r)]
+where $r/patient = $p/@id
+  and $r/marker = "potassium"
+  and $r/value >= 5.5
+  and $p/prescription?[vtFrom($r)]/dose >= 20
+return
+  <interaction patient="{$p/@id}" potassium="{$r/value/text()}"/>
+"""
+
+
+def vitals(systolic: int, pulse: int) -> Element:
+    event = Element("vitals")
+    s = Element("systolic")
+    s.add_text(str(systolic))
+    event.append(s)
+    p = Element("pulse")
+    p.add_text(str(pulse))
+    event.append(p)
+    return event
+
+
+def prescription(drug: str, dose: int) -> Element:
+    rx = Element("prescription")
+    d = Element("drug")
+    d.add_text(drug)
+    rx.append(d)
+    amount = Element("dose")
+    amount.add_text(str(dose))
+    rx.append(amount)
+    return rx
+
+
+def lab_result(patient: str, marker: str, value: float) -> Element:
+    result = Element("result")
+    p = Element("patient")
+    p.add_text(patient)
+    result.append(p)
+    m = Element("marker")
+    m.add_text(marker)
+    result.append(m)
+    v = Element("value")
+    v.add_text(str(value))
+    result.append(v)
+    return result
+
+
+def main() -> None:
+    clock = SimulatedClock("2004-03-01T08:00:00")
+    ward_channel, lab_channel = Channel(), Channel()
+    client = StreamClient(clock)
+    client.tune_in(ward_channel)
+    client.tune_in(lab_channel)
+
+    ward = StreamServer("ward", WARD_STRUCTURE, ward_channel, clock)
+    ward.announce()
+    ward.publish_document(parse_document(WARD_INITIAL))
+    lab = StreamServer("lab", LAB_STRUCTURE, lab_channel, clock)
+    lab.announce()
+    lab.publish_document(Element("lab"))
+
+    escalations: list = []
+    non_responders = client.register_query(NON_RESPONDERS, strategy=Strategy.QAC)
+    non_responders.subscribe(lambda items: escalations.extend(items))
+    interactions: list = []
+    interaction_query = client.register_query(LAB_INTERACTION, strategy=Strategy.QAC)
+    interaction_query.subscribe(lambda items: interactions.extend(items))
+
+    p1 = ward.hole_id(0, "patient", "p1")
+    p2 = ward.hole_id(0, "patient", "p2")
+    rx1 = ward.hole_id(p1, "prescription", "p1")
+    rx2 = ward.hole_id(p2, "prescription", "p2")
+
+    # 08:00 both patients' doses are raised to 20.
+    ward.update_fragment(rx1, prescription("lisinopril", 20))
+    ward.update_fragment(rx2, prescription("lisinopril", 20))
+
+    # Vitals over the next 90 minutes: p1 responds, p2 does not.
+    for minutes, (bp1, bp2) in zip(
+        (15, 30, 45, 60, 75), ((162, 164), (158, 166), (149, 161), (141, 159), (139, 163))
+    ):
+        clock.advance("PT15M")
+        ward.emit_event(p1, vitals(bp1, 72))
+        ward.emit_event(p2, vitals(bp2, 80))
+        client.poll()
+
+    print("escalations:", [serialize(e) for e in escalations])
+    assert [e.attrs["patient"] for e in escalations] == ["p2"]
+
+    # A potassium result arrives for p2 while on the raised dose.
+    clock.advance("PT5M")
+    lab.emit_event(0, lab_result("p2", "potassium", 5.8))
+    client.poll()
+    print("interactions:", [serialize(i) for i in interactions])
+    assert [i.attrs["patient"] for i in interactions] == ["p2"]
+
+    # History is queryable: what was p2's dose at 08:10 (before readings)?
+    old_dose = client.engine.execute(
+        'stream("ward")//patient[@id = "p2"]/prescription?[2004-03-01T08:00:30]/dose',
+        now=clock.now(),
+    )
+    print("p2 dose just after rounds:", old_dose[0].text())
+    print("OK: the non-responding patient was escalated exactly once.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Stock ticker: the paper's introductory motivation scenario.
+
+"A server may broadcast stock quotes and a client may evaluate a
+continuous query on a wireless, mobile device that checks and warns on
+rapid changes in selected stock prices within a time period." (paper §1)
+
+Quotes stream as *temporal* fragments (each new quote supersedes the
+previous — the current price has a lifespan), so version projections give
+consecutive quotes: the query compares ``#[last]`` against ``#[last - 1]``
+inside a sliding window.
+
+Run:  python examples/stock_ticker.py
+"""
+
+from repro import (
+    Channel,
+    SimulatedClock,
+    Strategy,
+    StreamClient,
+    StreamServer,
+    TagStructure,
+)
+from repro.dom import Element, parse_document
+
+STRUCTURE = TagStructure.build(
+    {
+        "name": "market",
+        "type": "snapshot",
+        "children": [
+            {
+                "name": "stock",
+                "type": "temporal",
+                "children": [
+                    {"name": "symbol", "type": "snapshot"},
+                    {"name": "quote", "type": "temporal"},
+                ],
+            }
+        ],
+    }
+)
+
+INITIAL = """
+<market>
+  <stock id="ACME"><symbol>ACME</symbol><quote>100.0</quote></stock>
+  <stock id="GLOB"><symbol>GLOB</symbol><quote>50.0</quote></stock>
+</market>
+"""
+
+# Warn when a selected stock moved more than 5% between consecutive quotes
+# and the move happened within the last minute.
+RAPID_CHANGE = """
+for $s in stream("market")//stock
+let $current := $s/quote#[last]
+let $previous := $s/quote#[last - 1]
+where $s/symbol = "ACME"
+  and exists($previous)
+  and vtFrom($current) >= now - PT1M
+  and (($current - $previous) * ($current - $previous))
+      > (0.05 * $previous) * (0.05 * $previous)
+return
+  <warning symbol="{$s/symbol/text()}" from="{$previous}" to="{$current}"/>
+"""
+
+
+def quote(value: float) -> Element:
+    element = Element("quote")
+    element.add_text(f"{value:.1f}")
+    return element
+
+
+def main() -> None:
+    clock = SimulatedClock("2004-06-14T09:30:00")
+    channel = Channel()
+    client = StreamClient(clock)
+    client.tune_in(channel)
+    server = StreamServer("market", STRUCTURE, channel, clock)
+    server.announce()
+    server.publish_document(parse_document(INITIAL))
+
+    query = client.register_query(RAPID_CHANGE, strategy=Strategy.QAC)
+    warnings: list = []
+    query.subscribe(lambda items: warnings.extend(items))
+
+    acme = server.hole_id(0, "stock", "ACME")
+    acme_quote = server.hole_id(acme, "quote", "ACME")
+    glob = server.hole_id(0, "stock", "GLOB")
+    glob_quote = server.hole_id(glob, "quote", "GLOB")
+
+    ticks = [
+        ("PT10S", acme_quote, 101.0),   # +1%  — calm
+        ("PT10S", glob_quote, 58.0),    # +16% — but GLOB is not selected
+        ("PT10S", acme_quote, 102.0),   # +1%  — calm
+        ("PT10S", acme_quote, 95.0),    # -6.9% — warn!
+        ("PT10S", acme_quote, 95.5),    # +0.5% — calm again
+    ]
+    for advance, hole, price in ticks:
+        clock.advance(advance)
+        server.update_fragment(hole, quote(price))
+        client.poll()
+        flag = " <-- warning" if warnings and warnings[-1].attrs["to"] == f"{price:.1f}" else ""
+        print(f"{clock.now()}  quote {price:>6}{flag}")
+
+    assert len(warnings) == 1
+    assert warnings[0].attrs == {"symbol": "ACME", "from": "102.0", "to": "95.0"}
+    print(f"\nwarnings emitted: {[(w.attrs['from'], w.attrs['to']) for w in warnings]}")
+
+    # An old rapid change outside the window does not re-fire later.
+    clock.advance("PT5M")
+    client.poll()
+    assert len(warnings) == 1
+    print("window slid past: no further warnings. OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — Data Stream Management for Historical XML Data.
+
+A from-scratch reproduction of Bose & Fegaras (SIGMOD 2004): continuous
+querying of time-varying streamed XML data with the XCQL language, the
+Hole-Filler fragmentation model, and schema-based translation of temporal
+queries into queries over fragment streams.
+
+Quickstart::
+
+    from repro import XCQLEngine, Strategy, TagStructure, Fragmenter
+    from repro.dom import parse_document
+    from repro.temporal import XSDateTime
+
+    engine = XCQLEngine()
+    engine.register_stream("credit", tag_structure)
+    engine.feed("credit", fillers)
+    result = engine.execute(
+        'for $a in stream("credit")//account return $a/customer',
+        strategy=Strategy.QAC,
+        now=XSDateTime.parse("2003-12-01T00:00:00"),
+    )
+
+Package layout:
+
+- :mod:`repro.core` — XCQL translation and the engine (the contribution);
+- :mod:`repro.xquery` — the XQuery-subset interpreter (substrate);
+- :mod:`repro.fragments` — Hole-Filler model, Tag Structure, stores;
+- :mod:`repro.streams` — push-based servers/clients, continuous queries;
+- :mod:`repro.temporal` — dateTime/duration/interval values;
+- :mod:`repro.dom` — the XML node model, parser and serializer;
+- :mod:`repro.xmark` — the XMark workload used by the benchmarks.
+"""
+
+from repro.core import CompiledQuery, Strategy, XCQLEngine
+from repro.dom import parse_document, serialize
+from repro.fragments import Filler, Fragmenter, FragmentStore, TagStructure, TagType
+from repro.streams import (
+    Channel,
+    ContinuousQuery,
+    LossyChannel,
+    SimulatedClock,
+    StreamClient,
+    StreamServer,
+)
+from repro.temporal import NOW, START, TimeInterval, XSDateTime, XSDuration
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "XCQLEngine",
+    "CompiledQuery",
+    "Strategy",
+    "TagStructure",
+    "TagType",
+    "Fragmenter",
+    "FragmentStore",
+    "Filler",
+    "StreamServer",
+    "StreamClient",
+    "Channel",
+    "LossyChannel",
+    "ContinuousQuery",
+    "SimulatedClock",
+    "XSDateTime",
+    "XSDuration",
+    "TimeInterval",
+    "NOW",
+    "START",
+    "parse_document",
+    "serialize",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Benchmark harnesses shared by the CLI and the pytest benches."""
+
+from repro.bench.figure4 import Figure4Cell, Figure4Workload, format_table, run_figure4
+
+__all__ = ["Figure4Workload", "Figure4Cell", "run_figure4", "format_table"]

@@ -1,0 +1,113 @@
+"""Command-line entry points.
+
+- ``repro-figure4`` — regenerate the paper's Figure 4 table;
+- ``repro-xmlgen`` — emit an XMark auction document (our xmlgen clone).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figure4 import format_table, run_figure4
+from repro.dom import serialize
+from repro.xmark import generate_auction_document
+
+__all__ = ["figure4_main", "xmlgen_main", "xcql_main"]
+
+
+def figure4_main(argv: list[str] | None = None) -> int:
+    """Run the Figure 4 experiment and print the table."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce Figure 4 of Bose & Fegaras (SIGMOD 2004): "
+        "XMark Q1/Q2/Q5 under QaC+/QaC/CaQ at several document scales."
+    )
+    parser.add_argument(
+        "--scales",
+        type=str,
+        default=None,
+        help="comma-separated XMark scale factors (default 0.0,0.01,0.02)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1, help="take best of N runs per cell"
+    )
+    args = parser.parse_args(argv)
+    scales = (
+        [float(part) for part in args.scales.split(",")] if args.scales else None
+    )
+    cells = run_figure4(scales=scales, repeats=args.repeats)
+    print(format_table(cells))
+    return 0
+
+
+def xmlgen_main(argv: list[str] | None = None) -> int:
+    """Generate an auction document to stdout or a file."""
+    parser = argparse.ArgumentParser(
+        description="Generate an XMark-style auction document (xmlgen clone)."
+    )
+    parser.add_argument("-f", "--factor", type=float, default=0.0, help="scale factor")
+    parser.add_argument("-s", "--seed", type=int, default=31415, help="random seed")
+    parser.add_argument("-o", "--output", type=str, default=None, help="output file")
+    args = parser.parse_args(argv)
+    document = generate_auction_document(args.factor, args.seed)
+    text = serialize(document, xml_declaration=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def xcql_main(argv: list[str] | None = None) -> int:
+    """Run an XCQL query against a saved fragment-store snapshot."""
+    from repro.core import Strategy, XCQLEngine
+    from repro.fragments.persist import load_store
+    from repro.temporal import XSDateTime
+
+    parser = argparse.ArgumentParser(
+        description="Evaluate an XCQL query over a fragment-store snapshot "
+        "(see repro.fragments.persist.save_store)."
+    )
+    parser.add_argument("--store", required=True, help="snapshot file (.xml)")
+    parser.add_argument(
+        "--stream", default="stream", help="stream name the query uses (default: 'stream')"
+    )
+    parser.add_argument("--query", help="XCQL query text (default: read stdin)")
+    parser.add_argument(
+        "--strategy",
+        choices=[s.value for s in Strategy],
+        default=Strategy.QAC.value,
+        help="execution method (default QaC)",
+    )
+    parser.add_argument("--now", default=None, help="evaluation instant (xs:dateTime)")
+    parser.add_argument(
+        "--show-translation",
+        action="store_true",
+        help="print the translated XQuery before the results",
+    )
+    args = parser.parse_args(argv)
+
+    store = load_store(args.store)
+    if store.tag_structure is None:
+        parser.error("snapshot has no Tag Structure; cannot translate queries")
+    engine = XCQLEngine()
+    engine.register_stream(args.stream, store.tag_structure, store)
+    source = args.query if args.query is not None else sys.stdin.read()
+    strategy = next(s for s in Strategy if s.value == args.strategy)
+    now = XSDateTime.parse(args.now) if args.now else None
+    compiled = engine.compile(source, strategy)
+    if args.show_translation:
+        print("-- translated query:")
+        print(compiled.translated_source)
+        print("-- results:")
+    for item in engine.execute(compiled, now=now):
+        if hasattr(item, "string_value"):
+            print(serialize(item))
+        else:
+            print(item)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(figure4_main())

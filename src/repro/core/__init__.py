@@ -1,0 +1,28 @@
+"""The paper's primary contribution: XCQL over fragmented XML streams.
+
+- :mod:`repro.core.translator` — the Figure 3 schema-based translation of
+  XCQL into XQuery over fillers, under the CaQ / QaC / QaC+ strategies;
+- :mod:`repro.core.engine` — the :class:`XCQLEngine` facade (stream
+  registry, compilation, execution);
+- :mod:`repro.core.projections` — interval and version projection
+  primitives.
+"""
+
+from repro.core.engine import CompiledQuery, XCQLEngine
+from repro.core.lint import Diagnostic, lint_query
+from repro.core.optimizer import hoist_common_fillers
+from repro.core.reference import attach_reference_functions
+from repro.core.translator import Annotation, Strategy, TranslationError, Translator
+
+__all__ = [
+    "XCQLEngine",
+    "CompiledQuery",
+    "Strategy",
+    "Translator",
+    "Annotation",
+    "TranslationError",
+    "lint_query",
+    "Diagnostic",
+    "hoist_common_fillers",
+    "attach_reference_functions",
+]

@@ -1,0 +1,357 @@
+"""The XCQL engine: streams in, translated continuous queries out.
+
+:class:`XCQLEngine` is the primary public entry point of the library.  It
+owns a registry of named streams (each a
+:class:`~repro.fragments.store.FragmentStore` plus its Tag Structure),
+compiles XCQL queries under one of the paper's three execution strategies,
+and evaluates them against the current fragment state at a given ``now``.
+
+Typical use::
+
+    engine = XCQLEngine()
+    engine.register_stream("credit", tag_structure)
+    engine.feed("credit", fillers)
+    query = engine.compile('for $a in stream("credit")//account ...')
+    result = engine.execute(query, now=clock.now())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from repro.dom.nodes import Document, Element
+from repro.fragments.assemble import temporalize
+from repro.fragments.model import Filler
+from repro.fragments.store import FragmentStore
+from repro.fragments.tagstructure import TagStructure
+from repro.temporal.chrono import XSDateTime
+from repro.core.translator import Strategy, TranslationError, Translator
+from repro.xquery import xast
+from repro.xquery.errors import XQueryDynamicError
+from repro.xquery.evaluator import Context, Evaluator
+from repro.xquery.parser import parse
+from repro.xquery.xast import to_source
+from repro.xquery.xdm import atomize_sequence
+
+__all__ = ["XCQLEngine", "CompiledQuery", "Strategy"]
+
+
+@dataclass
+class CompiledQuery:
+    """An XCQL query translated for one execution strategy."""
+
+    source: str
+    strategy: Strategy
+    original: xast.Module
+    translated: xast.Module
+    hoisted_calls: int = 0  # get_fillers folds applied by the optimizer
+
+    @property
+    def translated_source(self) -> str:
+        """The translated query as XQuery text (like the paper's §6.1)."""
+        return to_source(self.translated)
+
+
+class XCQLEngine:
+    """Compiles and runs XCQL queries over registered fragment streams."""
+
+    def __init__(self, default_now: Optional[XSDateTime] = None):
+        self.stores: dict[str, FragmentStore] = {}
+        self.tag_structures: dict[str, TagStructure] = {}
+        self.default_now = default_now or XSDateTime(2000, 1, 1)
+        self._extra_functions: dict = {}
+
+    # -- stream registry ----------------------------------------------------------
+
+    def register_stream(
+        self,
+        name: str,
+        tag_structure: TagStructure,
+        store: Optional[FragmentStore] = None,
+    ) -> FragmentStore:
+        """Register a stream and return its fragment store."""
+        if store is None:
+            store = FragmentStore(tag_structure)
+        self.stores[name] = store
+        self.tag_structures[name] = tag_structure
+        return store
+
+    def feed(self, name: str, fillers: Union[Filler, Iterable[Filler]]) -> int:
+        """Ingest filler(s) into a stream; returns how many were new."""
+        store = self._store(name)
+        if isinstance(fillers, Filler):
+            return store.extend([fillers])
+        return store.extend(fillers)
+
+    def _store(self, name: str) -> FragmentStore:
+        store = self.stores.get(name)
+        if store is None:
+            raise TranslationError(f"unknown stream {name!r}")
+        return store
+
+    def register_function(self, name: str, fn, arity: tuple[int, int] = (0, 99)) -> None:
+        """Register an application function (e.g. the paper's
+        ``triangulate`` or ``distance``) callable from queries.
+
+        ``fn(ctx, args)`` receives the evaluation context and the list of
+        evaluated argument sequences.
+        """
+        from repro.xquery.functions import Builtin
+
+        self._extra_functions[name] = Builtin(name, arity[0], arity[1], fn)
+
+    # -- compilation -----------------------------------------------------------------
+
+    def compile(
+        self,
+        source: str,
+        strategy: Strategy = Strategy.QAC,
+        optimize: bool = False,
+    ) -> CompiledQuery:
+        """Parse an XCQL query and translate it for ``strategy``.
+
+        ``optimize=True`` additionally applies the §8-style rewriting that
+        folds repeated ``get_fillers`` calls into ``let`` bindings.
+        """
+        from repro.core.optimizer import hoist_common_fillers
+
+        module = parse(source, xcql=True)
+        translator = Translator(self.tag_structures, strategy)
+        translated = translator.translate_module(module)
+        hoisted = 0
+        if optimize:
+            translated, hoisted = hoist_common_fillers(translated)
+        return CompiledQuery(source, strategy, module, translated, hoisted)
+
+    def translate_source(self, source: str, strategy: Strategy = Strategy.QAC) -> str:
+        """The translated XQuery text for a query (paper §6.1 style)."""
+        return self.compile(source, strategy).translated_source
+
+    def explain(self, source: str, strategy: Strategy = Strategy.QAC, optimize: bool = False) -> dict:
+        """A plan summary for a query: translation, dependencies, rewrites.
+
+        Returns a dict with the strategy, the translated XQuery text, the
+        statically derived (stream, tsid) dependencies, whether the query
+        is time-sensitive (mentions ``now``), and how many ``get_fillers``
+        calls the optimizer folded.
+        """
+        from repro.streams.scheduler import dependencies_of
+
+        compiled = self.compile(source, strategy, optimize=optimize)
+        dependencies = dependencies_of(compiled)
+        return {
+            "strategy": strategy.value,
+            "translated": compiled.translated_source,
+            "depends_on": sorted(
+                (
+                    (stream, tsid if isinstance(tsid, int) else "*")
+                    for stream, tsid in dependencies.streams
+                ),
+                key=lambda pair: (pair[0], str(pair[1])),
+            ),
+            "time_sensitive": dependencies.time_sensitive,
+            "hoisted_calls": compiled.hoisted_calls,
+        }
+
+    def check(self, source: str) -> list:
+        """Static diagnostics for a query, without executing it.
+
+        Combines the schema linter (path/projection checks against the
+        registered Tag Structures) with name/arity analysis against the
+        engine's function registry.  Returns Diagnostic/StaticIssue
+        records; empty means clean.
+        """
+        from repro.core.lint import lint_query
+        from repro.xquery.functions import default_functions
+        from repro.xquery.parser import parse
+        from repro.xquery.static import check_module
+
+        issues: list = list(lint_query(source, self.tag_structures))
+        try:
+            module = parse(source, xcql=True)
+        except Exception:
+            return issues  # the linter already reported the syntax error
+        functions = dict(default_functions())
+        functions.update(self._extra_functions)
+        for name in ("get_fillers", "get_fillers_list", "get_fillers_by_tsid",
+                     "materialized_view"):
+            functions.setdefault(name, _AnyArity())
+        issues.extend(check_module(module, functions))
+        return issues
+
+    # -- execution ---------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Union[str, CompiledQuery],
+        strategy: Strategy = Strategy.QAC,
+        now: Optional[XSDateTime] = None,
+        variables: Optional[dict[str, list]] = None,
+    ) -> list:
+        """Run a query against the current fragment state.
+
+        ``query`` may be XCQL text (compiled on the fly) or a
+        :class:`CompiledQuery`.  ``now`` fixes the evaluation instant for
+        the XCQL ``now`` constant; continuous queries re-execute with a
+        moving ``now``.
+        """
+        if isinstance(query, str):
+            compiled = self.compile(query, strategy)
+        else:
+            compiled = query
+        context = self.build_context(now=now, variables=variables)
+        return Evaluator(context).evaluate_module(compiled.translated)
+
+    def execute_on_view(
+        self,
+        source: str,
+        now: Optional[XSDateTime] = None,
+        variables: Optional[dict[str, list]] = None,
+    ) -> list:
+        """Run untranslated XCQL directly on materialized temporal views.
+
+        This is the reference semantics: every ``stream(x)`` resolves to
+        the fully materialized temporal view of stream ``x``.  Used to
+        cross-validate the fragment-level strategies.
+        """
+        module = parse(source, xcql=True)
+        context = self.build_context(now=now, variables=variables)
+        return Evaluator(context).evaluate_module(module)
+
+    # -- context assembly -----------------------------------------------------------------
+
+    def build_context(
+        self,
+        now: Optional[XSDateTime] = None,
+        variables: Optional[dict[str, list]] = None,
+    ) -> Context:
+        """A fresh evaluation context wired to the registered streams."""
+        context = Context(
+            variables=variables,
+            now=now or self.default_now,
+            streams=self._view_of_stream,
+            hole_resolver=self._resolve_hole,
+        )
+        context.register_function("get_fillers", self._fn_get_fillers, (1, 2))
+        context.register_function("get_fillers_list", self._fn_get_fillers, (1, 2))
+        context.register_function("get_fillers_by_tsid", self._fn_get_fillers_by_tsid, (2, 2))
+        context.register_function("materialized_view", self._fn_materialized_view, (1, 1))
+        context.functions.update(self._extra_functions)
+        return context
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def save_state(self, directory) -> list[str]:
+        """Snapshot every registered stream into a directory.
+
+        Writes one store snapshot per stream plus a ``streams.xml``
+        manifest; returns the stream names saved.  Restore with
+        :meth:`load_state`.
+        """
+        import os
+
+        from repro.dom.serializer import serialize as _serialize
+        from repro.fragments.persist import save_store
+
+        os.makedirs(directory, exist_ok=True)
+        manifest = Element("streams")
+        for index, (name, store) in enumerate(sorted(self.stores.items())):
+            filename = f"stream-{index}.xml"
+            save_store(store, os.path.join(directory, filename))
+            manifest.append(Element("stream", {"name": name, "file": filename}))
+        with open(os.path.join(directory, "streams.xml"), "w", encoding="utf-8") as fh:
+            fh.write(_serialize(manifest, indent="  "))
+        return sorted(self.stores)
+
+    @classmethod
+    def load_state(cls, directory, default_now: Optional[XSDateTime] = None) -> "XCQLEngine":
+        """Rebuild an engine from a :meth:`save_state` directory."""
+        import os
+
+        from repro.dom.parser import parse_document as _parse
+        from repro.fragments.persist import load_store
+
+        with open(os.path.join(directory, "streams.xml"), "r", encoding="utf-8") as fh:
+            manifest = _parse(fh.read()).document_element
+        if manifest is None or manifest.tag != "streams":
+            raise ValueError(f"{directory}: not an engine-state directory")
+        engine = cls(default_now=default_now)
+        for entry in manifest.child_elements("stream"):
+            store = load_store(os.path.join(directory, entry.attrs["file"]))
+            if store.tag_structure is None:
+                raise ValueError(
+                    f"stream {entry.attrs['name']!r}: snapshot lacks a Tag Structure"
+                )
+            engine.register_stream(entry.attrs["name"], store.tag_structure, store)
+        return engine
+
+    # -- builtins bound to the stores -------------------------------------------------------
+
+    def _fn_get_fillers(self, ctx, args) -> list[Element]:
+        """``get_fillers(stream, ids)``: filler wrappers for hole ids.
+
+        With a single argument the engine must hold exactly one stream
+        (the paper's single-stream form ``get_fillers(0)``).
+        """
+        if len(args) == 1:
+            store = self._single_store()
+            ids_seq = args[0]
+        else:
+            store = self._store(_text(args[0]))
+            ids_seq = args[1]
+        ids: list[int] = []
+        for atom in atomize_sequence(ids_seq):
+            value = int(float(str(atom)))
+            if value not in ids:  # a hole id resolves once per call
+                ids.append(value)
+        return store.get_fillers_list(ids)
+
+    def _fn_get_fillers_by_tsid(self, ctx, args) -> list[Element]:
+        store = self._store(_text(args[0]))
+        tsid = int(float(str(atomize_sequence(args[1])[0])))
+        return store.get_fillers_by_tsid(tsid)
+
+    def _fn_materialized_view(self, ctx, args) -> list[Document]:
+        store = self._store(_text(args[0]))
+        return [temporalize(store)]
+
+    def _view_of_stream(self, name: str) -> list[Document]:
+        return [temporalize(self._store(name))]
+
+    def _single_store(self) -> FragmentStore:
+        if len(self.stores) != 1:
+            raise XQueryDynamicError(
+                "get_fillers(id) without a stream name requires exactly one "
+                "registered stream"
+            )
+        return next(iter(self.stores.values()))
+
+    def _resolve_hole(self, hole_id) -> list[Element]:
+        """Resolve a hole id across all registered stores.
+
+        Hole ids are allocated per stream; when several streams are
+        registered the first store that knows the id wins, so applications
+        correlating many streams should keep their id spaces disjoint.
+        """
+        if hole_id is None:
+            return []
+        target = int(hole_id)
+        for store in self.stores.values():
+            versions = store.versions_of(target)
+            if versions:
+                return versions
+        return []
+
+
+class _AnyArity:
+    """A permissive signature for engine-bound builtins during checking."""
+
+    min_arity = 0
+    max_arity = 99
+
+
+def _text(seq: list) -> str:
+    if not seq:
+        raise XQueryDynamicError("expected a stream name, got an empty sequence")
+    return str(atomize_sequence(seq)[0])

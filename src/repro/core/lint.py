@@ -1,0 +1,174 @@
+"""Static checking of XCQL queries against Tag Structures.
+
+The Figure 3 translation already *fails* on paths that do not exist in the
+schema; this linter reports richer, non-fatal diagnostics before execution:
+
+- ``unknown-path`` — a step cannot be resolved against the Tag Structure
+  (the translator would raise; the linter pinpoints it per step);
+- ``projection-on-snapshot`` — an interval/version projection applied
+  where only snapshot tags can flow; snapshots have no versions, so
+  ``#[..]`` selects at most version 1 and ``?[..]`` never clips (the query
+  is probably wrong);
+- ``event-version-range`` — a version range over an event tag: event
+  fragments coexist rather than replace, so ``#[n]`` picks by arrival
+  order — legal (the paper's tuple windows) but worth flagging when
+  combined with ``last`` ranges on temporal data;
+- ``unknown-stream`` — ``stream(x)`` names an unregistered stream.
+
+The linter never raises; it returns :class:`Diagnostic` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.translator import Strategy, TranslationError, Translator
+from repro.fragments.tagstructure import TagStructure, TagType
+from repro.xquery import xast
+from repro.xquery.parser import parse
+
+__all__ = ["Diagnostic", "lint_query"]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+def lint_query(source: str, tag_structures: dict[str, TagStructure]) -> list[Diagnostic]:
+    """Parse and check one XCQL query; returns diagnostics (possibly empty)."""
+    diagnostics: list[Diagnostic] = []
+    try:
+        module = parse(source, xcql=True)
+    except Exception as exc:  # syntax problems are reported, not raised
+        return [Diagnostic("syntax-error", str(exc))]
+
+    _scan(module.body, tag_structures, diagnostics)
+    for definition in module.functions:
+        _scan(definition.body, tag_structures, diagnostics)
+
+    # Let the translator try each registered strategy once; a failure is an
+    # unknown-path/unknown-stream diagnostic with the translator's message.
+    try:
+        Translator(tag_structures, Strategy.QAC).translate_module(module)
+    except TranslationError as exc:
+        code = "unknown-stream" if "unknown stream" in str(exc) else "unknown-path"
+        diagnostics.append(Diagnostic(code, str(exc)))
+    return _dedup(diagnostics)
+
+
+def _scan(node: object, structures: dict[str, TagStructure], out: list[Diagnostic]) -> None:
+    if isinstance(node, xast.FunctionCall) and node.name == "stream" and node.args:
+        name = node.args[0]
+        if isinstance(name, xast.Literal) and name.value not in structures:
+            out.append(
+                Diagnostic("unknown-stream", f"stream({name.value!r}) is not registered")
+            )
+    if isinstance(node, (xast.IntervalProjection, xast.VersionProjection)):
+        tags = _tags_of(node.base, structures)
+        if tags is not None and tags and all(t.type is TagType.SNAPSHOT for t in tags):
+            kind = "?" if isinstance(node, xast.IntervalProjection) else "#"
+            out.append(
+                Diagnostic(
+                    "projection-on-snapshot",
+                    f"`{kind}[...]` applied to snapshot-only path "
+                    f"{sorted(t.path() for t in tags)}: snapshots have a "
+                    "single version spanning [start, now]",
+                )
+            )
+        if (
+            isinstance(node, xast.VersionProjection)
+            and tags
+            and all(t.type is TagType.EVENT for t in tags or [])
+        ):
+            out.append(
+                Diagnostic(
+                    "event-version-range",
+                    "version range over event fragments selects by arrival "
+                    "order (events coexist; they are not replaced)",
+                )
+            )
+    for child in _children(node):
+        _scan(child, structures, out)
+
+
+def _tags_of(expr: object, structures: dict[str, TagStructure]):
+    """Resolve the tag set of a simple stream-rooted path, or None."""
+    if isinstance(expr, xast.PathExpr) and isinstance(expr.base, xast.FunctionCall):
+        call = expr.base
+        if call.name == "stream" and call.args and isinstance(call.args[0], xast.Literal):
+            structure = structures.get(call.args[0].value)
+            if structure is None:
+                return None
+            current = {structure.root}
+            wrapped = True
+            for step in expr.steps:
+                if step.axis == "child":
+                    if wrapped:
+                        current = {t for t in current if t.name == step.test}
+                    else:
+                        current = {
+                            child
+                            for tag in current
+                            for child in [tag.child(step.test)]
+                            if child is not None
+                        }
+                elif step.axis == "descendant-or-self":
+                    current = {
+                        found
+                        for tag in current
+                        for found in tag.descendants_named(step.test)
+                    }
+                else:
+                    return None
+                wrapped = False
+                if not current:
+                    return set()
+            return current
+    return None
+
+
+def _children(node: object) -> list:
+    import dataclasses
+
+    out: list = []
+    if not dataclasses.is_dataclass(node):
+        return out
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        _collect(value, out)
+    return out
+
+
+def _collect(value: object, out: list) -> None:
+    node_types = (
+        xast.Expr,
+        xast.Step,
+        xast.ForClause,
+        xast.LetClause,
+        xast.WhereClause,
+        xast.OrderByClause,
+        xast.OrderSpec,
+        xast.DirectAttribute,
+    )
+    if isinstance(value, node_types):
+        out.append(value)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _collect(item, out)
+
+
+def _dedup(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    seen: set[Diagnostic] = set()
+    out: list[Diagnostic] = []
+    for diagnostic in diagnostics:
+        if diagnostic not in seen:
+            seen.add(diagnostic)
+            out.append(diagnostic)
+    return out

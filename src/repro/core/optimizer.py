@@ -1,0 +1,199 @@
+"""Rewriting optimizations on translated queries (paper §8 future work).
+
+The paper: "Since our translation relies heavily on efficiency of the
+get_fillers function, we would like to research optimization techniques to
+unnest/fold the get_fillers functions using language rewriting rules."
+
+The translated form of a query like §3.1's Query 1 calls
+``get_fillers("credit", $a/hole/@id)`` three times per account tuple (in
+the window sum, the limit lookup, and the result constructor).  The
+:func:`hoist_common_fillers` rewrite detects repeated
+``get_fillers(<stream>, $v/hole/@id)`` calls inside a FLWOR and folds them
+into a single ``let`` binding placed right after ``$v`` is bound::
+
+    for $a in ...                      for $a in ...
+    where f(get_fillers($a/...))  =>   let $a__fillers := get_fillers($a/...)
+    return g(get_fillers($a/...))      where f($a__fillers)
+                                       return g($a__fillers)
+
+The rewrite is safe because ``get_fillers`` is pure with respect to one
+evaluation run (the store does not change during a query), and the hoisted
+expression depends only on the variable it follows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.xquery import xast
+
+__all__ = ["hoist_common_fillers", "count_calls"]
+
+_HOISTED_SUFFIX = "__fillers"
+
+
+def hoist_common_fillers(module: xast.Module) -> tuple[xast.Module, int]:
+    """Apply the let-hoisting rewrite; returns (module, hoisted count)."""
+    hoisted = [0]
+    body = _rewrite(module.body, hoisted)
+    functions = [
+        xast.FunctionDef(f.name, f.params, f.return_type, _rewrite(f.body, hoisted))
+        for f in module.functions
+    ]
+    return xast.Module(functions, body), hoisted[0]
+
+
+def count_calls(node: object, name: str) -> int:
+    """Number of FunctionCall nodes with the given name (for tests/stats)."""
+    count = 0
+    if isinstance(node, xast.FunctionCall) and node.name == name:
+        count += 1
+    for child in _children(node):
+        count += count_calls(child, name)
+    return count
+
+
+# ---------------------------------------------------------------------------
+# The rewrite
+# ---------------------------------------------------------------------------
+
+
+def _rewrite(node: object, hoisted: list[int]) -> object:
+    node = _map_children(node, lambda child: _rewrite(child, hoisted))
+    if isinstance(node, xast.FLWOR):
+        node = _hoist_in_flwor(node, hoisted)
+    return node
+
+
+def _hoist_in_flwor(flwor: xast.FLWOR, hoisted: list[int]) -> xast.FLWOR:
+    clauses = list(flwor.clauses)
+    return_expr = flwor.return_expr
+    insertions: list[tuple[int, xast.LetClause]] = []
+    for index, clause in enumerate(clauses):
+        if not isinstance(clause, (xast.ForClause, xast.LetClause)):
+            continue
+        var = clause.var
+        target = _fillers_call_for(var, clauses[index + 1 :], return_expr)
+        if target is None:
+            continue
+        alias = f"{var}{_HOISTED_SUFFIX}"
+        if any(
+            isinstance(c, (xast.ForClause, xast.LetClause)) and c.var == alias
+            for c in clauses
+        ):
+            continue  # already hoisted (idempotence)
+        replacement = xast.VarRef(alias)
+        for later_index in range(index + 1, len(clauses)):
+            clauses[later_index] = _substitute(clauses[later_index], target, replacement)
+        return_expr = _substitute(return_expr, target, replacement)
+        insertions.append((index + 1, xast.LetClause(alias, target)))
+        hoisted[0] += 1
+    for offset, (position, let_clause) in enumerate(insertions):
+        clauses.insert(position + offset, let_clause)
+    return xast.FLWOR(clauses, return_expr)
+
+
+def _fillers_call_for(var: str, clauses: list, return_expr) -> xast.FunctionCall | None:
+    """The repeated ``get_fillers(<lit>, $var/hole/@id)`` call, if any."""
+    candidates: dict[str, tuple[xast.FunctionCall, int]] = {}
+
+    def scan(node: object) -> None:
+        if _is_hole_fillers_call(node, var):
+            key = xast.to_source(node)
+            call, count = candidates.get(key, (node, 0))
+            candidates[key] = (call, count + 1)
+        for child in _children(node):
+            scan(child)
+
+    for clause in clauses:
+        scan(clause)
+    scan(return_expr)
+    repeated = [call for call, count in candidates.values() if count >= 2]
+    return repeated[0] if repeated else None
+
+
+def _is_hole_fillers_call(node: object, var: str) -> bool:
+    if not (isinstance(node, xast.FunctionCall) and node.name == "get_fillers"):
+        return False
+    if len(node.args) != 2:
+        return False
+    path = node.args[1]
+    if not (isinstance(path, xast.PathExpr) and isinstance(path.base, xast.VarRef)):
+        return False
+    if path.base.name != var:
+        return False
+    shape = [(step.axis, step.test, len(step.predicates)) for step in path.steps]
+    return shape == [("child", "hole", 0), ("attribute", "id", 0)]
+
+
+# ---------------------------------------------------------------------------
+# Generic AST plumbing (dataclass-field based)
+# ---------------------------------------------------------------------------
+
+_NODE_TYPES = (
+    xast.Expr,
+    xast.Step,
+    xast.ForClause,
+    xast.LetClause,
+    xast.WhereClause,
+    xast.OrderByClause,
+    xast.OrderSpec,
+    xast.DirectAttribute,
+)
+
+
+def _children(node: object) -> list:
+    out: list = []
+    if not dataclasses.is_dataclass(node):
+        return out
+    for field in dataclasses.fields(node):
+        _collect(getattr(node, field.name), out)
+    return out
+
+
+def _collect(value: object, out: list) -> None:
+    if isinstance(value, _NODE_TYPES):
+        out.append(value)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _collect(item, out)
+
+
+def _map_children(node: object, fn: Callable[[object], object]) -> object:
+    if not dataclasses.is_dataclass(node) or not isinstance(node, _NODE_TYPES):
+        return node
+    changed = False
+    updates = {}
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        new_value = _map_value(value, fn)
+        if new_value is not value:
+            changed = True
+        updates[field.name] = new_value
+    if not changed:
+        return node
+    return type(node)(**updates)
+
+
+def _map_value(value: object, fn: Callable[[object], object]) -> object:
+    if isinstance(value, _NODE_TYPES):
+        return fn(value)
+    if isinstance(value, list):
+        mapped = [_map_value(item, fn) for item in value]
+        if all(a is b for a, b in zip(mapped, value)):
+            return value
+        return mapped
+    if isinstance(value, tuple):
+        return tuple(_map_value(item, fn) for item in value)
+    return value
+
+
+def _substitute(node: object, target: xast.Expr, replacement: xast.Expr) -> object:
+    if node == target:
+        return replacement
+
+    def visit(child: object) -> object:
+        return _substitute(child, target, replacement)
+
+    return _map_children(node, visit)

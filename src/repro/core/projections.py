@@ -1,0 +1,22 @@
+"""Re-exports of the XCQL projection primitives.
+
+The native implementations live in
+:mod:`repro.xquery.temporal_functions`; this module gives them a stable
+home inside the core package, mirroring the paper's presentation (§6
+defines ``interval_projection`` / ``version_projection`` alongside the
+translation).
+"""
+
+from repro.xquery.temporal_functions import (
+    element_lifespan,
+    interval_project_nodes,
+    parse_vt,
+    version_project_nodes,
+)
+
+__all__ = [
+    "element_lifespan",
+    "interval_project_nodes",
+    "version_project_nodes",
+    "parse_vt",
+]

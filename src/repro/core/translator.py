@@ -1,0 +1,619 @@
+"""Schema-based XCQL → XQuery translation (paper Figure 3 and §6).
+
+The translator rewrites the *path traversal* parts of an XCQL query so that
+the rewritten query runs directly over filler fragments, never over the
+materialized temporal view.  Every expression is annotated during
+translation with its *tag structure* (the Figure 3 judgment
+``e : ts → e'``):
+
+- ``RAW`` annotations mean the expression yields raw fragment content at a
+  known set of Tag Structure nodes — fragmented children appear as
+  ``<hole>`` placeholders that path steps must cross with ``get_fillers``;
+- ``VIEW`` annotations mean the expression yields plain temporal-view data
+  (atomics, constructed elements, or projection output whose holes were
+  resolved in place) — path steps stay untouched.
+
+Three strategies reproduce the paper's §7 execution methods:
+
+- :data:`Strategy.CAQ` — *construct and query*: ``stream(x)`` becomes
+  ``materialized_view(x)`` (a full ``temporalize`` of the store) and the
+  whole query runs in view mode;
+- :data:`Strategy.QAC` — *query and construct*: paths resolve holes
+  top-down from the root fragment with ``get_fillers``, exactly as in the
+  paper's printed translations;
+- :data:`Strategy.QAC_PLUS` — like QaC, but a predicate-free navigation
+  prefix that lands on a unique fragmented tag is collapsed into a single
+  ``get_fillers_by_tsid`` call, skipping all hole reconciliation above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.fragments.tagstructure import TagNode, TagStructure
+from repro.xquery import xast
+from repro.xquery.errors import XQueryError
+
+__all__ = ["Strategy", "Translator", "TranslationError", "Annotation"]
+
+
+class TranslationError(XQueryError):
+    """Raised when a query path cannot be mapped onto the Tag Structure."""
+
+
+class Strategy(Enum):
+    """The three execution methods evaluated in the paper's §7."""
+
+    CAQ = "CaQ"
+    QAC = "QaC"
+    QAC_PLUS = "QaC+"
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """The translation-time type of an expression (its tag structure)."""
+
+    mode: str  # "raw" | "view"
+    tags: frozenset = frozenset()
+    stream: Optional[str] = None
+    wrapped: bool = False  # raw filler wrappers (output of get_fillers)
+
+    @classmethod
+    def view(cls) -> "Annotation":
+        return cls("view")
+
+    @classmethod
+    def raw(cls, tags, stream: str, wrapped: bool = False) -> "Annotation":
+        return cls("raw", frozenset(tags), stream, wrapped)
+
+    @property
+    def is_raw(self) -> bool:
+        return self.mode == "raw"
+
+
+_VIEW = Annotation.view()
+
+
+@dataclass
+class _Env:
+    """Variable annotations in scope during translation."""
+
+    bindings: dict = field(default_factory=dict)
+
+    def child(self, name: str, annotation: Annotation) -> "_Env":
+        bindings = dict(self.bindings)
+        bindings[name] = annotation
+        return _Env(bindings)
+
+    def get(self, name: str) -> Annotation:
+        return self.bindings.get(name, _VIEW)
+
+
+class Translator:
+    """Translates XCQL modules into fragment-level XQuery modules."""
+
+    def __init__(self, tag_structures: dict[str, TagStructure], strategy: Strategy):
+        self.tag_structures = dict(tag_structures)
+        self.strategy = strategy
+
+    # -- entry point -------------------------------------------------------------
+
+    def translate_module(self, module: xast.Module) -> xast.Module:
+        """Translate a parsed XCQL module (user functions stay untouched)."""
+        body, _annotation = self.translate(module.body, _Env())
+        return xast.Module(list(module.functions), body)
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def translate(self, expr: xast.Expr, env: _Env) -> tuple[xast.Expr, Annotation]:
+        """Translate one expression; returns (expr', annotation)."""
+        if isinstance(expr, xast.FunctionCall):
+            return self._translate_call(expr, env)
+        if isinstance(expr, xast.PathExpr):
+            return self._translate_path(expr, env)
+        if isinstance(expr, xast.Filter):
+            base, annotation = self.translate(expr.base, env)
+            predicate, _p = self.translate_in_context(expr.predicate, env, annotation)
+            return xast.Filter(base, predicate), annotation
+        if isinstance(expr, xast.IntervalProjection):
+            base, _a = self.translate(expr.base, env)
+            begin, _b = self.translate(expr.begin, env)
+            end, _e = self.translate(expr.end, env)
+            return xast.IntervalProjection(base, begin, end), _VIEW
+        if isinstance(expr, xast.VersionProjection):
+            base, _a = self.translate(expr.base, env)
+            begin, _b = self.translate(expr.begin, env)
+            end, _e = self.translate(expr.end, env)
+            return xast.VersionProjection(base, begin, end), _VIEW
+        if isinstance(expr, xast.FLWOR):
+            return self._translate_flwor(expr, env)
+        if isinstance(expr, xast.Quantified):
+            bindings = []
+            inner = env
+            for var, source in expr.bindings:
+                translated, annotation = self.translate(source, inner)
+                bindings.append((var, translated))
+                inner = inner.child(var, annotation)
+            satisfies, _s = self.translate(expr.satisfies, inner)
+            return xast.Quantified(expr.kind, bindings, satisfies), _VIEW
+        if isinstance(expr, xast.VarRef):
+            return expr, env.get(expr.name)
+        if isinstance(expr, xast.BinOp):
+            left, _l = self.translate(expr.left, env)
+            right, _r = self.translate(expr.right, env)
+            return xast.BinOp(expr.op, left, right), _VIEW
+        if isinstance(expr, xast.UnaryOp):
+            operand, _o = self.translate(expr.operand, env)
+            return xast.UnaryOp(expr.op, operand), _VIEW
+        if isinstance(expr, xast.IfExpr):
+            condition, _c = self.translate(expr.condition, env)
+            then, _t = self.translate(expr.then, env)
+            otherwise, _e = self.translate(expr.otherwise, env)
+            return xast.IfExpr(condition, then, otherwise), _VIEW
+        if isinstance(expr, xast.SequenceExpr):
+            items = [self.translate(item, env)[0] for item in expr.items]
+            return xast.SequenceExpr(items), _VIEW
+        if isinstance(expr, xast.DirectElement):
+            attributes = [
+                xast.DirectAttribute(
+                    attribute.name,
+                    [
+                        part if isinstance(part, str) else self.translate(part, env)[0]
+                        for part in attribute.parts
+                    ],
+                )
+                for attribute in expr.attributes
+            ]
+            content = [
+                part if isinstance(part, str) else self.translate(part, env)[0]
+                for part in expr.content
+            ]
+            return xast.DirectElement(expr.name, attributes, content), _VIEW
+        if isinstance(expr, xast.ComputedElement):
+            name = expr.name if isinstance(expr.name, str) else self.translate(expr.name, env)[0]
+            content = self.translate(expr.content, env)[0] if expr.content else None
+            return xast.ComputedElement(name, content), _VIEW
+        if isinstance(expr, xast.ComputedAttribute):
+            name = expr.name if isinstance(expr.name, str) else self.translate(expr.name, env)[0]
+            content = self.translate(expr.content, env)[0] if expr.content else None
+            return xast.ComputedAttribute(name, content), _VIEW
+        if isinstance(expr, xast.ComputedText):
+            content = self.translate(expr.content, env)[0] if expr.content else None
+            return xast.ComputedText(content), _VIEW
+        if isinstance(expr, xast.CastExpr):
+            inner, _i = self.translate(expr.expr, env)
+            return xast.CastExpr(inner, expr.type_name), _VIEW
+        # Literals, constants, context item: untouched.
+        return expr, _VIEW
+
+    def translate_in_context(
+        self, expr: xast.Expr, env: _Env, context: Annotation
+    ) -> tuple[xast.Expr, Annotation]:
+        """Translate a predicate whose relative paths start at ``context``."""
+        if isinstance(expr, xast.PathExpr) and expr.base is None:
+            return self._steps_from(xast.ContextItem(), context, expr.steps, env)
+        if isinstance(expr, xast.BinOp):
+            left, _l = self.translate_in_context(expr.left, env, context)
+            right, _r = self.translate_in_context(expr.right, env, context)
+            return xast.BinOp(expr.op, left, right), _VIEW
+        if isinstance(expr, xast.UnaryOp):
+            operand, _o = self.translate_in_context(expr.operand, env, context)
+            return xast.UnaryOp(expr.op, operand), _VIEW
+        if isinstance(expr, xast.FunctionCall):
+            args = [self.translate_in_context(arg, env, context)[0] for arg in expr.args]
+            return xast.FunctionCall(expr.name, args), _VIEW
+        if isinstance(expr, xast.IntervalProjection):
+            base, _a = self.translate_in_context(expr.base, env, context)
+            begin, _b = self.translate_in_context(expr.begin, env, context)
+            end, _e = self.translate_in_context(expr.end, env, context)
+            return xast.IntervalProjection(base, begin, end), _VIEW
+        if isinstance(expr, xast.VersionProjection):
+            base, _a = self.translate_in_context(expr.base, env, context)
+            begin, _b = self.translate_in_context(expr.begin, env, context)
+            end, _e = self.translate_in_context(expr.end, env, context)
+            return xast.VersionProjection(base, begin, end), _VIEW
+        if isinstance(expr, xast.Filter):
+            base, annotation = self.translate_in_context(expr.base, env, context)
+            predicate, _p = self.translate_in_context(expr.predicate, env, annotation)
+            return xast.Filter(base, predicate), annotation
+        return self.translate(expr, env)
+
+    # -- FLWOR ----------------------------------------------------------------------
+
+    def _translate_flwor(self, expr: xast.FLWOR, env: _Env) -> tuple[xast.Expr, Annotation]:
+        clauses: list = []
+        inner = env
+        for clause in expr.clauses:
+            if isinstance(clause, xast.ForClause):
+                source, annotation = self.translate(clause.expr, inner)
+                clauses.append(xast.ForClause(clause.var, source, clause.position_var))
+                inner = inner.child(clause.var, self._element_of(annotation))
+                if clause.position_var:
+                    inner = inner.child(clause.position_var, _VIEW)
+            elif isinstance(clause, xast.LetClause):
+                source, annotation = self.translate(clause.expr, inner)
+                clauses.append(xast.LetClause(clause.var, source))
+                inner = inner.child(clause.var, annotation)
+            elif isinstance(clause, xast.WhereClause):
+                condition, _c = self.translate(clause.expr, inner)
+                clauses.append(xast.WhereClause(condition))
+            elif isinstance(clause, xast.OrderByClause):
+                specs = [
+                    xast.OrderSpec(
+                        self.translate(spec.expr, inner)[0],
+                        spec.descending,
+                        spec.empty_least,
+                    )
+                    for spec in clause.specs
+                ]
+                clauses.append(xast.OrderByClause(specs, clause.stable))
+        return_expr, _r = self.translate(expr.return_expr, inner)
+        return xast.FLWOR(clauses, return_expr), _VIEW
+
+    @staticmethod
+    def _element_of(annotation: Annotation) -> Annotation:
+        """The annotation of one item drawn from a sequence annotation."""
+        if annotation.is_raw and annotation.wrapped:
+            # Iterating filler wrappers yields wrappers; keep as-is.
+            return annotation
+        return annotation
+
+    # -- stream access ----------------------------------------------------------------
+
+    def _translate_call(self, expr: xast.FunctionCall, env: _Env) -> tuple[xast.Expr, Annotation]:
+        if expr.name == "stream" and len(expr.args) == 1:
+            name = self._stream_name(expr.args[0])
+            structure = self._structure(name)
+            if self.strategy is Strategy.CAQ:
+                return (
+                    xast.FunctionCall("materialized_view", [xast.Literal(name)]),
+                    _VIEW,
+                )
+            return (
+                xast.FunctionCall(
+                    "get_fillers", [xast.Literal(name), xast.Literal(0)]
+                ),
+                Annotation.raw({structure.root}, name, wrapped=True),
+            )
+        args = [self.translate(arg, env)[0] for arg in expr.args]
+        return xast.FunctionCall(expr.name, args), _VIEW
+
+    def _stream_name(self, arg: xast.Expr) -> str:
+        if isinstance(arg, xast.Literal) and isinstance(arg.value, str):
+            return arg.value
+        raise TranslationError("stream() requires a string literal stream name")
+
+    def _structure(self, name: str) -> TagStructure:
+        structure = self.tag_structures.get(name)
+        if structure is None:
+            raise TranslationError(f"unknown stream {name!r} (no tag structure registered)")
+        return structure
+
+    # -- paths -------------------------------------------------------------------------
+
+    def _translate_path(self, expr: xast.PathExpr, env: _Env) -> tuple[xast.Expr, Annotation]:
+        if expr.base is None:
+            raise TranslationError(
+                "relative path outside a predicate cannot be translated"
+            )
+        base, annotation = self.translate(expr.base, env)
+        if (
+            self.strategy is Strategy.QAC_PLUS
+            and annotation.is_raw
+            and annotation.wrapped
+            and isinstance(expr.base, xast.FunctionCall)
+            and expr.base.name == "stream"
+        ):
+            shortcut = self._try_tsid_shortcut(annotation, expr.steps, env)
+            if shortcut is not None:
+                return shortcut
+        return self._steps_from(base, annotation, expr.steps, env)
+
+    def _steps_from(
+        self,
+        base: xast.Expr,
+        annotation: Annotation,
+        steps: list[xast.Step],
+        env: _Env,
+    ) -> tuple[xast.Expr, Annotation]:
+        expr = base
+        for step in steps:
+            expr, annotation = self._apply_step(expr, annotation, step, env)
+        return expr, annotation
+
+    def _apply_step(
+        self,
+        expr: xast.Expr,
+        annotation: Annotation,
+        step: xast.Step,
+        env: _Env,
+    ) -> tuple[xast.Expr, Annotation]:
+        if not annotation.is_raw:
+            # View mode: the step stays as written (predicates recurse).
+            predicates = [
+                self.translate_in_context(p, env, _VIEW)[0] for p in step.predicates
+            ]
+            return (
+                _extend_path(expr, xast.Step(step.axis, step.test, predicates)),
+                _VIEW,
+            )
+
+        stream = annotation.stream
+        assert stream is not None
+
+        if step.axis in ("attribute", "descendant-attribute"):
+            predicates = [
+                self.translate_in_context(p, env, _VIEW)[0] for p in step.predicates
+            ]
+            return (
+                _extend_path(expr, xast.Step(step.axis, step.test, predicates)),
+                _VIEW,
+            )
+        if step.test in ("text()", "node()") or step.axis in ("self", "parent"):
+            predicates = [
+                self.translate_in_context(p, env, annotation)[0]
+                for p in step.predicates
+            ]
+            return (
+                _extend_path(expr, xast.Step(step.axis, step.test, predicates)),
+                annotation,
+            )
+
+        if annotation.wrapped:
+            return self._unwrap_step(expr, annotation, step, env)
+
+        if step.axis == "child":
+            return self._child_step(expr, annotation, step, env)
+        if step.axis == "descendant-or-self":
+            return self._descendant_step(expr, annotation, step, env)
+        raise TranslationError(f"unsupported axis {step.axis!r} in raw mode")
+
+    def _unwrap_step(
+        self,
+        expr: xast.Expr,
+        annotation: Annotation,
+        step: xast.Step,
+        env: _Env,
+    ) -> tuple[xast.Expr, Annotation]:
+        """A step applied to filler wrappers selects version elements."""
+        if step.axis == "child":
+            if step.test == "*":
+                matching = set(annotation.tags)
+            else:
+                matching = {t for t in annotation.tags if t.name == step.test}
+                if not matching:
+                    raise TranslationError(
+                        f"no fragment tag named {step.test!r} inside filler wrapper"
+                    )
+            inner = Annotation.raw(matching, annotation.stream)
+            predicates = [
+                self.translate_in_context(p, env, inner)[0] for p in step.predicates
+            ]
+            return (
+                _extend_path(expr, xast.Step("child", step.test, predicates)),
+                inner,
+            )
+        if step.axis == "descendant-or-self":
+            # Unwrap first, then resolve the descendant against the schema.
+            inner = Annotation.raw(set(annotation.tags), annotation.stream)
+            unwrapped = _extend_path(expr, xast.Step("child", "*"))
+            return self._descendant_step(unwrapped, inner, step, env)
+        raise TranslationError(f"unsupported axis {step.axis!r} on filler wrappers")
+
+    def _child_step(
+        self,
+        expr: xast.Expr,
+        annotation: Annotation,
+        step: xast.Step,
+        env: _Env,
+    ) -> tuple[xast.Expr, Annotation]:
+        stream = annotation.stream
+        if step.test == "hole":
+            # Explicit hole navigation (the paper's own fragment-level
+            # idiom, e.g. get_fillers($a/hole/@id)) passes through.
+            predicates = [
+                self.translate_in_context(p, env, _VIEW)[0] for p in step.predicates
+            ]
+            return (
+                _extend_path(expr, xast.Step("child", "hole", predicates)),
+                _VIEW,
+            )
+        if step.test == "*":
+            # Figure 3: e/* expands to the union of e/ci over all children.
+            alternatives = []
+            result_tags: set = set()
+            for tag in sorted(annotation.tags, key=lambda t: t.tsid):
+                for child in tag.children:
+                    named = xast.Step("child", child.name, list(step.predicates))
+                    alternative, child_annotation = self._child_step(
+                        expr, Annotation.raw({tag}, stream), named, env
+                    )
+                    alternatives.append(alternative)
+                    result_tags.update(child_annotation.tags)
+            if not alternatives:
+                raise TranslationError("wildcard step on a leaf tag")
+            combined = _combine(alternatives)
+            return combined, Annotation.raw(result_tags, stream)
+
+        snapshot_parents = []
+        fragmented_targets = []
+        for tag in annotation.tags:
+            child = tag.child(step.test)
+            if child is None:
+                continue
+            if child.type.is_fragmented:
+                fragmented_targets.append(child)
+            else:
+                snapshot_parents.append(child)
+        if not snapshot_parents and not fragmented_targets:
+            raise TranslationError(
+                f"no child tag {step.test!r} under "
+                f"{sorted(t.path() for t in annotation.tags)}"
+            )
+
+        alternatives = []
+        result_tags: set = set()
+        if snapshot_parents:
+            inner = Annotation.raw(set(snapshot_parents), stream)
+            predicates = [
+                self.translate_in_context(p, env, inner)[0] for p in step.predicates
+            ]
+            alternatives.append(
+                _extend_path(expr, xast.Step("child", step.test, predicates))
+            )
+            result_tags.update(snapshot_parents)
+        if fragmented_targets:
+            inner = Annotation.raw(set(fragmented_targets), stream)
+            predicates = [
+                self.translate_in_context(p, env, inner)[0] for p in step.predicates
+            ]
+            hole_ids = _extend_path(
+                _extend_path(expr, xast.Step("child", "hole")),
+                xast.Step("attribute", "id"),
+            )
+            fillers = xast.FunctionCall(
+                "get_fillers", [xast.Literal(stream), hole_ids]
+            )
+            alternatives.append(
+                _extend_path(fillers, xast.Step("child", step.test, predicates))
+            )
+            result_tags.update(fragmented_targets)
+        return _combine(alternatives), Annotation.raw(result_tags, stream)
+
+    def _descendant_step(
+        self,
+        expr: xast.Expr,
+        annotation: Annotation,
+        step: xast.Step,
+        env: _Env,
+    ) -> tuple[xast.Expr, Annotation]:
+        """Expand ``//name`` into explicit child chains using the schema."""
+        stream = annotation.stream
+        if step.test == "*":
+            raise TranslationError("//* is not supported; name the target tag")
+        alternatives = []
+        result_tags: set = set()
+        for tag in sorted(annotation.tags, key=lambda t: t.tsid):
+            for target in tag.descendants_named(step.test):
+                chain = _chain_between(tag, target)
+                if chain is None:
+                    continue
+                current_expr = expr
+                current_annotation = Annotation.raw({tag}, stream)
+                for index, name in enumerate(chain):
+                    last = index == len(chain) - 1
+                    chained = xast.Step(
+                        "child", name, list(step.predicates) if last else []
+                    )
+                    current_expr, current_annotation = self._child_step(
+                        current_expr, current_annotation, chained, env
+                    )
+                if not chain:
+                    # self match: the tag itself is named `test`
+                    predicates = [
+                        self.translate_in_context(p, env, current_annotation)[0]
+                        for p in step.predicates
+                    ]
+                    for predicate in predicates:
+                        current_expr = xast.Filter(current_expr, predicate)
+                alternatives.append(current_expr)
+                result_tags.update(current_annotation.tags)
+        if not alternatives:
+            raise TranslationError(
+                f"no descendant tag {step.test!r} under "
+                f"{sorted(t.path() for t in annotation.tags)}"
+            )
+        return _combine(alternatives), Annotation.raw(result_tags, stream)
+
+    # -- QaC+ -------------------------------------------------------------------------
+
+    def _try_tsid_shortcut(
+        self, annotation: Annotation, steps: list[xast.Step], env: _Env
+    ) -> Optional[tuple[xast.Expr, Annotation]]:
+        """Collapse a clean navigation prefix into one tsid-indexed fetch.
+
+        Walks the steps against the Tag Structure while they are pure
+        navigation (child/descendant element steps without predicates) and
+        remembers the deepest position that resolves to a *single
+        fragmented* tag.  Everything above it is dropped in favour of
+        ``get_fillers_by_tsid``; remaining steps (and the landing step's own
+        predicates) translate with the ordinary QaC rules.
+        """
+        stream = annotation.stream
+        assert stream is not None
+        current: set[TagNode] = set(annotation.tags)
+        wrapped = annotation.wrapped
+        best: Optional[tuple[int, TagNode]] = None
+        for index, step in enumerate(steps):
+            if step.axis == "child":
+                if wrapped:
+                    # The first step on a filler wrapper selects the version
+                    # elements themselves, not their children.
+                    nxt = {tag for tag in current if tag.name == step.test}
+                else:
+                    nxt = set()
+                    for tag in current:
+                        child = tag.child(step.test)
+                        if child is not None:
+                            nxt.add(child)
+            elif step.axis == "descendant-or-self":
+                nxt = set()
+                for tag in current:
+                    nxt.update(tag.descendants_named(step.test))
+            else:
+                break
+            wrapped = False
+            if not nxt:
+                return None  # let the QaC rules raise a precise error
+            if len(nxt) == 1:
+                only = next(iter(nxt))
+                if only.type.is_fragmented:
+                    best = (index, only)
+            current = nxt
+            if step.predicates:
+                break
+        if best is None:
+            return None
+        index, target = best
+        landing_annotation = Annotation.raw({target}, stream)
+        predicates = [
+            self.translate_in_context(p, env, landing_annotation)[0]
+            for p in steps[index].predicates
+        ]
+        fetched = xast.FunctionCall(
+            "get_fillers_by_tsid", [xast.Literal(stream), xast.Literal(target.tsid)]
+        )
+        landed = _extend_path(fetched, xast.Step("child", target.name, predicates))
+        return self._steps_from(landed, landing_annotation, steps[index + 1 :], env)
+
+
+def _extend_path(expr: xast.Expr, step: xast.Step) -> xast.Expr:
+    if isinstance(expr, xast.PathExpr):
+        return xast.PathExpr(expr.base, expr.steps + [step])
+    return xast.PathExpr(expr, [step])
+
+
+def _combine(alternatives: list[xast.Expr]) -> xast.Expr:
+    if len(alternatives) == 1:
+        return alternatives[0]
+    combined = alternatives[0]
+    for alternative in alternatives[1:]:
+        combined = xast.BinOp("|", combined, alternative)
+    return combined
+
+
+def _chain_between(ancestor: TagNode, descendant: TagNode) -> Optional[list[str]]:
+    """Child-name chain from ``ancestor`` down to ``descendant``.
+
+    Returns ``[]`` when they are the same node, or None when unrelated.
+    """
+    chain: list[str] = []
+    node: Optional[TagNode] = descendant
+    while node is not None and node is not ancestor:
+        chain.append(node.name)
+        node = node.parent
+    if node is None:
+        return None
+    return list(reversed(chain))

@@ -1,0 +1,346 @@
+"""XML node model with parent links and document order.
+
+XQuery path evaluation needs four things from the node model: child/parent
+navigation, attributes, string values, and a stable *document order* so that
+path results can be returned sorted and de-duplicated.  Document order is
+realized with per-tree monotone serial numbers that are renumbered lazily
+after structural mutation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Optional
+
+__all__ = [
+    "Node",
+    "Document",
+    "Element",
+    "Text",
+    "Comment",
+    "ProcessingInstruction",
+    "Attr",
+    "document_order_key",
+    "sort_document_order",
+]
+
+_tree_ids = itertools.count(1)
+
+
+class Node:
+    """Base class for all tree nodes."""
+
+    __slots__ = ("parent", "_serial")
+
+    def __init__(self) -> None:
+        self.parent: Optional[_Container] = None
+        self._serial: int = 0
+
+    # -- tree structure -------------------------------------------------------
+
+    @property
+    def children(self) -> list["Node"]:
+        """Child nodes (empty for leaves)."""
+        return []
+
+    def root(self) -> "Node":
+        """The topmost ancestor of this node (the node itself if detached)."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Ancestors from parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    # -- values ----------------------------------------------------------------
+
+    def string_value(self) -> str:
+        """The XPath string value (concatenated descendant text)."""
+        raise NotImplementedError
+
+    # -- document order ----------------------------------------------------------
+
+    def _order(self) -> tuple[int, int]:
+        root = self.root()
+        if isinstance(root, _Container) and root._dirty:
+            root._renumber()
+        tree_id = root._tree_id if isinstance(root, _Container) else id(root)
+        return (tree_id, self._serial)
+
+
+class _Container(Node):
+    """A node that owns an ordered list of children."""
+
+    __slots__ = ("_children", "_tree_id", "_dirty")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._children: list[Node] = []
+        self._tree_id = next(_tree_ids)
+        self._dirty = True
+
+    @property
+    def children(self) -> list[Node]:
+        return self._children
+
+    def append(self, node: Node) -> Node:
+        """Attach ``node`` as the last child and return it."""
+        if node.parent is not None:
+            node.parent.remove(node)
+        node.parent = self
+        self._children.append(node)
+        self._mark_dirty()
+        return node
+
+    def insert(self, index: int, node: Node) -> Node:
+        """Attach ``node`` at position ``index`` and return it."""
+        if node.parent is not None:
+            node.parent.remove(node)
+        node.parent = self
+        self._children.insert(index, node)
+        self._mark_dirty()
+        return node
+
+    def remove(self, node: Node) -> None:
+        """Detach a direct child."""
+        self._children.remove(node)
+        node.parent = None
+        self._mark_dirty()
+
+    def extend(self, nodes: Iterable[Node]) -> None:
+        """Append each node in order."""
+        for node in nodes:
+            self.append(node)
+
+    def _mark_dirty(self) -> None:
+        root = self.root()
+        if isinstance(root, _Container):
+            root._dirty = True
+
+    def _renumber(self) -> None:
+        serial = itertools.count()
+        for node in _walk(self):
+            node._serial = next(serial)
+        self._dirty = False
+
+    # -- traversal ---------------------------------------------------------------
+
+    def iter(self) -> Iterator[Node]:
+        """This node followed by all descendants in document order."""
+        return _walk(self)
+
+    def iter_elements(self) -> Iterator["Element"]:
+        """All descendant elements (excluding self) in document order."""
+        for node in _walk(self):
+            if node is not self and isinstance(node, Element):
+                yield node
+
+    def string_value(self) -> str:
+        return "".join(
+            node.text for node in _walk(self) if isinstance(node, Text)
+        )
+
+
+def _walk(node: Node) -> Iterator[Node]:
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(current.children))
+
+
+class Document(_Container):
+    """A document node; its single element child is the document element."""
+
+    __slots__ = ()
+
+    @property
+    def document_element(self) -> Optional["Element"]:
+        """The root element, or ``None`` for an empty document."""
+        for child in self._children:
+            if isinstance(child, Element):
+                return child
+        return None
+
+    def __repr__(self) -> str:
+        root = self.document_element
+        return f"<Document root={root.tag if root else None!r}>"
+
+
+class Element(_Container):
+    """An element with a tag name, ordered attributes and children."""
+
+    __slots__ = ("tag", "attrs")
+
+    def __init__(self, tag: str, attrs: Optional[dict[str, str]] = None):
+        super().__init__()
+        self.tag = tag
+        self.attrs: dict[str, str] = dict(attrs) if attrs else {}
+
+    # -- attribute helpers --------------------------------------------------------
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Attribute value by name."""
+        return self.attrs.get(name, default)
+
+    def set(self, name: str, value: str) -> None:
+        """Set an attribute."""
+        self.attrs[name] = str(value)
+
+    def attribute_nodes(self) -> list["Attr"]:
+        """Attributes wrapped as nodes (for ``@name`` path steps)."""
+        return [Attr(name, value, self) for name, value in self.attrs.items()]
+
+    # -- child helpers --------------------------------------------------------------
+
+    def child_elements(self, tag: Optional[str] = None) -> list["Element"]:
+        """Direct child elements, optionally filtered by tag name."""
+        return [
+            child
+            for child in self._children
+            if isinstance(child, Element) and (tag is None or child.tag == tag)
+        ]
+
+    def first(self, tag: str) -> Optional["Element"]:
+        """First direct child element with the given tag, if any."""
+        for child in self._children:
+            if isinstance(child, Element) and child.tag == tag:
+                return child
+        return None
+
+    def text(self) -> str:
+        """Concatenated text of *direct* text children."""
+        return "".join(
+            child.text for child in self._children if isinstance(child, Text)
+        )
+
+    def add_text(self, text: str) -> "Element":
+        """Append a text child and return self (builder convenience)."""
+        self.append(Text(text))
+        return self
+
+    def copy(self, deep: bool = True) -> "Element":
+        """A detached copy of this element (deep by default)."""
+        clone = Element(self.tag, dict(self.attrs))
+        if deep:
+            for child in self._children:
+                if isinstance(child, Element):
+                    clone.append(child.copy())
+                elif isinstance(child, Text):
+                    clone.append(Text(child.text))
+                elif isinstance(child, Comment):
+                    clone.append(Comment(child.text))
+                elif isinstance(child, ProcessingInstruction):
+                    clone.append(ProcessingInstruction(child.target, child.text))
+        return clone
+
+    def __repr__(self) -> str:
+        return f"<Element {self.tag!r} attrs={self.attrs} children={len(self._children)}>"
+
+
+class Text(Node):
+    """A text node."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        super().__init__()
+        self.text = str(text)
+
+    def string_value(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:
+        return f"<Text {self.text!r}>"
+
+
+class Comment(Node):
+    """A comment node (``<!-- ... -->``)."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        super().__init__()
+        self.text = text
+
+    def string_value(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:
+        return f"<Comment {self.text!r}>"
+
+
+class ProcessingInstruction(Node):
+    """A processing instruction (``<?target data?>``)."""
+
+    __slots__ = ("target", "text")
+
+    def __init__(self, target: str, text: str = ""):
+        super().__init__()
+        self.target = target
+        self.text = text
+
+    def string_value(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:
+        return f"<PI {self.target!r} {self.text!r}>"
+
+
+class Attr(Node):
+    """An attribute projected as a node by an ``@name`` step.
+
+    Attribute nodes are ephemeral wrappers over the owning element's
+    ``attrs`` mapping; they compare equal when they wrap the same attribute
+    of the same element.
+    """
+
+    __slots__ = ("name", "value", "owner")
+
+    def __init__(self, name: str, value: str, owner: Optional[Element] = None):
+        super().__init__()
+        self.name = name
+        self.value = value
+        self.owner = owner
+
+    def string_value(self) -> str:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attr):
+            return NotImplemented
+        return self.name == other.name and self.owner is other.owner
+
+    def __hash__(self) -> int:
+        return hash((self.name, id(self.owner)))
+
+    def _order(self) -> tuple[int, int]:
+        if self.owner is not None:
+            tree, serial = self.owner._order()
+            return (tree, serial)
+        return (id(self), 0)
+
+    def __repr__(self) -> str:
+        return f"<Attr {self.name}={self.value!r}>"
+
+
+def document_order_key(node: Node) -> tuple[int, int]:
+    """A sort key realizing document order (stable across one tree)."""
+    return node._order()
+
+
+def sort_document_order(nodes: Iterable[Node]) -> list[Node]:
+    """Sort nodes into document order and drop duplicates (identity-based)."""
+    seen: set[int] = set()
+    unique: list[Node] = []
+    for node in nodes:
+        if id(node) not in seen:
+            seen.add(id(node))
+            unique.append(node)
+    unique.sort(key=document_order_key)
+    return unique

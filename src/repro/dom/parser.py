@@ -1,0 +1,285 @@
+"""A hand-written XML parser producing :mod:`repro.dom.nodes` trees.
+
+Supports the XML subset the paper's streams use: elements, attributes
+(single- or double-quoted), character data, the five predefined entities,
+numeric character references, CDATA sections, comments, processing
+instructions and an internal-subset DOCTYPE (captured verbatim so
+:mod:`repro.dom.dtd` can interpret it).  Namespace prefixes are kept as part
+of the tag name (the paper writes ``stream:structure`` without declaring a
+binding).
+
+Errors carry line/column positions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.dom.nodes import (
+    Comment,
+    Document,
+    Element,
+    ProcessingInstruction,
+    Text,
+)
+
+__all__ = ["XMLParseError", "parse_document", "parse_fragment"]
+
+_NAME_RE = re.compile(r"[A-Za-z_:][\w.\-:]*")
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+class XMLParseError(ValueError):
+    """Raised on malformed XML input, with a line/column position."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class _Scanner:
+    """Character scanner with line/column tracking."""
+
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, ahead: int = 0) -> str:
+        index = self.pos + ahead
+        return self.text[index] if index < self.length else ""
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def location(self) -> tuple[int, int]:
+        line = self.text.count("\n", 0, self.pos) + 1
+        last_nl = self.text.rfind("\n", 0, self.pos)
+        return line, self.pos - last_nl
+
+    def error(self, message: str) -> XMLParseError:
+        line, column = self.location()
+        return XMLParseError(message, line, column)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.startswith(literal):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def read_name(self) -> str:
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise self.error("expected an XML name")
+        self.pos = match.end()
+        return match.group()
+
+    def read_until(self, terminator: str) -> str:
+        index = self.text.find(terminator, self.pos)
+        if index < 0:
+            raise self.error(f"unterminated construct (missing {terminator!r})")
+        chunk = self.text[self.pos : index]
+        self.pos = index + len(terminator)
+        return chunk
+
+
+def _decode_entities(raw: str, scanner: _Scanner) -> str:
+    """Expand entity and character references in character data."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    index = 0
+    while True:
+        amp = raw.find("&", index)
+        if amp < 0:
+            out.append(raw[index:])
+            break
+        out.append(raw[index:amp])
+        semi = raw.find(";", amp + 1)
+        if semi < 0:
+            raise scanner.error("unterminated entity reference")
+        entity = raw[amp + 1 : semi]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            out.append(chr(int(entity[2:], 16)))
+        elif entity.startswith("#"):
+            out.append(chr(int(entity[1:])))
+        elif entity in _ENTITIES:
+            out.append(_ENTITIES[entity])
+        else:
+            raise scanner.error(f"unknown entity &{entity};")
+        index = semi + 1
+    return "".join(out)
+
+
+class _Parser:
+    def __init__(self, text: str, keep_whitespace: bool):
+        self.scanner = _Scanner(text)
+        self.keep_whitespace = keep_whitespace
+
+    # -- document-level -------------------------------------------------------
+
+    def parse_document(self) -> Document:
+        document = Document()
+        scanner = self.scanner
+        self._parse_misc(document)
+        if scanner.at_end() or scanner.peek() != "<":
+            raise scanner.error("expected document element")
+        element = self._parse_element()
+        document.append(element)
+        self._parse_misc(document)
+        if not scanner.at_end():
+            raise scanner.error("content after document element")
+        return document
+
+    def parse_content_fragment(self) -> list:
+        """Parse mixed content until EOF (used for fragment payloads)."""
+        nodes = self._parse_content(until_close=False)
+        return nodes
+
+    def _parse_misc(self, document: Document) -> None:
+        """Prolog/epilog items: XML decl, comments, PIs, DOCTYPE."""
+        scanner = self.scanner
+        while True:
+            scanner.skip_whitespace()
+            if scanner.startswith("<?xml"):
+                scanner.read_until("?>")
+            elif scanner.startswith("<?"):
+                document.append(self._parse_pi())
+            elif scanner.startswith("<!--"):
+                document.append(self._parse_comment())
+            elif scanner.startswith("<!DOCTYPE"):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_doctype(self) -> None:
+        scanner = self.scanner
+        scanner.expect("<!DOCTYPE")
+        depth = 0
+        while not scanner.at_end():
+            char = scanner.peek()
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            elif char == ">" and depth <= 0:
+                scanner.advance()
+                return
+            scanner.advance()
+        raise scanner.error("unterminated DOCTYPE")
+
+    # -- element-level ----------------------------------------------------------
+
+    def _parse_element(self) -> Element:
+        scanner = self.scanner
+        scanner.expect("<")
+        tag = scanner.read_name()
+        element = Element(tag)
+        while True:
+            scanner.skip_whitespace()
+            char = scanner.peek()
+            if char == ">":
+                scanner.advance()
+                for node in self._parse_content(until_close=True, tag=tag):
+                    element.append(node)
+                return element
+            if scanner.startswith("/>"):
+                scanner.advance(2)
+                return element
+            name = scanner.read_name()
+            scanner.skip_whitespace()
+            scanner.expect("=")
+            scanner.skip_whitespace()
+            quote = scanner.peek()
+            if quote not in ("'", '"'):
+                raise scanner.error("attribute value must be quoted")
+            scanner.advance()
+            raw = scanner.read_until(quote)
+            if name in element.attrs:
+                raise scanner.error(f"duplicate attribute {name!r}")
+            element.attrs[name] = _decode_entities(raw, scanner)
+
+    def _parse_content(self, until_close: bool, tag: Optional[str] = None) -> list:
+        scanner = self.scanner
+        nodes: list = []
+        while True:
+            if scanner.at_end():
+                if until_close:
+                    raise scanner.error(f"unterminated element <{tag}>")
+                return nodes
+            if scanner.startswith("</"):
+                if not until_close:
+                    raise scanner.error("unexpected closing tag")
+                scanner.advance(2)
+                closing = scanner.read_name()
+                if closing != tag:
+                    raise scanner.error(
+                        f"mismatched closing tag </{closing}> for <{tag}>"
+                    )
+                scanner.skip_whitespace()
+                scanner.expect(">")
+                return nodes
+            if scanner.startswith("<!--"):
+                nodes.append(self._parse_comment())
+            elif scanner.startswith("<![CDATA["):
+                scanner.advance(len("<![CDATA["))
+                nodes.append(Text(scanner.read_until("]]>")))
+            elif scanner.startswith("<?"):
+                nodes.append(self._parse_pi())
+            elif scanner.peek() == "<":
+                nodes.append(self._parse_element())
+            else:
+                start = scanner.pos
+                next_tag = scanner.text.find("<", start)
+                if next_tag < 0:
+                    next_tag = scanner.length
+                raw = scanner.text[start:next_tag]
+                scanner.pos = next_tag
+                if self.keep_whitespace or raw.strip():
+                    nodes.append(Text(_decode_entities(raw, scanner)))
+
+    def _parse_comment(self) -> Comment:
+        self.scanner.expect("<!--")
+        return Comment(self.scanner.read_until("-->"))
+
+    def _parse_pi(self) -> ProcessingInstruction:
+        scanner = self.scanner
+        scanner.expect("<?")
+        target = scanner.read_name()
+        body = scanner.read_until("?>")
+        return ProcessingInstruction(target, body.strip())
+
+
+def parse_document(text: str, keep_whitespace: bool = False) -> Document:
+    """Parse a complete XML document into a :class:`~repro.dom.nodes.Document`.
+
+    ``keep_whitespace`` preserves whitespace-only text nodes between
+    elements; by default they are dropped, matching data-oriented usage.
+    """
+    return _Parser(text, keep_whitespace).parse_document()
+
+
+def parse_fragment(text: str, keep_whitespace: bool = False) -> list:
+    """Parse mixed content (zero or more sibling nodes) without a root.
+
+    Fragment payloads on the stream are single elements, but the parser also
+    accepts text and multiple siblings for generality.
+    """
+    parser = _Parser(text, keep_whitespace)
+    parser.scanner.skip_whitespace()
+    if parser.scanner.startswith("<?xml"):
+        parser.scanner.read_until("?>")
+    return parser.parse_content_fragment()

@@ -1,0 +1,57 @@
+"""The Hole-Filler fragmentation model (paper §4–§5).
+
+A streamed XML document is carved into *fillers* — self-contained fragments
+carried in ``<filler id=... tsid=... validTime=...>`` envelopes — which
+reference child fragments through ``<hole id=... tsid=...>`` placeholders.
+Updating an element means streaming a new filler with the same id and a
+newer ``validTime``.
+
+- :mod:`repro.fragments.tagstructure` — the Tag Structure, the structural
+  summary that declares which tags are ``snapshot``/``temporal``/``event``
+  and assigns the ``tsid`` used for fragmentation and QaC+ query routing;
+- :mod:`repro.fragments.model` — the :class:`Filler` envelope and hole
+  helpers, with parsing/serialization;
+- :mod:`repro.fragments.fragmenter` — document → fillers;
+- :mod:`repro.fragments.store` — the client-side fragment store with the
+  paper's ``get_fillers`` semantics (version sequences with derived
+  vtFrom/vtTo lifespans) and the tsid index that powers QaC+;
+- :mod:`repro.fragments.assemble` — ``temporalize``: reconstruction of the
+  materialized temporal view, both the generic recursive form and the
+  schema-driven form of §5.1.
+"""
+
+from repro.fragments.tagstructure import TagNode, TagStructure, TagType
+from repro.fragments.model import Filler, make_hole, parse_filler
+from repro.fragments.fragmenter import Fragmenter
+from repro.fragments.store import FragmentStore
+from repro.fragments.assemble import (
+    generate_reconstruction_query,
+    schema_driven_temporalize,
+    temporalize,
+)
+from repro.fragments.attrversion import (
+    demote_attributes,
+    promote_attributes,
+    with_versioned_attributes,
+)
+from repro.fragments.persist import Journal, load_store, save_store
+
+__all__ = [
+    "TagType",
+    "TagNode",
+    "TagStructure",
+    "Filler",
+    "make_hole",
+    "parse_filler",
+    "Fragmenter",
+    "FragmentStore",
+    "temporalize",
+    "schema_driven_temporalize",
+    "generate_reconstruction_query",
+    "promote_attributes",
+    "demote_attributes",
+    "with_versioned_attributes",
+    "save_store",
+    "load_store",
+    "Journal",
+]

@@ -1,0 +1,257 @@
+"""Fragmenting XML documents into fillers (paper §4).
+
+Fragmentation is driven by the Tag Structure: elements whose tag role is
+``temporal`` or ``event`` become their own fillers (replaced by holes in the
+parent fragment), while ``snapshot`` elements stay embedded.  The root
+fragment always has filler id 0 — the anchor that ``get_fillers(0)``
+retrieves in the paper's translations.
+
+Two modes are provided:
+
+- :meth:`Fragmenter.fragment` — fragment a plain snapshot document (no
+  version history); every filler gets version 1 at the given valid time.
+- :meth:`Fragmenter.fragment_temporal_view` — fragment a *temporal view*
+  document in which temporal elements may appear as several adjacent
+  versions carrying ``vtFrom``/``vtTo`` attributes (like the paper's credit
+  example in §3.1).  Version groups share one hole/filler id and produce
+  one filler per version, stamped with the version's ``vtFrom``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Union
+
+from repro.dom.nodes import Document, Element, Text
+from repro.fragments.model import Filler, make_hole
+from repro.fragments.tagstructure import TagNode, TagStructure, TagType
+from repro.temporal.chrono import XSDateTime
+from repro.xquery.temporal_functions import parse_vt
+
+__all__ = ["Fragmenter", "FragmentationError"]
+
+_VT_ATTRS = ("vtFrom", "vtTo", "validTime")
+
+
+class FragmentationError(ValueError):
+    """Raised when a document does not conform to its Tag Structure."""
+
+
+class Fragmenter:
+    """Carves documents into fillers according to a Tag Structure.
+
+    ``shared_event_holes=True`` makes all event-type children of one parent
+    element share a single hole/filler id: each event is then a new filler
+    under that id and *coexists* with its siblings in the temporal view, so
+    a server can stream new events without republishing the parent
+    fragment.  The default (False) matches the paper's printed fillers,
+    where each event gets its own id (and event insertion therefore updates
+    the parent fragment with a new hole, paper §1).
+
+    After each ``fragment*`` call, :attr:`hole_registry` maps
+    ``(parent_filler_id, tag_name, key)`` to the allocated hole id, where
+    ``key`` is the child's ``id`` attribute (or ``None``).  Servers use it
+    to route later updates to the right fragment.
+    """
+
+    def __init__(
+        self,
+        tag_structure: TagStructure,
+        strict: bool = True,
+        shared_event_holes: bool = False,
+    ):
+        self.tag_structure = tag_structure
+        self.strict = strict
+        self.shared_event_holes = shared_event_holes
+        self.hole_registry: dict[tuple, int] = {}
+        self._ids = itertools.count(1)
+
+    def next_filler_id(self) -> int:
+        """Allocate a fresh filler id (used by servers for updates)."""
+        return next(self._ids)
+
+    # -- snapshot documents --------------------------------------------------------
+
+    def fragment(
+        self, source: Union[Document, Element], valid_time: XSDateTime
+    ) -> list[Filler]:
+        """Fragment a snapshot document; all fillers get ``valid_time``."""
+        root = self._root_element(source)
+        fillers: list[Filler] = []
+        content = self._split(root, self.tag_structure.root, fillers, valid_time, False, 0)
+        fillers.insert(
+            0, Filler(0, self.tag_structure.root.tsid, valid_time, content)
+        )
+        return fillers
+
+    # -- temporal views -----------------------------------------------------------------
+
+    def fragment_temporal_view(
+        self, source: Union[Document, Element], default_time: XSDateTime
+    ) -> list[Filler]:
+        """Fragment a temporal-view document with versioned elements."""
+        root = self._root_element(source)
+        fillers: list[Filler] = []
+        content = self._split(root, self.tag_structure.root, fillers, default_time, True, 0)
+        fillers.insert(
+            0, Filler(0, self.tag_structure.root.tsid, default_time, content)
+        )
+        return fillers
+
+    def fragment_element(
+        self, element: Element, tag: TagNode, valid_time: XSDateTime, owner_id: int
+    ) -> tuple[Element, list[Filler]]:
+        """Split one element into (payload-with-holes, nested fillers).
+
+        Used by servers to prepare the filler for a single new event or
+        update whose own fragmented descendants must also become fillers.
+        """
+        fillers: list[Filler] = []
+        content = self._split(element, tag, fillers, valid_time, False, owner_id)
+        return content, fillers
+
+    # -- internals --------------------------------------------------------------------------
+
+    def _root_element(self, source: Union[Document, Element]) -> Element:
+        root = source.document_element if isinstance(source, Document) else source
+        if root is None:
+            raise FragmentationError("empty document")
+        if root.tag != self.tag_structure.root.name:
+            raise FragmentationError(
+                f"document root <{root.tag}> does not match tag structure root"
+                f" <{self.tag_structure.root.name}>"
+            )
+        return root
+
+    def _split(
+        self,
+        element: Element,
+        tag: TagNode,
+        fillers: list[Filler],
+        default_time: XSDateTime,
+        versioned: bool,
+        owner_id: int,
+    ) -> Element:
+        """Copy ``element``, emitting fillers for fragmented children.
+
+        ``owner_id`` is the filler id of the fragment whose content is being
+        built — the hole registry is keyed by it.
+        """
+        copy = Element(element.tag, self._kept_attrs(element, tag))
+        groups = self._version_groups(element, tag) if versioned else None
+        emitted_groups: set = set()
+        shared_event_ids: dict[str, int] = {}
+        for child in element.children:
+            if isinstance(child, Text):
+                copy.append(Text(child.text))
+                continue
+            if not isinstance(child, Element):
+                continue
+            child_tag = tag.child(child.tag)
+            if child_tag is None:
+                if self.strict:
+                    raise FragmentationError(
+                        f"element <{child.tag}> not declared under {tag.path()}"
+                    )
+                copy.append(child.copy())
+                continue
+            if not child_tag.type.is_fragmented:
+                copy.append(
+                    self._split(child, child_tag, fillers, default_time, versioned, owner_id)
+                )
+                continue
+            if groups is not None and child_tag.type is TagType.TEMPORAL:
+                group_key = (child.tag, child.attrs.get("id"))
+                if group_key in emitted_groups:
+                    continue  # later versions were emitted with the group
+                emitted_groups.add(group_key)
+                versions = groups[group_key]
+                hole_id = self.next_filler_id()
+                self._register(owner_id, child, element, hole_id)
+                copy.append(make_hole(hole_id, child_tag.tsid))
+                for version in versions:
+                    fillers.append(
+                        Filler(
+                            hole_id,
+                            child_tag.tsid,
+                            self._version_time(version, default_time),
+                            self._split(
+                                version, child_tag, fillers, default_time, versioned, hole_id
+                            ),
+                        )
+                    )
+                continue
+            if self.shared_event_holes and child_tag.type is TagType.EVENT:
+                hole_id = shared_event_ids.get(child.tag, 0)
+                if not hole_id:
+                    hole_id = self.next_filler_id()
+                    shared_event_ids[child.tag] = hole_id
+                    self.hole_registry[(owner_id, child.tag, None)] = hole_id
+                    copy.append(make_hole(hole_id, child_tag.tsid))
+                fillers.append(
+                    Filler(
+                        hole_id,
+                        child_tag.tsid,
+                        self._version_time(child, default_time) if versioned else default_time,
+                        self._split(child, child_tag, fillers, default_time, versioned, hole_id),
+                    )
+                )
+                continue
+            hole_id = self.next_filler_id()
+            self._register(owner_id, child, element, hole_id)
+            copy.append(make_hole(hole_id, child_tag.tsid))
+            fillers.append(
+                Filler(
+                    hole_id,
+                    child_tag.tsid,
+                    self._version_time(child, default_time) if versioned else default_time,
+                    self._split(child, child_tag, fillers, default_time, versioned, hole_id),
+                )
+            )
+        return copy
+
+    def _register(self, owner_id: int, child: Element, parent: Element, hole_id: int) -> None:
+        key = child.attrs.get("id") or parent.attrs.get("id")
+        self.hole_registry[(owner_id, child.tag, key)] = hole_id
+
+    def _kept_attrs(self, element: Element, tag: TagNode) -> dict[str, str]:
+        """Attributes carried into the filler payload.
+
+        Lifespan attributes are stripped from fragmented elements — on
+        reconstruction they are re-derived from filler validTimes (paper
+        §5); snapshot elements keep everything.
+        """
+        if tag.type.is_fragmented:
+            return {k: v for k, v in element.attrs.items() if k not in _VT_ATTRS}
+        return dict(element.attrs)
+
+    @staticmethod
+    def _version_groups(element: Element, tag: TagNode) -> dict:
+        """Group temporal children into version lists by (tag, @id)."""
+        groups: dict = {}
+        for child in element.child_elements():
+            child_tag = tag.child(child.tag)
+            if child_tag is None or child_tag.type is not TagType.TEMPORAL:
+                continue
+            key = (child.tag, child.attrs.get("id"))
+            groups.setdefault(key, []).append(child)
+        for versions in groups.values():
+            versions.sort(key=_version_sort_key)
+        return groups
+
+    @staticmethod
+    def _version_time(element: Element, default_time: XSDateTime) -> XSDateTime:
+        for attr in ("vtFrom", "validTime"):
+            value = element.attrs.get(attr)
+            if value is not None and value not in ("now", "start"):
+                return XSDateTime.parse(value)
+        return default_time
+
+
+def _version_sort_key(element: Element):
+    value = element.attrs.get("vtFrom") or element.attrs.get("validTime")
+    if value and value not in ("now", "start"):
+        point = parse_vt(value)
+        if isinstance(point, XSDateTime):
+            return (0, point.to_epoch_seconds())
+    return (1, 0.0)

@@ -1,0 +1,104 @@
+"""Filler envelopes and hole placeholders (paper §4.2).
+
+A filler is the unit of transfer and of update: ``<filler id="100"
+tsid="5" validTime="2003-10-23T12:23:34"> <payload.../> </filler>``.  The
+payload is one element whose fragmented children appear as ``<hole id=...
+tsid=...>`` placeholders.  Streaming a new filler with an existing id
+creates a new *version* of that fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.dom.nodes import Element
+from repro.dom.parser import parse_fragment
+from repro.dom.serializer import serialize
+from repro.temporal.chrono import XSDateTime
+
+__all__ = ["Filler", "make_hole", "parse_filler", "FRAGMENTS_DOC_NAME"]
+
+FRAGMENTS_DOC_NAME = "fragments.xml"
+
+HOLE_TAG = "hole"
+
+
+def make_hole(hole_id: int, tsid: int) -> Element:
+    """A ``<hole id=... tsid=.../>`` placeholder element."""
+    return Element(HOLE_TAG, {"id": str(hole_id), "tsid": str(tsid)})
+
+
+@dataclass
+class Filler:
+    """One filler fragment: envelope metadata plus its payload element."""
+
+    filler_id: int
+    tsid: int
+    valid_time: XSDateTime
+    content: Element
+
+    def envelope(self) -> Element:
+        """The ``<filler>`` envelope element (payload deep-copied)."""
+        wrapper = Element(
+            "filler",
+            {
+                "id": str(self.filler_id),
+                "tsid": str(self.tsid),
+                "validTime": str(self.valid_time),
+            },
+        )
+        wrapper.append(self.content.copy())
+        return wrapper
+
+    def to_xml(self) -> str:
+        """Serialize the envelope to wire text."""
+        return serialize(self.envelope())
+
+    def holes(self) -> list[Element]:
+        """All hole placeholders anywhere in the payload."""
+        return [
+            node
+            for node in self.content.iter()
+            if isinstance(node, Element) and node.tag == HOLE_TAG
+        ]
+
+    def hole_ids(self) -> list[int]:
+        """Ids of all holes in the payload, in document order."""
+        return [int(hole.attrs["id"]) for hole in self.holes()]
+
+    @property
+    def wire_size(self) -> int:
+        """Size of this filler on the wire, in bytes (UTF-8)."""
+        return len(self.to_xml().encode("utf-8"))
+
+    def __repr__(self) -> str:
+        return (
+            f"<Filler id={self.filler_id} tsid={self.tsid}"
+            f" t={self.valid_time} tag={self.content.tag!r}>"
+        )
+
+
+def parse_filler(source: Union[str, Element]) -> Filler:
+    """Parse a ``<filler>`` envelope from wire text or a parsed element."""
+    if isinstance(source, str):
+        nodes = [n for n in parse_fragment(source) if isinstance(n, Element)]
+        if len(nodes) != 1:
+            raise ValueError("expected a single <filler> element")
+        element = nodes[0]
+    else:
+        element = source
+    if element.tag != "filler":
+        raise ValueError(f"expected <filler>, got <{element.tag}>")
+    payload = element.child_elements()
+    if len(payload) != 1:
+        raise ValueError("filler must contain exactly one payload element")
+    try:
+        return Filler(
+            filler_id=int(element.attrs["id"]),
+            tsid=int(element.attrs["tsid"]),
+            valid_time=XSDateTime.parse(element.attrs["validTime"]),
+            content=payload[0].copy(),
+        )
+    except KeyError as exc:
+        raise ValueError(f"filler missing attribute {exc}") from exc

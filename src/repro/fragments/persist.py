@@ -1,0 +1,154 @@
+"""Persistence for fragment stores and broadcast journals.
+
+A stream in the paper is a *read-once temporal database*: a client that
+misses fragments cannot ask for them again (no NACKs), so retaining what
+was received matters.  Two durability tools:
+
+- :func:`save_store` / :func:`load_store` — snapshot a
+  :class:`~repro.fragments.store.FragmentStore` to the paper's
+  ``fragments.xml`` shape (a ``<fragments>`` document of filler
+  envelopes, preceded by the Tag Structure so the file is
+  self-describing);
+- :class:`Journal` — an append-only log of broadcast messages (tag
+  structures and fillers, one XML document per line) that can be replayed
+  into any subscriber, e.g. to bootstrap a late-joining client.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterator, Optional, Union
+
+from typing import TYPE_CHECKING
+
+from repro.dom.nodes import Element
+from repro.dom.parser import parse_document, parse_fragment
+from repro.dom.serializer import serialize
+from repro.fragments.model import parse_filler
+from repro.fragments.store import FragmentStore
+from repro.fragments.tagstructure import TagStructure
+
+if TYPE_CHECKING:  # avoid a circular import at runtime (streams -> core -> fragments)
+    from repro.streams.transport import Message
+
+# Mirrors repro.streams.transport's message kinds.
+TAG_STRUCTURE = "tag_structure"
+FILLER = "filler"
+
+__all__ = ["save_store", "load_store", "Journal"]
+
+
+def save_store(store: FragmentStore, path: Union[str, os.PathLike]) -> int:
+    """Write a store snapshot; returns the number of fillers written.
+
+    The file is a single ``<fragmentStore>`` document holding the Tag
+    Structure (when the store has one) followed by the paper's
+    ``<fragments>`` envelope list.
+    """
+    root = Element("fragmentStore")
+    if store.tag_structure is not None:
+        root.append(store.tag_structure.to_xml())
+    fragments = store.as_document().document_element
+    assert fragments is not None
+    root.append(fragments)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+        handle.write(serialize(root, indent="  "))
+        handle.write("\n")
+    return store.filler_count
+
+
+def load_store(
+    path: Union[str, os.PathLike],
+    use_index: bool = True,
+    use_cache: bool = True,
+) -> FragmentStore:
+    """Load a snapshot written by :func:`save_store`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = parse_document(handle.read())
+    root = document.document_element
+    if root is None or root.tag != "fragmentStore":
+        raise ValueError(f"{path}: not a fragment-store snapshot")
+    structure: Optional[TagStructure] = None
+    structure_el = root.first("stream:structure")
+    if structure_el is not None:
+        structure = TagStructure.from_xml(structure_el)
+    store = FragmentStore(structure, use_index=use_index, use_cache=use_cache)
+    fragments = root.first("fragments")
+    if fragments is not None:
+        for envelope in fragments.child_elements("filler"):
+            store.append(parse_filler(envelope))
+    return store
+
+
+class Journal:
+    """An append-only log of broadcast messages.
+
+    Attach to a channel as an ordinary subscriber::
+
+        journal = Journal("credit.journal")
+        channel.subscribe(journal.record)
+
+    Each record is one line: ``<journal kind=... stream=...>payload</journal>``
+    with the payload embedded verbatim (payloads are single-line XML as
+    serialized by the servers).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = os.fspath(path)
+        self.records_written = 0
+
+    # -- writing -----------------------------------------------------------------
+
+    def record(self, message: "Message") -> None:
+        """Append one broadcast message (a Channel subscriber callback)."""
+        payload = message.payload.replace("\n", " ")
+        line = (
+            f'<journal kind="{message.kind}" stream="{message.stream}">'
+            f"{payload}</journal>\n"
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+        self.records_written += 1
+
+    # -- reading ---------------------------------------------------------------------
+
+    def read(self) -> "Iterator[Message]":
+        """Iterate the journaled messages in arrival order."""
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                nodes = [
+                    n for n in parse_fragment(line) if isinstance(n, Element)
+                ]
+                if len(nodes) != 1 or nodes[0].tag != "journal":
+                    raise ValueError(f"{self.path}:{line_number}: corrupt record")
+                envelope = nodes[0]
+                kind = envelope.attrs.get("kind", "")
+                stream = envelope.attrs.get("stream", "")
+                if kind not in (TAG_STRUCTURE, FILLER):
+                    raise ValueError(
+                        f"{self.path}:{line_number}: unknown record kind {kind!r}"
+                    )
+                payload = "".join(
+                    serialize(child) for child in envelope.child_elements()
+                )
+                from repro.streams.transport import Message
+
+                yield Message(kind, stream, payload)
+
+    def replay(self, deliver: "Callable[[Message], None]") -> int:
+        """Push every journaled message into a subscriber callback.
+
+        Returns the number of messages replayed.  Replaying into a client
+        is idempotent: stores drop duplicate fillers.
+        """
+        count = 0
+        for message in self.read():
+            deliver(message)
+            count += 1
+        return count

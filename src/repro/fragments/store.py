@@ -1,0 +1,333 @@
+"""The client-side fragment store and the ``get_fillers`` semantics.
+
+The store receives fillers from the stream and indexes them by filler id
+and by tsid.  ``get_fillers`` implements the paper's §5 function: the
+versions of a fragment, ordered by ``validTime``, each annotated with a
+derived lifespan —
+
+- *temporal* fragments: ``vtFrom`` = own validTime, ``vtTo`` = the next
+  version's validTime, or the literal ``"now"`` for the newest version
+  (so the lifespan keeps extending as evaluation time moves);
+- *event* fragments: ``vtFrom`` = ``vtTo`` = own validTime (events are
+  instants, paper §3);
+- without a Tag Structure the generic temporal rule applies.
+
+Duplicate transmissions (same filler id and validTime — the paper's
+servers may repeat critical fragments, and clients cannot NACK) are
+dropped on ingest.
+
+Index and memoization behaviour are switchable for the ablation benches:
+``use_index=False`` degrades lookups to linear scans (paper §8 envisions
+get_fillers as a join — the index is the hash-join side), and
+``use_cache=False`` rebuilds annotated versions on every call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dom.nodes import Document, Element
+from repro.fragments.model import Filler
+from repro.fragments.tagstructure import TagStructure, TagType
+from repro.temporal.chrono import XSDateTime
+
+__all__ = ["FragmentStore"]
+
+
+class FragmentStore:
+    """Holds all received fillers and answers ``get_fillers`` queries."""
+
+    def __init__(
+        self,
+        tag_structure: Optional[TagStructure] = None,
+        use_index: bool = True,
+        use_cache: bool = True,
+    ):
+        self.tag_structure = tag_structure
+        self.use_index = use_index
+        self.use_cache = use_cache
+        self._fillers: list[Filler] = []
+        self._by_id: dict[int, list[Filler]] = {}
+        self._by_tsid: dict[int, list[int]] = {}
+        self._seen: set[tuple[int, str]] = set()
+        self._version_cache: dict[int, list[Element]] = {}
+
+    # -- ingest ---------------------------------------------------------------
+
+    def append(self, filler: Filler) -> bool:
+        """Ingest one filler; returns False for a duplicate transmission.
+
+        A duplicate has the same filler id, the same validTime *and* the
+        same payload — distinct events that happen to share an id and a
+        timestamp (shared event holes, bursty sources) are all kept.
+        Payloads are only compared on an (id, validTime) collision.
+        """
+        key = (filler.filler_id, str(filler.valid_time))
+        if key in self._seen:
+            signature = filler.to_xml()
+            time_key = str(filler.valid_time)
+            for existing in self._by_id.get(filler.filler_id, ()):
+                if str(existing.valid_time) == time_key and existing.to_xml() == signature:
+                    return False
+        else:
+            self._seen.add(key)
+        self._fillers.append(filler)
+        bucket = self._by_id.setdefault(filler.filler_id, [])
+        bucket.append(filler)
+        bucket.sort(key=lambda f: f.valid_time.to_epoch_seconds())
+        tsid_bucket = self._by_tsid.setdefault(filler.tsid, [])
+        if filler.filler_id not in tsid_bucket:
+            tsid_bucket.append(filler.filler_id)
+        self._version_cache.pop(filler.filler_id, None)
+        return True
+
+    def extend(self, fillers: Iterable[Filler]) -> int:
+        """Ingest many fillers; returns how many were new."""
+        return sum(1 for filler in fillers if self.append(filler))
+
+    def clear(self) -> None:
+        """Drop all fragments."""
+        self._fillers.clear()
+        self._by_id.clear()
+        self._by_tsid.clear()
+        self._seen.clear()
+        self._version_cache.clear()
+
+    # -- raw lookup ----------------------------------------------------------------
+
+    def fillers_of(self, filler_id: int) -> list[Filler]:
+        """All versions of a fragment, in validTime order."""
+        filler_id = int(filler_id)
+        if self.use_index:
+            return list(self._by_id.get(filler_id, ()))
+        found = [f for f in self._fillers if f.filler_id == filler_id]
+        found.sort(key=lambda f: f.valid_time.to_epoch_seconds())
+        return found
+
+    def filler_ids_of_tsid(self, tsid: int) -> list[int]:
+        """All filler ids carrying the given tsid."""
+        tsid = int(tsid)
+        if self.use_index:
+            return list(self._by_tsid.get(tsid, ()))
+        seen: list[int] = []
+        for filler in self._fillers:
+            if filler.tsid == tsid and filler.filler_id not in seen:
+                seen.append(filler.filler_id)
+        return seen
+
+    # -- the paper's get_fillers ------------------------------------------------------
+
+    def versions_of(self, filler_id: int) -> list[Element]:
+        """Annotated version elements of a fragment (no wrapper).
+
+        This is what replaces a hole in the temporal view: the sequence of
+        all versions, each carrying its derived ``vtFrom``/``vtTo``.
+        """
+        filler_id = int(filler_id)
+        if self.use_cache:
+            cached = self._version_cache.get(filler_id)
+            if cached is not None:
+                return cached
+        fillers = self.fillers_of(filler_id)
+        versions = self._annotate(fillers)
+        if self.use_cache:
+            self._version_cache[filler_id] = versions
+        return versions
+
+    def get_fillers(self, filler_id: int) -> Element:
+        """The paper's ``get_fillers``: versions encased in a ``<filler>``.
+
+        The wrapper lets callers apply a path projection to pick the child
+        they want (a context fragment may have holes for different tags).
+        """
+        wrapper = Element("filler", {"id": str(int(filler_id))})
+        for version in self.versions_of(filler_id):
+            wrapper.append(version.copy())
+        return wrapper
+
+    def get_fillers_list(self, filler_ids: Iterable[int]) -> list[Element]:
+        """``get_fillers`` over a set of hole ids (paper §5.1)."""
+        return [self.get_fillers(fid) for fid in filler_ids]
+
+    def get_fillers_by_tsid(self, tsid: int) -> list[Element]:
+        """All filler wrappers of a tsid — the QaC+ access path.
+
+        No hole reconciliation happens: the tsid index (or, without an
+        index, one single scan — the paper's ``filler[@tsid=603]``) goes
+        straight to the fragments a query path needs (paper §7).
+        """
+        if self.use_index:
+            return [self.get_fillers(fid) for fid in self.filler_ids_of_tsid(tsid)]
+        tsid = int(tsid)
+        grouped: dict[int, list[Filler]] = {}
+        for filler in self._fillers:
+            if filler.tsid == tsid:
+                grouped.setdefault(filler.filler_id, []).append(filler)
+        wrappers: list[Element] = []
+        for filler_id, fillers in grouped.items():
+            fillers.sort(key=lambda f: f.valid_time.to_epoch_seconds())
+            wrapper = Element("filler", {"id": str(filler_id)})
+            for version in self._annotate(fillers):
+                wrapper.append(version)
+            wrappers.append(wrapper)
+        return wrappers
+
+    def _annotate(self, fillers: list[Filler]) -> list[Element]:
+        versions: list[Element] = []
+        count = len(fillers)
+        if fillers and self._type_of(fillers[0].tsid) is TagType.SNAPSHOT:
+            # Snapshot fragments (notably the root container) are static in
+            # the temporal view: a re-published snapshot *replaces* its
+            # predecessor (paper §4.1: the root "is always static"; §1:
+            # removing a hole makes the children inaccessible).  Only the
+            # latest version is visible.
+            return [fillers[-1].content.copy()]
+        for position, filler in enumerate(fillers):
+            version = filler.content.copy()
+            tag_type = self._type_of(filler.tsid)
+            if tag_type is TagType.SNAPSHOT:
+                versions.append(version)
+                continue
+            version.set("vtFrom", str(filler.valid_time))
+            if tag_type is TagType.EVENT:
+                version.set("vtTo", str(filler.valid_time))
+            elif position + 1 < count:
+                version.set("vtTo", str(fillers[position + 1].valid_time))
+            else:
+                version.set("vtTo", "now")
+            versions.append(version)
+        return versions
+
+    def _type_of(self, tsid: int) -> TagType:
+        if self.tag_structure is None:
+            return TagType.TEMPORAL
+        tag = self.tag_structure.get(tsid)
+        return tag.type if tag is not None else TagType.TEMPORAL
+
+    # -- integrity -------------------------------------------------------------------------
+
+    def dangling_holes(self) -> list[tuple[int, int]]:
+        """Holes referencing fragments the store has never received.
+
+        Over a lossy one-way broadcast this is the client's gap detector:
+        each ``(hole_id, tsid)`` pair names a fragment that some received
+        filler points at but that never arrived — content the temporal
+        view silently lacks until the server repeats it.
+        """
+        known = set(self._by_id)
+        missing: dict[int, int] = {}
+        for filler in self._fillers:
+            for hole in filler.holes():
+                hole_id = int(hole.attrs.get("id", -1))
+                if hole_id not in known:
+                    missing[hole_id] = int(hole.attrs.get("tsid", 0))
+        return sorted(missing.items())
+
+    def is_complete(self) -> bool:
+        """True when every referenced hole has at least one filler."""
+        return not self.dangling_holes()
+
+    # -- retention -------------------------------------------------------------------------
+
+    def prune_before(self, horizon: XSDateTime) -> int:
+        """Drop history that no query at time >= ``horizon`` can observe.
+
+        The paper retains the complete history "since the beginning of
+        time"; long-running clients may instead bound retention.  Pruning
+        keeps, per fragment id, every version whose lifespan reaches
+        ``horizon`` — i.e. the version current *at* the horizon and
+        everything after it — and drops fully superseded older versions.
+        Event fragments (single-instant lifespans) before the horizon are
+        dropped entirely.
+
+        Queries whose projection windows lie within ``[horizon, now]``
+        return exactly the same results afterwards; windows reaching
+        further back see truncated history.  Returns the number of fillers
+        dropped.
+        """
+        kept: list[Filler] = []
+        dropped = 0
+        for filler_id, versions in list(self._by_id.items()):
+            tag_type = self._type_of(versions[0].tsid) if versions else TagType.TEMPORAL
+            surviving: list[Filler] = []
+            for position, filler in enumerate(versions):
+                if tag_type is TagType.EVENT:
+                    alive = filler.valid_time >= horizon
+                elif tag_type is TagType.SNAPSHOT:
+                    alive = True
+                else:
+                    successor = versions[position + 1] if position + 1 < len(versions) else None
+                    # Temporal: alive while its lifespan [t, successor) touches
+                    # the horizon, i.e. no successor or successor after horizon.
+                    alive = successor is None or successor.valid_time > horizon
+                if alive:
+                    surviving.append(filler)
+                else:
+                    dropped += 1
+                    self._seen.discard((filler.filler_id, str(filler.valid_time)))
+            if surviving:
+                self._by_id[filler_id] = surviving
+            else:
+                del self._by_id[filler_id]
+            kept.extend(surviving)
+            self._version_cache.pop(filler_id, None)
+        self._fillers = kept
+        self._by_tsid.clear()
+        for filler in kept:
+            bucket = self._by_tsid.setdefault(filler.tsid, [])
+            if filler.filler_id not in bucket:
+                bucket.append(filler.filler_id)
+        return dropped
+
+    # -- hooks & export -------------------------------------------------------------------
+
+    def hole_resolver(self, hole_id) -> list[Element]:
+        """The evaluator hook: hole id -> annotated versions."""
+        if hole_id is None:
+            return []
+        return self.versions_of(int(hole_id))
+
+    def as_document(self) -> Document:
+        """All fillers as a ``<fragments>`` document (paper's
+        ``doc("fragments.xml")`` idiom)."""
+        document = Document()
+        root = Element("fragments")
+        document.append(root)
+        for filler in self._fillers:
+            root.append(filler.envelope())
+        return document
+
+    # -- statistics --------------------------------------------------------------------------
+
+    @property
+    def filler_count(self) -> int:
+        """Total fillers ingested (all versions)."""
+        return len(self._fillers)
+
+    @property
+    def fragment_count(self) -> int:
+        """Distinct fragment (filler id) count."""
+        return len(self._by_id)
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes of all fillers as transmitted."""
+        return sum(filler.wire_size for filler in self._fillers)
+
+    def latest_time(self) -> Optional[XSDateTime]:
+        """The newest validTime seen, if any."""
+        if not self._fillers:
+            return None
+        return max(
+            (filler.valid_time for filler in self._fillers),
+            key=lambda t: t.to_epoch_seconds(),
+        )
+
+    def __len__(self) -> int:
+        return len(self._fillers)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FragmentStore fillers={self.filler_count}"
+            f" fragments={self.fragment_count}>"
+        )

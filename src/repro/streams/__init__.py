@@ -1,0 +1,44 @@
+"""The push-based stream runtime (paper §1's system configuration).
+
+Servers fragment and broadcast; clients tune in once, accumulate fragments
+and run any number of continuous XCQL queries locally — no query
+registration at the server, no acknowledgements.
+
+- :mod:`repro.streams.clock` — injectable time (``now``);
+- :mod:`repro.streams.transport` — broadcast channels, with a lossy variant
+  for resilience tests;
+- :mod:`repro.streams.server` — fragmenting broadcast server with the
+  paper's update operations (new versions, events, insertions, deletions,
+  repeats);
+- :mod:`repro.streams.client` — fragment ingestion into an
+  :class:`~repro.core.engine.XCQLEngine`;
+- :mod:`repro.streams.continuous` — standing queries emitting delta output
+  streams.
+"""
+
+from repro.streams.clock import Clock, SimulatedClock, SystemClock
+from repro.streams.client import StreamClient
+from repro.streams.compression import CompressingChannel, TagCodec
+from repro.streams.continuous import ContinuousQuery
+from repro.streams.derived import DerivedStream, infer_result_structure
+from repro.streams.scheduler import QueryScheduler
+from repro.streams.server import StreamServer, StreamServerError
+from repro.streams.transport import Channel, LossyChannel, Message
+
+__all__ = [
+    "Clock",
+    "SimulatedClock",
+    "SystemClock",
+    "Channel",
+    "LossyChannel",
+    "Message",
+    "StreamServer",
+    "StreamServerError",
+    "StreamClient",
+    "ContinuousQuery",
+    "QueryScheduler",
+    "TagCodec",
+    "CompressingChannel",
+    "DerivedStream",
+    "infer_result_structure",
+]

@@ -1,0 +1,110 @@
+"""The stream client: ingest fragments, run continuous queries (paper §1).
+
+A client registers with a server's channel once, then receives everything
+pushed on it — no per-query registration with the server, no feedback.  All
+received fillers land in the client's :class:`XCQLEngine` stores, where any
+number of continuous queries evaluate over them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import XCQLEngine
+from repro.fragments.model import parse_filler
+from repro.fragments.store import FragmentStore
+from repro.fragments.tagstructure import TagStructure
+from repro.streams.clock import Clock, SimulatedClock
+from repro.streams.continuous import ContinuousQuery
+from repro.streams.transport import FILLER, TAG_STRUCTURE, Channel, Message
+from repro.core.translator import Strategy
+
+__all__ = ["StreamClient"]
+
+
+class StreamClient:
+    """A client that tunes in to one or more broadcast channels.
+
+    The client owns an :class:`XCQLEngine`; each stream it hears about
+    (via the Tag Structure announcement) gets a fragment store inside the
+    engine.  Continuous queries registered on the client are re-evaluated
+    after every arrival batch and push *new* results to their subscribers.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None, scheduler=None):
+        self.clock = clock or SimulatedClock()
+        self.engine = XCQLEngine()
+        self.queries: list[ContinuousQuery] = []
+        self.scheduler = scheduler  # optional QueryScheduler (paper §8)
+        self.received_fillers = 0
+        self.received_bytes = 0
+        self._pending = 0
+
+    # -- tuning in -----------------------------------------------------------------
+
+    def tune_in(self, channel: Channel) -> None:
+        """Subscribe to a channel (the one-time pull-based registration)."""
+        channel.subscribe(self._on_message)
+
+    def tune_out(self, channel: Channel) -> None:
+        """Unsubscribe from a channel."""
+        channel.unsubscribe(self._on_message)
+
+    def _on_message(self, message: Message) -> None:
+        if message.kind == TAG_STRUCTURE:
+            structure = TagStructure.from_xml(message.payload)
+            if message.stream not in self.engine.stores:
+                self.engine.register_stream(message.stream, structure)
+            return
+        if message.kind == FILLER:
+            store = self.engine.stores.get(message.stream)
+            if store is None:
+                return  # fillers before the tag structure announcement
+            filler = parse_filler(message.payload)
+            if store.append(filler):
+                self.received_fillers += 1
+                self.received_bytes += message.wire_size
+                self._pending += 1
+                if self.scheduler is not None:
+                    self.scheduler.notify_arrival(message.stream, filler.tsid)
+
+    # -- continuous queries -----------------------------------------------------------
+
+    def register_query(
+        self,
+        source: str,
+        strategy: Strategy = Strategy.QAC,
+        emit: str = "delta",
+    ) -> ContinuousQuery:
+        """Register a continuous XCQL query on this client."""
+        query = ContinuousQuery(self.engine, source, strategy=strategy, emit=emit)
+        self.queries.append(query)
+        if self.scheduler is not None:
+            self.scheduler.add(query)
+        return query
+
+    def poll(self) -> dict[ContinuousQuery, list]:
+        """Re-evaluate continuous queries at the current clock time.
+
+        Returns each query's newly emitted results.  Call after arrivals
+        and/or clock advances (window queries can fire on time alone).
+        With a scheduler attached, queries whose dependencies saw no new
+        fragments (and whose windows cannot have moved) are skipped.
+        """
+        now = self.clock.now()
+        self._pending = 0
+        if self.scheduler is not None:
+            return self.scheduler.poll(now)
+        emitted = {}
+        for query in self.queries:
+            emitted[query] = query.evaluate(now)
+        return emitted
+
+    @property
+    def has_pending_arrivals(self) -> bool:
+        """True when fillers arrived since the last poll."""
+        return self._pending > 0
+
+    def store_of(self, stream: str) -> FragmentStore:
+        """The fragment store of a stream this client has heard."""
+        return self.engine.stores[stream]

@@ -1,0 +1,64 @@
+"""Clocks: the source of the XCQL ``now`` constant.
+
+Continuous queries are re-evaluated against a moving ``now``; for
+reproducible tests and benchmarks the clock is injectable.  The
+:class:`SimulatedClock` is the default throughout the repository — it only
+moves when told to, which makes window semantics (``?[now-PT1H, now]``)
+exactly checkable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, Union
+
+from repro.temporal.chrono import XSDateTime, XSDuration
+
+__all__ = ["Clock", "SimulatedClock", "SystemClock"]
+
+
+class Clock(Protocol):
+    """Anything with a ``now()`` returning an :class:`XSDateTime`."""
+
+    def now(self) -> XSDateTime: ...
+
+
+class SimulatedClock:
+    """A deterministic clock that advances only on request."""
+
+    def __init__(self, start: Union[XSDateTime, str] = "2000-01-01T00:00:00"):
+        self._now = start if isinstance(start, XSDateTime) else XSDateTime.parse(start)
+
+    def now(self) -> XSDateTime:
+        """The current simulated instant."""
+        return self._now
+
+    def advance(self, amount: Union[XSDuration, str, float]) -> XSDateTime:
+        """Move time forward by a duration (or seconds) and return it."""
+        if isinstance(amount, str):
+            amount = XSDuration.parse(amount)
+        elif isinstance(amount, (int, float)):
+            amount = XSDuration(0, float(amount))
+        if amount.months < 0 or amount.seconds < 0:
+            raise ValueError("clocks only move forward")
+        self._now = self._now + amount
+        return self._now
+
+    def set(self, instant: Union[XSDateTime, str]) -> XSDateTime:
+        """Jump to an absolute instant (must not move backwards)."""
+        target = instant if isinstance(instant, XSDateTime) else XSDateTime.parse(instant)
+        if target < self._now:
+            raise ValueError(f"clock cannot move backwards ({target} < {self._now})")
+        self._now = target
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock({self._now})"
+
+
+class SystemClock:
+    """The wall clock, for real deployments."""
+
+    def now(self) -> XSDateTime:
+        """The current UTC time."""
+        return XSDateTime.from_epoch_seconds(time.time())

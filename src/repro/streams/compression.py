@@ -1,0 +1,120 @@
+"""Tag-name compression for stream data (paper §4.1).
+
+The paper notes that the Tag Structure "gives us the convenience of
+abbreviating the tag names with IDs for compressing stream data" but does
+not use it.  This module implements the scheme:
+
+- a :class:`TagCodec` is derived from a Tag Structure; every distinct tag
+  name maps to a short code (``t1``, ``t2``, ...), with ``hole`` and
+  ``filler`` kept verbatim since they are already minimal and structural;
+- :meth:`TagCodec.encode` / :meth:`TagCodec.decode` rewrite element names
+  in a filler payload (codes are stable because both sides derive them
+  from the same broadcast Tag Structure);
+- :class:`CompressingChannel` applies the codec transparently on a
+  broadcast channel, so servers and clients are unchanged; it records the
+  achieved wire savings.
+
+Unknown names (lenient-mode payload content outside the schema) pass
+through unchanged, which also makes decoding idempotent for uncompressed
+traffic.
+"""
+
+from __future__ import annotations
+
+from repro.dom.nodes import Element
+from repro.dom.parser import parse_fragment
+from repro.dom.serializer import serialize
+from repro.fragments.tagstructure import TagStructure
+from repro.streams.transport import FILLER, Channel, Message
+
+__all__ = ["TagCodec", "CompressingChannel"]
+
+_PRESERVED = ("filler", "hole")
+
+
+class TagCodec:
+    """Bidirectional tag-name ↔ short-code mapping for one stream."""
+
+    def __init__(self, tag_structure: TagStructure):
+        names: list[str] = []
+        for tag in tag_structure.all_tags():
+            if tag.name not in names and tag.name not in _PRESERVED:
+                names.append(tag.name)
+        self._encode = {name: f"t{index + 1}" for index, name in enumerate(names)}
+        self._decode = {code: name for name, code in self._encode.items()}
+
+    def code_of(self, name: str) -> str:
+        """The code for a tag name (the name itself when unmapped)."""
+        return self._encode.get(name, name)
+
+    def name_of(self, code: str) -> str:
+        """The tag name for a code (the code itself when unmapped)."""
+        return self._decode.get(code, code)
+
+    # -- element transforms -----------------------------------------------------
+
+    def encode(self, element: Element) -> Element:
+        """A copy of ``element`` with tag names replaced by codes."""
+        return self._rename(element, self._encode)
+
+    def decode(self, element: Element) -> Element:
+        """Inverse of :meth:`encode`."""
+        return self._rename(element, self._decode)
+
+    def _rename(self, element: Element, table: dict[str, str]) -> Element:
+        copy = Element(table.get(element.tag, element.tag), dict(element.attrs))
+        for child in element.children:
+            if isinstance(child, Element):
+                copy.append(self._rename(child, table))
+            else:
+                copy.append(type(child)(child.text) if hasattr(child, "text") else child)
+        return copy
+
+    # -- wire transforms ------------------------------------------------------------
+
+    def encode_wire(self, payload: str) -> str:
+        """Encode serialized filler XML."""
+        nodes = [n for n in parse_fragment(payload) if isinstance(n, Element)]
+        return "".join(serialize(self.encode(node)) for node in nodes)
+
+    def decode_wire(self, payload: str) -> str:
+        """Decode serialized filler XML."""
+        nodes = [n for n in parse_fragment(payload) if isinstance(n, Element)]
+        return "".join(serialize(self.decode(node)) for node in nodes)
+
+    def __len__(self) -> int:
+        return len(self._encode)
+
+
+class CompressingChannel(Channel):
+    """A channel that ships filler payloads with coded tag names.
+
+    Tag Structure announcements pass through uncompressed (the codec is
+    derived from them).  ``bytes_saved`` accumulates the wire reduction.
+    """
+
+    def __init__(self, codec: TagCodec):
+        super().__init__()
+        self.codec = codec
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    @property
+    def bytes_saved(self) -> int:
+        """Total bytes removed from the wire so far."""
+        return self.bytes_in - self.bytes_out
+
+    def publish(self, message: Message) -> None:
+        if message.kind == FILLER:
+            encoded = self.codec.encode_wire(message.payload)
+            self.bytes_in += len(message.payload.encode("utf-8"))
+            self.bytes_out += len(encoded.encode("utf-8"))
+            message = Message(message.kind, message.stream, encoded)
+        super().publish(message)
+
+    def _deliver(self, subscriber, message: Message) -> None:
+        if message.kind == FILLER:
+            message = Message(
+                message.kind, message.stream, self.codec.decode_wire(message.payload)
+            )
+        super()._deliver(subscriber, message)

@@ -1,0 +1,94 @@
+"""Continuous query execution over fragment streams.
+
+A :class:`ContinuousQuery` is compiled once (through the Figure 3
+translation) and re-evaluated as fragments arrive and as ``now`` moves.
+Each evaluation produces the query's full answer at that instant; in
+``delta`` mode only results not emitted before are pushed to subscribers,
+turning the re-evaluations into a continuous *output stream* (paper §10:
+"temporal queries ... produce a continuous output stream").
+
+Result identity is the serialized form of each item, so a re-appearing
+answer (same account flagged again with identical content) is emitted only
+once; ``full`` mode re-emits everything each run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.engine import CompiledQuery, XCQLEngine
+from repro.core.translator import Strategy
+from repro.dom.nodes import Node
+from repro.dom.serializer import serialize
+from repro.temporal.chrono import XSDateTime
+from repro.xquery.xdm import string_value
+
+__all__ = ["ContinuousQuery"]
+
+
+class ContinuousQuery:
+    """One standing XCQL query over an engine's streams."""
+
+    def __init__(
+        self,
+        engine: XCQLEngine,
+        source: str,
+        strategy: Strategy = Strategy.QAC,
+        emit: str = "delta",
+    ):
+        if emit not in ("delta", "full"):
+            raise ValueError("emit must be 'delta' or 'full'")
+        self.engine = engine
+        self.source = source
+        self.strategy = strategy
+        self.emit = emit
+        self.compiled: CompiledQuery = engine.compile(source, strategy)
+        self.subscribers: list[Callable[[list], None]] = []
+        self.evaluations = 0
+        self.emitted_total = 0
+        self._seen: set[str] = set()
+        self.last_result: list = []
+
+    def subscribe(self, callback: Callable[[list], None]) -> None:
+        """Register a sink for emitted results."""
+        self.subscribers.append(callback)
+
+    def evaluate(self, now: Optional[XSDateTime] = None) -> list:
+        """Run the query at ``now`` and emit per the emission mode.
+
+        Returns the emitted items (delta mode: the new ones only).
+        """
+        self.evaluations += 1
+        result = self.engine.execute(self.compiled, now=now)
+        self.last_result = result
+        if self.emit == "full":
+            fresh = list(result)
+        else:
+            fresh = []
+            for item in result:
+                key = _identity(item)
+                if key not in self._seen:
+                    self._seen.add(key)
+                    fresh.append(item)
+        if fresh:
+            self.emitted_total += len(fresh)
+            for subscriber in self.subscribers:
+                subscriber(fresh)
+        return fresh
+
+    def reset(self) -> None:
+        """Forget emission history (delta mode starts over)."""
+        self._seen.clear()
+        self.emitted_total = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<ContinuousQuery {self.strategy.value} emit={self.emit}"
+            f" evaluations={self.evaluations}>"
+        )
+
+
+def _identity(item: object) -> str:
+    if isinstance(item, Node):
+        return serialize(item)
+    return f"{type(item).__name__}:{string_value(item)}"

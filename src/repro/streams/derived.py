@@ -1,0 +1,101 @@
+"""Derived streams: republishing continuous query output (paper §10).
+
+"Temporal queries are translated into continuous queries that operate
+directly over the fragmented input streams and *produce a continuous
+output stream*."  A :class:`DerivedStream` closes that loop: it owns an
+output :class:`~repro.streams.server.StreamServer`, subscribes to a
+continuous query, and re-broadcasts each newly emitted result element as
+an event fragment — so downstream clients can tune in and run XCQL over
+the query's output exactly like over any source stream (cascading
+continuous queries).
+
+The output Tag Structure can be supplied, or inferred from the first
+result (results of one query share a constructor shape): the result tag
+becomes an ``event`` fragment under a snapshot root; everything inside
+stays embedded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dom.nodes import Element
+from repro.fragments.tagstructure import TagNode, TagStructure, TagType
+from repro.streams.clock import Clock, SimulatedClock
+from repro.streams.continuous import ContinuousQuery
+from repro.streams.server import StreamServer
+from repro.streams.transport import Channel
+
+__all__ = ["DerivedStream", "infer_result_structure"]
+
+
+def infer_result_structure(sample: Element, root_name: str = "results") -> TagStructure:
+    """A Tag Structure for a stream of elements shaped like ``sample``.
+
+    The sample's tag becomes an event fragment under a snapshot root; its
+    descendants are embedded snapshots.  (Element names are collected from
+    the sample; repeated names share one declaration.)
+    """
+    counter = [0]
+
+    def make(name: str, element: Optional[Element], tag_type: TagType) -> TagNode:
+        counter[0] += 1
+        node = TagNode(counter[0], name, tag_type)
+        if element is not None:
+            seen: set[str] = set()
+            for child in element.child_elements():
+                if child.tag not in seen:
+                    seen.add(child.tag)
+                    node.add(make(child.tag, child, TagType.SNAPSHOT))
+        return node
+
+    root = TagNode(1, root_name, TagType.SNAPSHOT)
+    counter[0] = 1
+    root.add(make(sample.tag, sample, TagType.EVENT))
+    return TagStructure(root)
+
+
+class DerivedStream:
+    """Re-broadcasts a continuous query's delta output as a new stream."""
+
+    def __init__(
+        self,
+        name: str,
+        channel: Channel,
+        clock: Optional[Clock] = None,
+        tag_structure: Optional[TagStructure] = None,
+        root_name: str = "results",
+    ):
+        self.name = name
+        self.channel = channel
+        self.clock = clock or SimulatedClock()
+        self.root_name = root_name
+        self.tag_structure = tag_structure
+        self.server: Optional[StreamServer] = None
+        self.published = 0
+        if tag_structure is not None:
+            self._start(tag_structure)
+
+    def _start(self, structure: TagStructure) -> None:
+        self.server = StreamServer(self.name, structure, self.channel, self.clock)
+        self.server.announce()
+        self.server.publish_document(Element(structure.root.name))
+
+    # -- wiring --------------------------------------------------------------------
+
+    def attach(self, query: ContinuousQuery) -> None:
+        """Subscribe to a continuous query's emissions."""
+        query.subscribe(self.publish_results)
+
+    def publish_results(self, items: list) -> None:
+        """Re-broadcast result elements as event fragments."""
+        for item in items:
+            if not isinstance(item, Element):
+                continue  # atomic results have no fragment representation
+            if self.server is None:
+                structure = infer_result_structure(item, self.root_name)
+                self.tag_structure = structure
+                self._start(structure)
+            assert self.server is not None
+            self.server.emit_event(0, item.copy(), self.clock.now())
+            self.published += 1

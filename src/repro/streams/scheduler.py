@@ -1,0 +1,186 @@
+"""Scheduling of continuous-query re-evaluation (paper §8 future work).
+
+The paper re-evaluates every standing query on every poll and defers
+"scheduling the fragments through the XCQL query tree" (Aurora-style
+operator scheduling) to future work.  This module implements the practical
+core of that idea at query granularity:
+
+- each compiled query's *dependencies* are derived statically from its
+  translated AST — which streams it touches, and (for QaC+ plans) exactly
+  which tsids;
+- the scheduler tracks arrivals per (stream, tsid) and skips re-evaluating
+  queries whose dependencies saw no new fragments;
+- queries that mention ``now`` (sliding windows) are *time-sensitive* and
+  also re-evaluate when the clock has advanced, even without arrivals.
+
+The saved evaluations are counted, which ablation A3b measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.engine import CompiledQuery
+from repro.streams.continuous import ContinuousQuery
+from repro.temporal.chrono import XSDateTime
+from repro.xquery import xast
+
+__all__ = ["QueryDependencies", "dependencies_of", "QueryScheduler"]
+
+ALL_TSIDS = "*"
+
+
+@dataclass(frozen=True)
+class QueryDependencies:
+    """What a compiled query can observe."""
+
+    streams: frozenset  # of (stream, tsid) pairs; tsid may be ALL_TSIDS
+    time_sensitive: bool
+
+    def touches(self, stream: str, tsids: set[int]) -> bool:
+        """True when arrivals on (stream, tsids) can change the answer."""
+        for dep_stream, dep_tsid in self.streams:
+            if dep_stream != stream:
+                continue
+            if dep_tsid == ALL_TSIDS or dep_tsid in tsids:
+                return True
+        return False
+
+
+def dependencies_of(compiled: CompiledQuery) -> QueryDependencies:
+    """Statically derive a translated query's dependencies.
+
+    ``get_fillers(stream, ...)`` and ``materialized_view(stream)`` depend
+    on the whole stream (hole chains are data-dependent);
+    ``get_fillers_by_tsid(stream, tsid)`` depends on one tsid only — but
+    the *content* fetched may itself contain holes, so any non-leaf tsid
+    also widens to the subtree of tags below it.
+    """
+    deps: set[tuple[str, Union[int, str]]] = set()
+    time_sensitive = False
+
+    def visit(node: object) -> None:
+        nonlocal time_sensitive
+        if isinstance(node, xast.NowConstant):
+            time_sensitive = True
+        if isinstance(node, xast.FunctionCall):
+            if node.name in ("get_fillers", "get_fillers_list", "materialized_view", "stream"):
+                stream = _literal(node.args[0]) if node.args else None
+                if stream is not None:
+                    deps.add((stream, ALL_TSIDS))
+            elif node.name == "get_fillers_by_tsid" and len(node.args) == 2:
+                stream = _literal(node.args[0])
+                tsid = _literal(node.args[1])
+                if stream is not None and isinstance(tsid, int):
+                    deps.add((stream, tsid))
+            elif node.name in ("currentDateTime", "current-dateTime", "current-time"):
+                time_sensitive = True
+        for child in _children(node):
+            visit(child)
+
+    visit(compiled.translated.body)
+    for definition in compiled.translated.functions:
+        visit(definition.body)
+    return QueryDependencies(frozenset(deps), time_sensitive)
+
+
+def _literal(node: object):
+    if isinstance(node, xast.Literal):
+        return node.value
+    return None
+
+
+def _children(node: object) -> list:
+    """Generic AST child enumeration via dataclass fields."""
+    out: list = []
+    if isinstance(node, xast.Step):
+        out.extend(node.predicates)
+        return out
+    for value in getattr(node, "__dict__", {}).values():
+        _collect(value, out)
+    if hasattr(node, "__dataclass_fields__") and not hasattr(node, "__dict__"):
+        for name in node.__dataclass_fields__:
+            _collect(getattr(node, name), out)
+    return out
+
+
+def _collect(value: object, out: list) -> None:
+    if isinstance(value, (xast.Expr, xast.Step, xast.ForClause, xast.LetClause,
+                          xast.WhereClause, xast.OrderByClause, xast.OrderSpec,
+                          xast.DirectAttribute)):
+        out.append(value)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _collect(item, out)
+
+
+@dataclass
+class _Entry:
+    query: ContinuousQuery
+    dependencies: QueryDependencies
+    last_now: Optional[XSDateTime] = None
+    evaluations: int = 0
+    skips: int = 0
+
+
+class QueryScheduler:
+    """Skips re-evaluation of queries whose inputs did not change."""
+
+    def __init__(self) -> None:
+        self._entries: list[_Entry] = []
+        self._arrivals: dict[str, set[int]] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def add(self, query: ContinuousQuery) -> QueryDependencies:
+        """Track a continuous query; returns its derived dependencies."""
+        dependencies = dependencies_of(query.compiled)
+        self._entries.append(_Entry(query, dependencies))
+        return dependencies
+
+    # -- arrival tracking ---------------------------------------------------------
+
+    def notify_arrival(self, stream: str, tsid: int) -> None:
+        """Record that a filler with ``tsid`` arrived on ``stream``."""
+        self._arrivals.setdefault(stream, set()).add(int(tsid))
+
+    # -- the scheduling decision -----------------------------------------------------
+
+    def poll(self, now: XSDateTime) -> dict[ContinuousQuery, list]:
+        """Re-evaluate exactly the queries whose answer can have changed."""
+        emitted: dict[ContinuousQuery, list] = {}
+        for entry in self._entries:
+            if self._should_run(entry, now):
+                emitted[entry.query] = entry.query.evaluate(now)
+                entry.evaluations += 1
+            else:
+                entry.skips += 1
+                emitted[entry.query] = []
+            entry.last_now = now
+        self._arrivals.clear()
+        return emitted
+
+    def _should_run(self, entry: _Entry, now: XSDateTime) -> bool:
+        if entry.last_now is None:
+            return True  # first poll establishes a baseline
+        for stream, tsids in self._arrivals.items():
+            if tsids and entry.dependencies.touches(stream, tsids):
+                return True
+        if entry.dependencies.time_sensitive and now != entry.last_now:
+            return True
+        return False
+
+    # -- statistics ---------------------------------------------------------------------
+
+    @property
+    def total_evaluations(self) -> int:
+        return sum(entry.evaluations for entry in self._entries)
+
+    @property
+    def total_skips(self) -> int:
+        return sum(entry.skips for entry in self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Counters for reporting."""
+        return {"evaluations": self.total_evaluations, "skips": self.total_skips}

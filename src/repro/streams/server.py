@@ -1,0 +1,302 @@
+"""The push-based stream server (paper §1, §4).
+
+A :class:`StreamServer` owns one stream: it fragments the initial document,
+broadcasts the Tag Structure followed by the fillers, and afterwards pushes
+*updates* — new fragment versions, new events, insertions and deletions —
+without any feedback from clients.  It keeps an authoritative copy of every
+fragment's latest content so it can produce parent updates (new-hole
+insertion / hole removal) per the paper's update semantics.
+
+The server can also ``repeat`` critical fragments, the paper's remedy for
+the no-retransmission broadcast model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dom.nodes import Element
+from repro.dom.serializer import serialize
+from repro.fragments.fragmenter import FragmentationError, Fragmenter
+from repro.fragments.model import Filler, make_hole
+from repro.fragments.tagstructure import TagNode, TagStructure, TagType
+from repro.streams.clock import Clock, SimulatedClock
+from repro.streams.transport import FILLER, TAG_STRUCTURE, Channel, Message
+from repro.temporal.chrono import XSDateTime
+
+__all__ = ["StreamServer", "StreamServerError"]
+
+
+class StreamServerError(RuntimeError):
+    """Raised on invalid update operations."""
+
+
+class StreamServer:
+    """Fragmenting broadcast server for one named stream."""
+
+    def __init__(
+        self,
+        name: str,
+        tag_structure: TagStructure,
+        channel: Channel,
+        clock: Optional[Clock] = None,
+        shared_event_holes: bool = True,
+    ):
+        self.name = name
+        self.tag_structure = tag_structure
+        self.channel = channel
+        self.clock = clock or SimulatedClock()
+        self.fragmenter = Fragmenter(
+            tag_structure, shared_event_holes=shared_event_holes
+        )
+        # Authoritative latest content (with holes), tsid and validTime
+        # per filler id.  Event ids accumulate *all* their events (events
+        # coexist rather than replace), so repeats can recover any of them.
+        self._content: dict[int, Element] = {}
+        self._tsid: dict[int, int] = {}
+        self._times: dict[int, XSDateTime] = {}
+        self._event_history: dict[int, list[Filler]] = {}
+        self.sent_fillers = 0
+        self.sent_bytes = 0
+
+    # -- session start ---------------------------------------------------------
+
+    def announce(self) -> None:
+        """Broadcast the Tag Structure (clients need it to register)."""
+        payload = serialize(self.tag_structure.to_xml())
+        self.channel.publish(Message(TAG_STRUCTURE, self.name, payload))
+
+    def publish_document(self, document, valid_time: Optional[XSDateTime] = None) -> list[Filler]:
+        """Fragment and broadcast the initial (finite) document."""
+        time = valid_time or self.clock.now()
+        fillers = self.fragmenter.fragment_temporal_view(document, time)
+        for filler in fillers:
+            self._remember(filler)
+            self._send(filler)
+        return fillers
+
+    # -- updates ------------------------------------------------------------------
+
+    def update_fragment(
+        self, filler_id: int, content: Element, valid_time: Optional[XSDateTime] = None
+    ) -> Filler:
+        """Stream a new version of an existing fragment.
+
+        ``content`` is the replacement element; its fragmented descendants
+        are split off into their own fillers automatically.  Holes already
+        present in the element (e.g. copied from the previous version) are
+        preserved.
+        """
+        tsid = self._tsid.get(filler_id)
+        if tsid is None:
+            raise StreamServerError(f"unknown fragment id {filler_id}")
+        tag = self.tag_structure.by_id(tsid)
+        time = valid_time or self.clock.now()
+        payload, nested = self._split_content(content, tag, time, filler_id)
+        filler = Filler(filler_id, tsid, time, payload)
+        self._remember(filler)
+        self._send(filler)
+        for extra in nested:
+            self._remember(extra)
+            self._send(extra)
+        return filler
+
+    def emit_event(
+        self,
+        parent_id: int,
+        element: Element,
+        valid_time: Optional[XSDateTime] = None,
+    ) -> Filler:
+        """Stream a new event under a parent fragment.
+
+        With shared event holes (the default) the event reuses the parent's
+        event hole, so only the event filler travels.  Otherwise the parent
+        fragment is republished with a fresh hole first (paper §1: insertion
+        updates the containing fragment).
+        """
+        tag = self._child_tag(parent_id, element.tag)
+        if tag.type is not TagType.EVENT:
+            raise StreamServerError(f"<{element.tag}> is not an event tag")
+        time = valid_time or self.clock.now()
+        hole_id = self._hole_for(parent_id, element, tag, time)
+        payload, nested = self._split_content(element, tag, time, hole_id)
+        filler = Filler(hole_id, tag.tsid, time, payload)
+        self._remember(filler)
+        self._send(filler)
+        for extra in nested:
+            self._remember(extra)
+            self._send(extra)
+        return filler
+
+    def insert_child(
+        self,
+        parent_id: int,
+        element: Element,
+        valid_time: Optional[XSDateTime] = None,
+    ) -> Filler:
+        """Insert a new temporal child: republish parent with a new hole."""
+        tag = self._child_tag(parent_id, element.tag)
+        time = valid_time or self.clock.now()
+        hole_id = self.fragmenter.next_filler_id()
+        self.fragmenter.hole_registry[
+            (parent_id, element.tag, element.attrs.get("id"))
+        ] = hole_id
+        parent = self._content[parent_id].copy()
+        parent.append(make_hole(hole_id, tag.tsid))
+        parent_filler = Filler(parent_id, self._tsid[parent_id], time, parent)
+        self._remember(parent_filler)
+        self._send(parent_filler)
+        payload, nested = self._split_content(element, tag, time, hole_id)
+        filler = Filler(hole_id, tag.tsid, time, payload)
+        self._remember(filler)
+        self._send(filler)
+        for extra in nested:
+            self._remember(extra)
+            self._send(extra)
+        return filler
+
+    def delete_child(
+        self, parent_id: int, hole_id: int, valid_time: Optional[XSDateTime] = None
+    ) -> Filler:
+        """Delete a child fragment by removing its hole from the parent.
+
+        All fragments below the removed hole become inaccessible in the
+        temporal view from this version on (paper §1).
+        """
+        parent = self._content.get(parent_id)
+        if parent is None:
+            raise StreamServerError(f"unknown fragment id {parent_id}")
+        time = valid_time or self.clock.now()
+        copy = parent.copy()
+        removed = False
+        for hole in list(copy.iter()):
+            if (
+                isinstance(hole, Element)
+                and hole.tag == "hole"
+                and hole.attrs.get("id") == str(hole_id)
+            ):
+                hole.parent.remove(hole)
+                removed = True
+        if not removed:
+            raise StreamServerError(f"fragment {parent_id} has no hole {hole_id}")
+        filler = Filler(parent_id, self._tsid[parent_id], time, copy)
+        self._remember(filler)
+        self._send(filler)
+        return filler
+
+    def repeat_fragment(self, filler_id: int) -> Filler:
+        """Re-broadcast a fragment (reliability aid, paper §1).
+
+        For temporal/snapshot fragments the latest version is repeated;
+        for event ids every recorded event is repeated (they coexist).
+        Repeated fillers keep their original validTime, so stores that
+        already have them drop the duplicates.
+        """
+        history = self._event_history.get(filler_id)
+        if history:
+            for event in history:
+                self._send(event)
+            return history[-1]
+        content = self._content.get(filler_id)
+        if content is None:
+            raise StreamServerError(f"unknown fragment id {filler_id}")
+        filler = Filler(
+            filler_id, self._tsid[filler_id], self._times[filler_id], content.copy()
+        )
+        self._send(filler)
+        return filler
+
+    # -- lookup helpers ------------------------------------------------------------------
+
+    def hole_id(self, parent_id: int, tag_name: str, key: Optional[str] = None) -> int:
+        """Find the hole/filler id registered for a child of a fragment."""
+        registry = self.fragmenter.hole_registry
+        found = registry.get((parent_id, tag_name, key))
+        if found is None and key is None:
+            # Any unique entry for that (parent, tag) works.
+            matches = [
+                hole
+                for (owner, tag, _k), hole in registry.items()
+                if owner == parent_id and tag == tag_name
+            ]
+            if len(matches) == 1:
+                found = matches[0]
+        if found is None:
+            raise StreamServerError(
+                f"no registered hole for <{tag_name}> (key={key!r}) under fragment {parent_id}"
+            )
+        return found
+
+    def latest_content(self, filler_id: int) -> Element:
+        """A copy of the latest content of a fragment."""
+        content = self._content.get(filler_id)
+        if content is None:
+            raise StreamServerError(f"unknown fragment id {filler_id}")
+        return content.copy()
+
+    # -- internals -----------------------------------------------------------------------------
+
+    def _child_tag(self, parent_id: int, name: str) -> TagNode:
+        parent_tsid = self._tsid.get(parent_id)
+        if parent_tsid is None:
+            raise StreamServerError(f"unknown fragment id {parent_id}")
+        parent_tag = self.tag_structure.by_id(parent_tsid)
+        for node in parent_tag.walk():
+            if node.name == name and node is not parent_tag:
+                return node
+        raise StreamServerError(
+            f"<{name}> is not declared under <{parent_tag.name}>"
+        )
+
+    def _hole_for(
+        self, parent_id: int, element: Element, tag: TagNode, time: XSDateTime
+    ) -> int:
+        registry = self.fragmenter.hole_registry
+        if self.fragmenter.shared_event_holes:
+            shared = registry.get((parent_id, element.tag, None))
+            if shared is not None:
+                return shared
+            hole_id = self.fragmenter.next_filler_id()
+            registry[(parent_id, element.tag, None)] = hole_id
+            self._add_hole_to_parent(parent_id, hole_id, tag.tsid, time)
+            return hole_id
+        hole_id = self.fragmenter.next_filler_id()
+        registry[(parent_id, element.tag, element.attrs.get("id"))] = hole_id
+        self._add_hole_to_parent(parent_id, hole_id, tag.tsid, time)
+        return hole_id
+
+    def _add_hole_to_parent(
+        self, parent_id: int, hole_id: int, tsid: int, time: XSDateTime
+    ) -> None:
+        parent = self._content.get(parent_id)
+        if parent is None:
+            raise StreamServerError(f"unknown fragment id {parent_id}")
+        copy = parent.copy()
+        copy.append(make_hole(hole_id, tsid))
+        filler = Filler(parent_id, self._tsid[parent_id], time, copy)
+        self._remember(filler)
+        self._send(filler)
+
+    def _split_content(
+        self, element: Element, tag: TagNode, time: XSDateTime, owner_id: int
+    ) -> tuple[Element, list[Filler]]:
+        try:
+            return self.fragmenter.fragment_element(element, tag, time, owner_id)
+        except FragmentationError as exc:
+            raise StreamServerError(str(exc)) from exc
+
+    def _remember(self, filler: Filler) -> None:
+        self._content[filler.filler_id] = filler.content.copy()
+        self._tsid[filler.filler_id] = filler.tsid
+        self._times[filler.filler_id] = filler.valid_time
+        tag = self.tag_structure.get(filler.tsid)
+        if tag is not None and tag.type is TagType.EVENT:
+            self._event_history.setdefault(filler.filler_id, []).append(
+                Filler(filler.filler_id, filler.tsid, filler.valid_time, filler.content.copy())
+            )
+
+    def _send(self, filler: Filler) -> None:
+        self.sent_fillers += 1
+        payload = filler.to_xml()
+        self.sent_bytes += len(payload.encode("utf-8"))
+        self.channel.publish(Message(FILLER, self.name, payload))

@@ -1,0 +1,96 @@
+"""Push-based transport: one-way broadcast channels (paper §1).
+
+The paper's configuration is radio-like: servers multicast to registered
+clients and receive no feedback — a client cannot request retransmission
+after a noise burst.  :class:`Channel` models the in-process fan-out;
+:class:`LossyChannel` injects deterministic loss and duplication so tests
+can exercise the client-side tolerance (duplicate fillers are idempotent in
+the store; servers may schedule repeats of critical fragments).
+
+Messages are delivered as wire text (serialized XML), so every hop runs
+through the real serializer and parser.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Message", "Channel", "LossyChannel"]
+
+TAG_STRUCTURE = "tag_structure"
+FILLER = "filler"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One broadcast unit: a kind tag plus its XML wire text."""
+
+    kind: str  # TAG_STRUCTURE or FILLER
+    stream: str
+    payload: str  # serialized XML
+
+    @property
+    def wire_size(self) -> int:
+        """Payload size in bytes as transmitted."""
+        return len(self.payload.encode("utf-8"))
+
+
+class Channel:
+    """An in-process broadcast channel with subscriber fan-out."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[Message], None]] = []
+        self.published = 0
+        self.delivered = 0
+
+    def subscribe(self, callback: Callable[[Message], None]) -> None:
+        """Register a delivery callback (a client's ingest hook)."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Message], None]) -> None:
+        """Remove a previously registered callback."""
+        self._subscribers.remove(callback)
+
+    def publish(self, message: Message) -> None:
+        """Broadcast one message to every subscriber."""
+        self.published += 1
+        for subscriber in list(self._subscribers):
+            self._deliver(subscriber, message)
+
+    def _deliver(self, subscriber: Callable[[Message], None], message: Message) -> None:
+        self.delivered += 1
+        subscriber(message)
+
+
+class LossyChannel(Channel):
+    """A channel that drops and duplicates messages deterministically.
+
+    ``loss_rate`` is the independent per-delivery drop probability;
+    ``duplicate_rate`` re-delivers a message immediately (simulating the
+    server's repetition of critical fragments reaching a client twice).
+    The RNG is seeded, so failures replay exactly.
+    """
+
+    def __init__(self, loss_rate: float = 0.0, duplicate_rate: float = 0.0, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if not 0.0 <= duplicate_rate < 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1)")
+        self.loss_rate = loss_rate
+        self.duplicate_rate = duplicate_rate
+        self.dropped = 0
+        self.duplicated = 0
+        self._rng = random.Random(seed)
+
+    def _deliver(self, subscriber: Callable[[Message], None], message: Message) -> None:
+        if self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        subscriber(message)
+        if self._rng.random() < self.duplicate_rate:
+            self.duplicated += 1
+            subscriber(message)

@@ -1,0 +1,33 @@
+"""Temporal substrate: ISO 8601 values, intervals, and coalescing.
+
+This package implements the time model of Bose & Fegaras (SIGMOD 2004):
+
+- :mod:`repro.temporal.chrono` — ``xs:dateTime`` and ``xs:duration`` values
+  (the paper's ``CCYY-MM-DDThh:mm:ss`` and ``PnYnMnDTnHnMnS`` formats),
+  implemented from scratch on a proleptic-Gregorian day-number algorithm.
+- :mod:`repro.temporal.interval` — closed time intervals whose endpoints may
+  be the symbolic constants ``start`` (beginning of time) and ``now``
+  (the moving evaluation instant), plus the Allen interval relations used by
+  XCQL coincidence queries.
+- :mod:`repro.temporal.coalesce` — temporal coalescing of value-equivalent
+  versions (related-work §9 of the paper).
+"""
+
+from repro.temporal.chrono import XSDateTime, XSDuration
+from repro.temporal.interval import (
+    NOW,
+    START,
+    TimeInterval,
+    TimePoint,
+)
+from repro.temporal.coalesce import coalesce_versions
+
+__all__ = [
+    "XSDateTime",
+    "XSDuration",
+    "TimeInterval",
+    "TimePoint",
+    "NOW",
+    "START",
+    "coalesce_versions",
+]

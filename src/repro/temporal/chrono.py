@@ -1,0 +1,415 @@
+"""ISO 8601 date/time and duration values, built from scratch.
+
+The paper's XCQL language uses two lexical shapes (its §2):
+
+- times of type ``xs:dateTime`` in the ISO 8601 extended format
+  ``CCYY-MM-DDThh:mm:ss`` (optionally with fractional seconds and a
+  timezone designator), and
+- durations of the form ``PnYnMnDTnHnMnS`` (``xs:duration`` and its
+  ``xdt:dayTimeDuration`` / ``xdt:yearMonthDuration`` subtypes).
+
+We implement both on top of a proleptic Gregorian day-number algorithm
+(no dependency on :mod:`datetime`), because the query engine needs exact
+control over comparison, arithmetic and the symbolic ``now`` constant.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import total_ordering
+
+__all__ = [
+    "XSDateTime",
+    "XSDuration",
+    "ChronoError",
+    "days_from_civil",
+    "civil_from_days",
+    "is_leap_year",
+    "days_in_month",
+]
+
+
+class ChronoError(ValueError):
+    """Raised for invalid date/time or duration lexical forms or values."""
+
+
+# ---------------------------------------------------------------------------
+# Proleptic Gregorian day-number conversion (Howard Hinnant's algorithm).
+# Day 0 is 1970-01-01.
+# ---------------------------------------------------------------------------
+
+
+def days_from_civil(year: int, month: int, day: int) -> int:
+    """Number of days between 1970-01-01 and the given civil date.
+
+    Valid for any year in the proleptic Gregorian calendar; negative for
+    dates before the epoch.
+    """
+    year -= month <= 2
+    era = (year if year >= 0 else year - 399) // 400
+    yoe = year - era * 400  # [0, 399]
+    doy = (153 * (month + (-3 if month > 2 else 9)) + 2) // 5 + day - 1
+    doe = yoe * 365 + yoe // 4 - yoe // 100 + doy  # [0, 146096]
+    return era * 146097 + doe - 719468
+
+
+def civil_from_days(days: int) -> tuple[int, int, int]:
+    """Inverse of :func:`days_from_civil`: day number -> (year, month, day)."""
+    days += 719468
+    era = (days if days >= 0 else days - 146096) // 146097
+    doe = days - era * 146097  # [0, 146096]
+    yoe = (doe - doe // 1460 + doe // 36524 - doe // 146096) // 365
+    year = yoe + era * 400
+    doy = doe - (365 * yoe + yoe // 4 - yoe // 100)  # [0, 365]
+    mp = (5 * doy + 2) // 153  # [0, 11]
+    day = doy - (153 * mp + 2) // 5 + 1  # [1, 31]
+    month = mp + (3 if mp < 10 else -9)  # [1, 12]
+    return year + (month <= 2), month, day
+
+
+def is_leap_year(year: int) -> bool:
+    """True for Gregorian leap years."""
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+_DAYS_IN_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def days_in_month(year: int, month: int) -> int:
+    """Number of days in the given month (1-12) of the given year."""
+    if month == 2 and is_leap_year(year):
+        return 29
+    return _DAYS_IN_MONTH[month - 1]
+
+
+# ---------------------------------------------------------------------------
+# Durations
+# ---------------------------------------------------------------------------
+
+_DURATION_RE = re.compile(
+    r"^(?P<sign>-)?P"
+    r"(?:(?P<years>\d+)Y)?"
+    r"(?:(?P<months>\d+)M)?"
+    r"(?:(?P<days>\d+)D)?"
+    r"(?:T"
+    r"(?:(?P<hours>\d+)H)?"
+    r"(?:(?P<minutes>\d+)M)?"
+    r"(?:(?P<seconds>\d+(?:\.\d+)?)S)?"
+    r")?$"
+)
+
+
+@total_ordering
+class XSDuration:
+    """An ``xs:duration``: a month component plus a seconds component.
+
+    Internally a duration is normalized to ``(months, seconds)``; the day,
+    hour and minute parts of the lexical form fold into ``seconds``.  Pure
+    day-time durations (``months == 0``) and pure year-month durations
+    (``seconds == 0``) admit a total order; mixed durations may only be
+    tested for equality, as in XML Schema.
+    """
+
+    __slots__ = ("months", "seconds")
+
+    def __init__(self, months: int = 0, seconds: float = 0.0):
+        self.months = int(months)
+        self.seconds = float(seconds)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "XSDuration":
+        """Parse a ``PnYnMnDTnHnMnS`` lexical form (with optional ``-``)."""
+        text = text.strip()
+        match = _DURATION_RE.match(text)
+        if not match or text in ("P", "-P") or text.endswith("T"):
+            raise ChronoError(f"invalid xs:duration literal: {text!r}")
+        parts = match.groupdict()
+        if not any(parts[k] for k in ("years", "months", "days", "hours", "minutes", "seconds")):
+            raise ChronoError(f"invalid xs:duration literal: {text!r}")
+        months = int(parts["years"] or 0) * 12 + int(parts["months"] or 0)
+        seconds = (
+            int(parts["days"] or 0) * 86400
+            + int(parts["hours"] or 0) * 3600
+            + int(parts["minutes"] or 0) * 60
+            + float(parts["seconds"] or 0)
+        )
+        if parts["sign"]:
+            months, seconds = -months, -seconds
+        return cls(months, seconds)
+
+    @classmethod
+    def of(
+        cls,
+        years: int = 0,
+        months: int = 0,
+        days: int = 0,
+        hours: int = 0,
+        minutes: int = 0,
+        seconds: float = 0.0,
+    ) -> "XSDuration":
+        """Build a duration from component counts (all may be negative)."""
+        return cls(
+            years * 12 + months,
+            days * 86400 + hours * 3600 + minutes * 60 + seconds,
+        )
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def is_day_time(self) -> bool:
+        """True when the duration has no year/month component."""
+        return self.months == 0
+
+    @property
+    def is_year_month(self) -> bool:
+        """True when the duration has no day/time component."""
+        return self.seconds == 0.0
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __neg__(self) -> "XSDuration":
+        return XSDuration(-self.months, -self.seconds)
+
+    def __add__(self, other: object) -> "XSDuration":
+        if not isinstance(other, XSDuration):
+            return NotImplemented
+        return XSDuration(self.months + other.months, self.seconds + other.seconds)
+
+    def __sub__(self, other: object) -> "XSDuration":
+        if not isinstance(other, XSDuration):
+            return NotImplemented
+        return XSDuration(self.months - other.months, self.seconds - other.seconds)
+
+    def __mul__(self, factor: object) -> "XSDuration":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        return XSDuration(round(self.months * factor), self.seconds * factor)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, divisor: object) -> "XSDuration":
+        if not isinstance(divisor, (int, float)):
+            return NotImplemented
+        if divisor == 0:
+            raise ZeroDivisionError("duration division by zero")
+        return XSDuration(round(self.months / divisor), self.seconds / divisor)
+
+    # -- comparison ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, XSDuration):
+            return NotImplemented
+        return self.months == other.months and self.seconds == other.seconds
+
+    def __lt__(self, other: "XSDuration") -> bool:
+        if not isinstance(other, XSDuration):
+            return NotImplemented
+        if self.is_day_time and other.is_day_time:
+            return self.seconds < other.seconds
+        if self.is_year_month and other.is_year_month:
+            return self.months < other.months
+        raise ChronoError(
+            "mixed year-month/day-time durations are not totally ordered"
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.months, self.seconds))
+
+    # -- rendering -----------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.months == 0 and self.seconds == 0:
+            return "PT0S"
+        negative = self.months < 0 or self.seconds < 0
+        if negative and (self.months > 0 or self.seconds > 0):
+            # Mixed-sign durations have no single canonical ISO form; render
+            # the two components independently under one sign by convention.
+            raise ChronoError("cannot render mixed-sign duration")
+        months = abs(self.months)
+        seconds = abs(self.seconds)
+        out = ["-P" if negative else "P"]
+        years, months = divmod(months, 12)
+        if years:
+            out.append(f"{years}Y")
+        if months:
+            out.append(f"{months}M")
+        days, rem = divmod(seconds, 86400)
+        hours, rem = divmod(rem, 3600)
+        minutes, secs = divmod(rem, 60)
+        if days:
+            out.append(f"{int(days)}D")
+        if hours or minutes or secs:
+            out.append("T")
+            if hours:
+                out.append(f"{int(hours)}H")
+            if minutes:
+                out.append(f"{int(minutes)}M")
+            if secs:
+                if secs == int(secs):
+                    out.append(f"{int(secs)}S")
+                else:
+                    out.append(f"{secs:.6f}".rstrip("0") + "S")
+        return "".join(out)
+
+    def __repr__(self) -> str:
+        return f"XSDuration({self.months}, {self.seconds})"
+
+
+# ---------------------------------------------------------------------------
+# Date-times
+# ---------------------------------------------------------------------------
+
+_DATETIME_RE = re.compile(
+    r"^(?P<year>-?\d{4,})-(?P<month>\d{2})-(?P<day>\d{1,2})"
+    r"(?:T(?P<hour>\d{1,2}):(?P<minute>\d{2}):(?P<second>\d{2}(?:\.\d+)?)"
+    r"(?P<tz>Z|[+-]\d{2}:\d{2})?)?$"
+)
+
+
+@total_ordering
+class XSDateTime:
+    """An ``xs:dateTime`` value in the proleptic Gregorian calendar.
+
+    Values are normalized to UTC at construction when a timezone designator
+    is present; naive values are treated as UTC (the paper's streams carry a
+    single implicit timezone).  The date-only lexical form ``CCYY-MM-DD`` is
+    accepted and means midnight, which lets XCQL literals such as
+    ``2003-11-01`` act as time points.
+    """
+
+    __slots__ = ("year", "month", "day", "hour", "minute", "second")
+
+    def __init__(
+        self,
+        year: int,
+        month: int,
+        day: int,
+        hour: int = 0,
+        minute: int = 0,
+        second: float = 0.0,
+    ):
+        if not 1 <= month <= 12:
+            raise ChronoError(f"month out of range: {month}")
+        if not 1 <= day <= days_in_month(year, month):
+            raise ChronoError(f"day out of range: {year}-{month:02d}-{day}")
+        if not 0 <= hour < 24:
+            raise ChronoError(f"hour out of range: {hour}")
+        if not 0 <= minute < 60:
+            raise ChronoError(f"minute out of range: {minute}")
+        if not 0 <= second < 60:
+            raise ChronoError(f"second out of range: {second}")
+        self.year = int(year)
+        self.month = int(month)
+        self.day = int(day)
+        self.hour = int(hour)
+        self.minute = int(minute)
+        self.second = float(second)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "XSDateTime":
+        """Parse ``CCYY-MM-DDThh:mm:ss[.fff][Z|±hh:mm]`` or ``CCYY-MM-DD``."""
+        text = text.strip()
+        match = _DATETIME_RE.match(text)
+        if not match:
+            raise ChronoError(f"invalid xs:dateTime literal: {text!r}")
+        parts = match.groupdict()
+        value = cls(
+            int(parts["year"]),
+            int(parts["month"]),
+            int(parts["day"]),
+            int(parts["hour"] or 0),
+            int(parts["minute"] or 0),
+            float(parts["second"] or 0),
+        )
+        tz = parts["tz"]
+        if tz and tz != "Z":
+            sign = 1 if tz[0] == "+" else -1
+            offset_minutes = sign * (int(tz[1:3]) * 60 + int(tz[4:6]))
+            value = value - XSDuration(0, offset_minutes * 60)
+        return value
+
+    @classmethod
+    def from_epoch_seconds(cls, seconds: float) -> "XSDateTime":
+        """Build from seconds since 1970-01-01T00:00:00 UTC."""
+        days, rem = divmod(seconds, 86400.0)
+        year, month, day = civil_from_days(int(days))
+        hour, rem = divmod(rem, 3600.0)
+        minute, sec = divmod(rem, 60.0)
+        # Guard against float edge where sec == 60 after divmod rounding.
+        if sec >= 60.0:
+            sec -= 60.0
+            minute += 1
+        if minute >= 60:
+            minute -= 60
+            hour += 1
+        return cls(year, month, day, int(hour), int(minute), sec)
+
+    # -- conversion ----------------------------------------------------------
+
+    def to_epoch_seconds(self) -> float:
+        """Seconds since 1970-01-01T00:00:00 UTC."""
+        days = days_from_civil(self.year, self.month, self.day)
+        return days * 86400.0 + self.hour * 3600 + self.minute * 60 + self.second
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _add_months(self, months: int) -> "XSDateTime":
+        total = self.year * 12 + (self.month - 1) + months
+        year, month0 = divmod(total, 12)
+        month = month0 + 1
+        day = min(self.day, days_in_month(year, month))
+        return XSDateTime(year, month, day, self.hour, self.minute, self.second)
+
+    def __add__(self, other: object) -> "XSDateTime":
+        if not isinstance(other, XSDuration):
+            return NotImplemented
+        value = self
+        if other.months:
+            value = value._add_months(other.months)
+        if other.seconds:
+            value = XSDateTime.from_epoch_seconds(value.to_epoch_seconds() + other.seconds)
+        return value
+
+    def __sub__(self, other: object):
+        if isinstance(other, XSDuration):
+            return self + (-other)
+        if isinstance(other, XSDateTime):
+            return XSDuration(0, self.to_epoch_seconds() - other.to_epoch_seconds())
+        return NotImplemented
+
+    # -- comparison ----------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (self.year, self.month, self.day, self.hour, self.minute, self.second)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, XSDateTime):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __lt__(self, other: "XSDateTime") -> bool:
+        if not isinstance(other, XSDateTime):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    # -- rendering -----------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.second == int(self.second):
+            sec = f"{int(self.second):02d}"
+        else:
+            sec = f"{self.second:09.6f}".rstrip("0")
+        return (
+            f"{self.year:04d}-{self.month:02d}-{self.day:02d}"
+            f"T{self.hour:02d}:{self.minute:02d}:{sec}"
+        )
+
+    def __repr__(self) -> str:
+        return f"XSDateTime.parse({str(self)!r})"

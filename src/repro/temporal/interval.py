@@ -1,0 +1,244 @@
+"""Closed time intervals with the symbolic endpoints ``start`` and ``now``.
+
+XCQL (paper §2) writes the interval ``[time1, time2]`` for all time points
+between and including its endpoints, where a time expression may use the
+constant ``start`` (the beginning of time) and the constant ``now`` (the
+current instant, which moves during continuous evaluation).  An interval with
+a single point, ``[t]``, abbreviates ``[t, t]``.
+
+A :class:`TimeInterval` therefore keeps *unresolved* endpoints; the engine
+resolves ``now`` against a clock reading before performing the Allen-style
+comparisons (``a before b`` ≡ ``a.t2 < b.t3`` in the paper) or clipping done
+by interval projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.temporal.chrono import XSDateTime
+
+__all__ = ["START", "NOW", "TimePoint", "TimeInterval", "IntervalError"]
+
+
+class IntervalError(ValueError):
+    """Raised for ill-formed intervals or unresolved symbolic comparisons."""
+
+
+class _Symbolic:
+    """A symbolic time point: the ``start`` or ``now`` XCQL constant."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __deepcopy__(self, memo):  # sentinels are singletons
+        return self
+
+    def __copy__(self):
+        return self
+
+
+START = _Symbolic("start")
+NOW = _Symbolic("now")
+
+TimePoint = Union[XSDateTime, _Symbolic]
+
+
+def parse_time_point(text: str) -> TimePoint:
+    """Parse a time point: ``start``, ``now`` or an ``xs:dateTime`` literal."""
+    stripped = text.strip()
+    if stripped == "start":
+        return START
+    if stripped == "now":
+        return NOW
+    return XSDateTime.parse(stripped)
+
+
+def resolve_point(point: TimePoint, now: XSDateTime) -> XSDateTime:
+    """Replace symbolic endpoints with concrete instants.
+
+    ``now`` resolves to the supplied clock reading.  ``start`` resolves to a
+    fixed instant far in the past (year 1), which compares below every
+    plausible stream timestamp.
+    """
+    if point is NOW:
+        return now
+    if point is START:
+        return _BEGINNING_OF_TIME
+    if isinstance(point, XSDateTime):
+        return point
+    raise IntervalError(f"not a time point: {point!r}")
+
+
+_BEGINNING_OF_TIME = XSDateTime(1, 1, 1)
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """A closed interval ``[begin, end]`` over (possibly symbolic) instants.
+
+    Instances are immutable.  All relational predicates and the intersection
+    operation require resolved (concrete) endpoints; call :meth:`resolve`
+    with the clock's current reading first when an endpoint may be ``now`` or
+    ``start``.
+    """
+
+    begin: TimePoint
+    end: TimePoint
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def point(cls, instant: TimePoint) -> "TimeInterval":
+        """The single-point interval ``[t]`` ≡ ``[t, t]``."""
+        return cls(instant, instant)
+
+    @classmethod
+    def always(cls) -> "TimeInterval":
+        """The default projection interval ``[start, now]`` (paper §2)."""
+        return cls(START, NOW)
+
+    @classmethod
+    def parse(cls, text: str) -> "TimeInterval":
+        """Parse ``[t1, t2]`` or ``[t]`` with dateTime/start/now points."""
+        body = text.strip()
+        if body.startswith("[") and body.endswith("]"):
+            body = body[1:-1]
+        parts = [p for p in body.split(",")]
+        if len(parts) == 1:
+            instant = parse_time_point(parts[0])
+            return cls(instant, instant)
+        if len(parts) == 2:
+            return cls(parse_time_point(parts[0]), parse_time_point(parts[1]))
+        raise IntervalError(f"invalid interval literal: {text!r}")
+
+    # -- resolution ----------------------------------------------------------
+
+    @property
+    def is_resolved(self) -> bool:
+        """True when both endpoints are concrete instants."""
+        return isinstance(self.begin, XSDateTime) and isinstance(self.end, XSDateTime)
+
+    def resolve(self, now: XSDateTime) -> "TimeInterval":
+        """Replace ``start``/``now`` endpoints using the given clock reading."""
+        resolved = TimeInterval(resolve_point(self.begin, now), resolve_point(self.end, now))
+        if resolved.begin > resolved.end:
+            raise IntervalError(
+                f"interval begin after end: [{resolved.begin}, {resolved.end}]"
+            )
+        return resolved
+
+    def _require_resolved(self, other: "TimeInterval | None" = None) -> None:
+        if not self.is_resolved or (other is not None and not other.is_resolved):
+            raise IntervalError("interval relation on unresolved interval; call resolve() first")
+
+    # -- Allen relations (paper §2: `a before b` ≡ a.t2 < b.t3, etc.) --------
+
+    def before(self, other: "TimeInterval") -> bool:
+        """True when this interval ends strictly before the other begins."""
+        self._require_resolved(other)
+        return self.end < other.begin
+
+    def after(self, other: "TimeInterval") -> bool:
+        """True when this interval begins strictly after the other ends."""
+        self._require_resolved(other)
+        return self.begin > other.end
+
+    def meets(self, other: "TimeInterval") -> bool:
+        """True when this interval ends exactly where the other begins."""
+        self._require_resolved(other)
+        return self.end == other.begin
+
+    def met_by(self, other: "TimeInterval") -> bool:
+        """True when this interval begins exactly where the other ends."""
+        self._require_resolved(other)
+        return self.begin == other.end
+
+    def overlaps(self, other: "TimeInterval") -> bool:
+        """True when the two (closed) intervals share at least one instant."""
+        self._require_resolved(other)
+        return self.begin <= other.end and other.begin <= self.end
+
+    def contains(self, other: "TimeInterval") -> bool:
+        """True when the other interval lies entirely within this one."""
+        self._require_resolved(other)
+        return self.begin <= other.begin and other.end <= self.end
+
+    def during(self, other: "TimeInterval") -> bool:
+        """True when this interval lies entirely within the other."""
+        return other.contains(self)
+
+    def starts(self, other: "TimeInterval") -> bool:
+        """True when both begin together and this one ends no later."""
+        self._require_resolved(other)
+        return self.begin == other.begin and self.end <= other.end
+
+    def finishes(self, other: "TimeInterval") -> bool:
+        """True when both end together and this one begins no earlier."""
+        self._require_resolved(other)
+        return self.end == other.end and self.begin >= other.begin
+
+    def started_by(self, other: "TimeInterval") -> bool:
+        """Inverse of :meth:`starts`."""
+        return other.starts(self)
+
+    def finished_by(self, other: "TimeInterval") -> bool:
+        """Inverse of :meth:`finishes`."""
+        return other.finishes(self)
+
+    def overlapped_by(self, other: "TimeInterval") -> bool:
+        """Inverse of :meth:`overlaps` (same symmetric predicate)."""
+        return other.overlaps(self)
+
+    def equals(self, other: "TimeInterval") -> bool:
+        """True when both intervals have identical endpoints."""
+        self._require_resolved(other)
+        return self.begin == other.begin and self.end == other.end
+
+    def contains_point(self, instant: XSDateTime) -> bool:
+        """True when the (closed) interval includes the given instant."""
+        self._require_resolved()
+        return self.begin <= instant <= self.end
+
+    # -- combination ---------------------------------------------------------
+
+    def intersect(self, other: "TimeInterval") -> "TimeInterval | None":
+        """The overlap of two resolved intervals, or ``None`` when disjoint.
+
+        Interval projection (paper §6) clips element lifespans to the
+        projection window with exactly this operation.
+        """
+        self._require_resolved(other)
+        begin = max(self.begin, other.begin)
+        end = min(self.end, other.end)
+        if begin > end:
+            return None
+        return TimeInterval(begin, end)
+
+    def cover(self, other: "TimeInterval") -> "TimeInterval":
+        """The minimal resolved interval covering both inputs.
+
+        Lifespan propagation (paper §2) gives a parent element the minimum
+        lifespan covering its children's lifespans.
+        """
+        self._require_resolved(other)
+        return TimeInterval(min(self.begin, other.begin), max(self.end, other.end))
+
+    def duration_seconds(self) -> float:
+        """Length of a resolved interval in seconds."""
+        self._require_resolved()
+        return (self.end - self.begin).seconds
+
+    # -- rendering -----------------------------------------------------------
+
+    def __str__(self) -> str:
+        return f"[{self.begin}, {self.end}]"

@@ -1,0 +1,26 @@
+"""The XMark benchmark substrate (paper §7's workload).
+
+- :mod:`repro.xmark.generator` — a deterministic clone of the ``xmlgen``
+  auction-document generator, parameterized by XMark's scale factor;
+- :mod:`repro.xmark.schema` — the Tag Structure used to fragment the
+  auction document into the stream the benchmarks query;
+- :mod:`repro.xmark.queries` — the paper's Q1/Q2/Q5 plus extra XMark
+  queries, written against ``stream("auction")``.
+"""
+
+from repro.xmark.generator import ScaleProfile, XMarkGenerator, generate_auction_document
+from repro.xmark.queries import ALL_QUERIES, PAPER_QUERIES, Q1, Q2, Q5, Q8
+from repro.xmark.schema import AUCTION_STREAM, auction_tag_structure
+
+__all__ = [
+    "XMarkGenerator",
+    "ScaleProfile",
+    "generate_auction_document",
+    "auction_tag_structure",
+    "AUCTION_STREAM",
+    "Q1",
+    "Q2",
+    "Q5",
+    "PAPER_QUERIES",
+    "ALL_QUERIES",
+]

@@ -1,0 +1,342 @@
+"""A deterministic pure-Python clone of the XMark ``xmlgen`` generator.
+
+Generates auction-site documents with the XMark schema — ``site`` with
+``regions`` (items), ``categories``, ``people``, ``open_auctions`` and
+``closed_auctions`` — sized by the same scale factor the paper sweeps
+(§7 uses ``xmlgen -f 0.0 / 0.05 / 0.1``).  Cardinalities follow XMark's
+published factor-1.0 totals (25 500 people, 21 750 items, 12 000 open and
+9 750 closed auctions, 1 000 categories), scaled and floored at the
+``-f 0.0`` minimal counts.
+
+The generator is fully deterministic given a seed, so every benchmark run
+sees identical data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dom.nodes import Document, Element, Text
+from repro.xmark.words import CITIES, COUNTRIES, FIRST_NAMES, LAST_NAMES, sentence
+
+__all__ = ["XMarkGenerator", "generate_auction_document", "ScaleProfile"]
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+_REGION_SHARE = {
+    "africa": 0.02,
+    "asia": 0.10,
+    "australia": 0.05,
+    "europe": 0.30,
+    "namerica": 0.45,
+    "samerica": 0.08,
+}
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Element cardinalities for one scale factor."""
+
+    people: int
+    items: int
+    open_auctions: int
+    closed_auctions: int
+    categories: int
+
+    @classmethod
+    def for_factor(cls, factor: float) -> "ScaleProfile":
+        """XMark's factor-1.0 totals scaled by ``factor``.
+
+        ``factor=0.0`` produces xmlgen's minimal document (a handful of
+        each element, ~25 KB) so the paper's smallest data point exists.
+        """
+        def scaled(base: int, minimum: int) -> int:
+            return max(minimum, round(base * factor))
+
+        return cls(
+            people=scaled(25_500, 25),
+            items=scaled(21_750, 21),
+            open_auctions=scaled(12_000, 12),
+            closed_auctions=scaled(9_750, 9),
+            categories=scaled(1_000, 10),
+        )
+
+
+class XMarkGenerator:
+    """Builds auction documents element by element, deterministically."""
+
+    def __init__(self, scale: float = 0.0, seed: int = 31415):
+        self.scale = scale
+        self.profile = ScaleProfile.for_factor(scale)
+        self.rng = random.Random(seed)
+
+    # -- top level ---------------------------------------------------------------
+
+    def document(self) -> Document:
+        """The complete ``<site>`` document."""
+        document = Document()
+        document.append(self.site())
+        return document
+
+    def site(self) -> Element:
+        """The ``<site>`` element with all six sections."""
+        site = Element("site")
+        site.append(self.regions())
+        site.append(self.categories())
+        site.append(self.catgraph())
+        site.append(self.people())
+        site.append(self.open_auctions())
+        site.append(self.closed_auctions())
+        return site
+
+    # -- sections -------------------------------------------------------------------
+
+    def regions(self) -> Element:
+        regions = Element("regions")
+        counts = self._region_counts()
+        item_id = 0
+        for name in _REGIONS:
+            region = Element(name)
+            for _ in range(counts[name]):
+                region.append(self.item(item_id))
+                item_id += 1
+            regions.append(region)
+        return regions
+
+    def _region_counts(self) -> dict[str, int]:
+        """Distribute the item total across regions by the XMark shares.
+
+        Each region gets at least one item (the minimal document has items
+        everywhere); rounding remainders land in the largest region so the
+        counts sum exactly to the profile total.
+        """
+        total = self.profile.items
+        counts = {
+            name: max(1, int(total * _REGION_SHARE[name])) for name in _REGIONS
+        }
+        # Correct the rounding drift on the largest region.
+        drift = total - sum(counts.values())
+        largest = max(_REGIONS, key=lambda name: counts[name])
+        counts[largest] = max(1, counts[largest] + drift)
+        shortfall = total - sum(counts.values())
+        if shortfall:
+            counts[largest] += shortfall
+        return counts
+
+    def item(self, index: int) -> Element:
+        rng = self.rng
+        item = Element("item", {"id": f"item{index}"})
+        item.append(_text_el("location", rng.choice(COUNTRIES)))
+        item.append(_text_el("quantity", str(rng.randint(1, 5))))
+        item.append(_text_el("name", sentence(rng, 1, 3)))
+        payment = _text_el(
+            "payment",
+            rng.choice(("Creditcard", "Money order", "Personal Check", "Cash")),
+        )
+        item.append(payment)
+        item.append(self._description())
+        item.append(Element("shipping"))
+        for _ in range(rng.randint(1, 3)):
+            item.append(
+                Element(
+                    "incategory",
+                    {"category": f"category{rng.randrange(max(1, self.profile.categories))}"},
+                )
+            )
+        mailbox = Element("mailbox")
+        for _ in range(rng.randint(0, 2)):
+            mail = Element("mail")
+            mail.append(_text_el("from", self._person_name()))
+            mail.append(_text_el("to", self._person_name()))
+            mail.append(_text_el("date", self._date()))
+            mail.append(self._textblock())
+            mailbox.append(mail)
+        item.append(mailbox)
+        return item
+
+    def categories(self) -> Element:
+        categories = Element("categories")
+        for index in range(self.profile.categories):
+            category = Element("category", {"id": f"category{index}"})
+            category.append(_text_el("name", sentence(self.rng, 1, 2)))
+            category.append(self._description())
+            categories.append(category)
+        return categories
+
+    def catgraph(self) -> Element:
+        catgraph = Element("catgraph")
+        count = self.profile.categories
+        for _ in range(count):
+            edge = Element(
+                "edge",
+                {
+                    "from": f"category{self.rng.randrange(max(1, count))}",
+                    "to": f"category{self.rng.randrange(max(1, count))}",
+                },
+            )
+            catgraph.append(edge)
+        return catgraph
+
+    def people(self) -> Element:
+        people = Element("people")
+        for index in range(self.profile.people):
+            people.append(self.person(index))
+        return people
+
+    def person(self, index: int) -> Element:
+        rng = self.rng
+        person = Element("person", {"id": f"person{index}"})
+        name = self._person_name()
+        person.append(_text_el("name", name))
+        person.append(
+            _text_el("emailaddress", "mailto:" + name.replace(" ", ".") + "@example.com")
+        )
+        if rng.random() < 0.5:
+            person.append(_text_el("phone", f"+1 ({rng.randint(100, 999)}) {rng.randint(1000000, 9999999)}"))
+        if rng.random() < 0.6:
+            address = Element("address")
+            address.append(_text_el("street", f"{rng.randint(1, 99)} {sentence(rng, 1, 2)} St"))
+            address.append(_text_el("city", rng.choice(CITIES)))
+            address.append(_text_el("country", rng.choice(COUNTRIES)))
+            address.append(_text_el("zipcode", str(rng.randint(10000, 99999))))
+            person.append(address)
+        if rng.random() < 0.3:
+            person.append(_text_el("homepage", f"http://www.example.com/~{name.split()[0].lower()}"))
+        if rng.random() < 0.5:
+            person.append(_text_el("creditcard", " ".join(str(rng.randint(1000, 9999)) for _ in range(4))))
+        if rng.random() < 0.6:
+            profile = Element("profile", {"income": f"{rng.uniform(9000, 100000):.2f}"})
+            for _ in range(rng.randint(0, 3)):
+                profile.append(
+                    Element(
+                        "interest",
+                        {"category": f"category{rng.randrange(max(1, self.profile.categories))}"},
+                    )
+                )
+            if rng.random() < 0.5:
+                profile.append(_text_el("education", rng.choice(
+                    ("High School", "College", "Graduate School", "Other"))))
+            profile.append(_text_el("business", rng.choice(("Yes", "No"))))
+            if rng.random() < 0.6:
+                profile.append(_text_el("age", str(rng.randint(18, 80))))
+            person.append(profile)
+        return person
+
+    def open_auctions(self) -> Element:
+        auctions = Element("open_auctions")
+        for index in range(self.profile.open_auctions):
+            auctions.append(self.open_auction(index))
+        return auctions
+
+    def open_auction(self, index: int) -> Element:
+        rng = self.rng
+        auction = Element("open_auction", {"id": f"open_auction{index}"})
+        initial = rng.uniform(1.0, 300.0)
+        auction.append(_text_el("initial", f"{initial:.2f}"))
+        if rng.random() < 0.4:
+            auction.append(_text_el("reserve", f"{initial * rng.uniform(1.1, 2.5):.2f}"))
+        current = initial
+        for _ in range(rng.randint(0, 5)):
+            bidder = Element("bidder")
+            bidder.append(_text_el("date", self._date()))
+            bidder.append(_text_el("time", self._time()))
+            bidder.append(
+                Element(
+                    "personref",
+                    {"person": f"person{rng.randrange(max(1, self.profile.people))}"},
+                )
+            )
+            increase = rng.choice((1.5, 3.0, 4.5, 6.0, 7.5, 9.0, 12.0, 15.0))
+            current += increase
+            bidder.append(_text_el("increase", f"{increase:.2f}"))
+            auction.append(bidder)
+        auction.append(_text_el("current", f"{current:.2f}"))
+        if rng.random() < 0.3:
+            auction.append(_text_el("privacy", "Yes"))
+        auction.append(
+            Element("itemref", {"item": f"item{rng.randrange(max(1, self.profile.items))}"})
+        )
+        auction.append(
+            Element("seller", {"person": f"person{rng.randrange(max(1, self.profile.people))}"})
+        )
+        auction.append(self._annotation())
+        auction.append(_text_el("quantity", str(rng.randint(1, 5))))
+        auction.append(_text_el("type", rng.choice(("Regular", "Featured"))))
+        interval = Element("interval")
+        interval.append(_text_el("start", self._date()))
+        interval.append(_text_el("end", self._date()))
+        auction.append(interval)
+        return auction
+
+    def closed_auctions(self) -> Element:
+        auctions = Element("closed_auctions")
+        for index in range(self.profile.closed_auctions):
+            auctions.append(self.closed_auction(index))
+        return auctions
+
+    def closed_auction(self, index: int) -> Element:
+        rng = self.rng
+        auction = Element("closed_auction")
+        auction.append(
+            Element("seller", {"person": f"person{rng.randrange(max(1, self.profile.people))}"})
+        )
+        auction.append(
+            Element("buyer", {"person": f"person{rng.randrange(max(1, self.profile.people))}"})
+        )
+        auction.append(
+            Element("itemref", {"item": f"item{rng.randrange(max(1, self.profile.items))}"})
+        )
+        # Exponential-ish price distribution: most cheap, a long tail, so
+        # the paper's Q5 filter (price >= 40) is meaningfully selective.
+        price = rng.uniform(1.0, 80.0) if rng.random() < 0.7 else rng.uniform(80.0, 600.0)
+        auction.append(_text_el("price", f"{price:.2f}"))
+        auction.append(_text_el("date", self._date()))
+        auction.append(_text_el("quantity", str(rng.randint(1, 5))))
+        auction.append(_text_el("type", rng.choice(("Regular", "Featured"))))
+        auction.append(self._annotation())
+        return auction
+
+    # -- shared pieces -----------------------------------------------------------------
+
+    def _person_name(self) -> str:
+        return f"{self.rng.choice(FIRST_NAMES)} {self.rng.choice(LAST_NAMES)}"
+
+    def _date(self) -> str:
+        rng = self.rng
+        return f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/{rng.randint(1998, 2003)}"
+
+    def _time(self) -> str:
+        rng = self.rng
+        return f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}"
+
+    def _description(self) -> Element:
+        description = Element("description")
+        description.append(self._textblock())
+        return description
+
+    def _textblock(self) -> Element:
+        text = Element("text")
+        text.append(Text(sentence(self.rng, 8, 40)))
+        return text
+
+    def _annotation(self) -> Element:
+        annotation = Element("annotation")
+        author = Element(
+            "author", {"person": f"person{self.rng.randrange(max(1, self.profile.people))}"}
+        )
+        annotation.append(author)
+        description = self._description()
+        annotation.append(description)
+        annotation.append(_text_el("happiness", str(self.rng.randint(1, 10))))
+        return annotation
+
+
+def _text_el(tag: str, text: str) -> Element:
+    element = Element(tag)
+    element.append(Text(text))
+    return element
+
+
+def generate_auction_document(scale: float = 0.0, seed: int = 31415) -> Document:
+    """Generate one auction document at the given scale factor."""
+    return XMarkGenerator(scale, seed).document()

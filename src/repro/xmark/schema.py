@@ -1,0 +1,152 @@
+"""The Tag Structure for the XMark auction stream.
+
+The paper fragments the auction document for its §7 experiments; its QaC+
+example shows ``closed_auction`` fillers fetched by tsid.  We declare the
+natural fragmentation: the six entity kinds (items, categories, people,
+open and closed auctions) are ``event`` fragments (each is produced once,
+at stream time), auction containers and regions stay ``snapshot``, and
+``open_auction`` is ``temporal`` — an open auction's state (bidders,
+current price) is updated as bids arrive.
+
+Everything *below* a fragmented tag is embedded snapshot content, matching
+the paper's "reasonable fragmentation" guidance (§1): fragments are a few
+hundred bytes, and updates (a new bid) replace exactly one fragment.
+"""
+
+from __future__ import annotations
+
+from repro.fragments.tagstructure import TagStructure
+
+__all__ = ["auction_tag_structure", "AUCTION_STREAM"]
+
+AUCTION_STREAM = "auction"
+
+
+def _snapshot(name: str, *children: dict) -> dict:
+    return {"name": name, "type": "snapshot", "children": list(children)}
+
+
+def _event(name: str, *children: dict) -> dict:
+    return {"name": name, "type": "event", "children": list(children)}
+
+
+def _temporal(name: str, *children: dict) -> dict:
+    return {"name": name, "type": "temporal", "children": list(children)}
+
+
+def _item() -> dict:
+    return _event(
+        "item",
+        _snapshot("location"),
+        _snapshot("quantity"),
+        _snapshot("name"),
+        _snapshot("payment"),
+        _snapshot("description", _snapshot("text")),
+        _snapshot("shipping"),
+        _snapshot("incategory"),
+        _snapshot(
+            "mailbox",
+            _snapshot(
+                "mail",
+                _snapshot("from"),
+                _snapshot("to"),
+                _snapshot("date"),
+                _snapshot("text"),
+            ),
+        ),
+    )
+
+
+def auction_tag_structure() -> TagStructure:
+    """The Tag Structure used by all XMark benchmarks and examples."""
+    region_children = [_item()]
+    spec = _snapshot(
+        "site",
+        _snapshot("regions", *[
+            _snapshot(region, *region_children)
+            for region in ("africa", "asia", "australia", "europe", "namerica", "samerica")
+        ]),
+        _snapshot(
+            "categories",
+            _event(
+                "category",
+                _snapshot("name"),
+                _snapshot("description", _snapshot("text")),
+            ),
+        ),
+        _snapshot("catgraph", _snapshot("edge")),
+        _snapshot(
+            "people",
+            _event(
+                "person",
+                _snapshot("name"),
+                _snapshot("emailaddress"),
+                _snapshot("phone"),
+                _snapshot(
+                    "address",
+                    _snapshot("street"),
+                    _snapshot("city"),
+                    _snapshot("country"),
+                    _snapshot("province"),
+                    _snapshot("zipcode"),
+                ),
+                _snapshot("homepage"),
+                _snapshot("creditcard"),
+                _snapshot(
+                    "profile",
+                    _snapshot("interest"),
+                    _snapshot("education"),
+                    _snapshot("business"),
+                    _snapshot("age"),
+                ),
+            ),
+        ),
+        _snapshot(
+            "open_auctions",
+            _temporal(
+                "open_auction",
+                _snapshot("initial"),
+                _snapshot("reserve"),
+                _snapshot(
+                    "bidder",
+                    _snapshot("date"),
+                    _snapshot("time"),
+                    _snapshot("personref"),
+                    _snapshot("increase"),
+                ),
+                _snapshot("current"),
+                _snapshot("privacy"),
+                _snapshot("itemref"),
+                _snapshot("seller"),
+                _snapshot(
+                    "annotation",
+                    _snapshot("author"),
+                    _snapshot("description", _snapshot("text")),
+                    _snapshot("happiness"),
+                ),
+                _snapshot("quantity"),
+                _snapshot("type"),
+                _snapshot("interval", _snapshot("start"), _snapshot("end")),
+            ),
+        ),
+        _snapshot(
+            "closed_auctions",
+            _event(
+                "closed_auction",
+                _snapshot("seller"),
+                _snapshot("buyer"),
+                _snapshot("itemref"),
+                _snapshot("price"),
+                _snapshot("date"),
+                _snapshot("quantity"),
+                _snapshot("type"),
+                _snapshot(
+                    "annotation",
+                    _snapshot("author"),
+                    _snapshot("description", _snapshot("text")),
+                    _snapshot("happiness"),
+                ),
+            ),
+        ),
+    )
+    return TagStructure.build(spec)

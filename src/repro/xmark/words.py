@@ -1,0 +1,61 @@
+"""Deterministic word material for the XMark generator.
+
+The original ``xmlgen`` fills text content with Shakespeare vocabulary; we
+embed a compact word list and name pools that produce the same *shape* of
+data (word counts, name-like tokens) deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["WORDS", "FIRST_NAMES", "LAST_NAMES", "COUNTRIES", "CITIES", "sentence"]
+
+WORDS = (
+    "abandon bear beauty bell better blood bounty brave breath bright brook "
+    "burden candle castle charm cloud coast copper court crown dagger dawn "
+    "dream dusk eager earth ember envy fable faith falcon feast fire flame "
+    "forest fortune garden gentle glass glory grace grove harbor heart honest "
+    "honor hollow humble hunter iron ivory jewel journey justice keen kindle "
+    "kingdom ladder lantern laurel legend light lion marble meadow mercy mirror "
+    "moon mountain noble oak ocean orchard pearl pillar plume proud quarrel "
+    "quest quiet raven realm river rose royal rumor saddle sage sail scarlet "
+    "sea shadow shield silver solemn sorrow spark spear spirit spring stone "
+    "storm summer swift sword tale tempest thorn throne thunder tide timber "
+    "torch tower trade true trumpet valley velvet verse vessel victory vigil "
+    "vine virtue voyage wander weave whisper willow winter wisdom wolf wonder "
+    "worthy wren yield yonder zeal zephyr"
+).split()
+
+FIRST_NAMES = (
+    "James Mary Robert Patricia John Jennifer Michael Linda David Elizabeth "
+    "William Barbara Richard Susan Joseph Jessica Thomas Sarah Christopher "
+    "Karen Charles Lisa Daniel Nancy Matthew Betty Anthony Sandra Mark Ashley "
+    "Umberto Ayako Sven Ingrid Tomasz Rosa Nikolai Amara Hiro Fatima Pedro "
+    "Chiara Dmitri Leila Ahmed Greta Raj Mei Olu Sanna"
+).split()
+
+LAST_NAMES = (
+    "Smith Johnson Williams Brown Jones Garcia Miller Davis Rodriguez Martinez "
+    "Hernandez Lopez Gonzalez Wilson Anderson Thomas Taylor Moore Jackson "
+    "Martin Lee Perez Thompson White Harris Sanchez Clark Ramirez Lewis "
+    "Robinson Nakamura Kowalski Virtanen Okafor Rossi Ivanov Haddad Tanaka "
+    "Petrov Larsen Costa Novak Fischer Silva Dubois Jansen Moreau Ricci "
+    "Andersson Papadopoulos"
+).split()
+
+COUNTRIES = (
+    "United States Germany France Japan Brazil Canada Australia Spain Italy "
+    "Netherlands Sweden Poland Kenya India China Mexico Norway Finland"
+).split()
+
+CITIES = (
+    "Arlington Paris Berlin Tokyo Lyon Porto Oslo Kyoto Austin Boston Denver "
+    "Geneva Lagos Madrid Milan Nairobi Osaka Prague Quebec Seoul Turin Vienna"
+).split()
+
+
+def sentence(rng: random.Random, min_words: int = 4, max_words: int = 16) -> str:
+    """A deterministic pseudo-sentence of word-list words."""
+    count = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(WORDS) for _ in range(count))

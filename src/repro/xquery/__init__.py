@@ -1,0 +1,46 @@
+"""A from-scratch XQuery-subset engine with XCQL temporal extensions.
+
+This package substitutes for the Qizx/Open processor the paper used: it
+parses and evaluates the XQuery core that the paper's schema-based
+translation targets (FLWOR, paths, predicates, quantified expressions,
+constructors, user-defined functions) plus the XCQL temporal syntax
+(``?[..]``, ``#[..]``, ``vtFrom``/``vtTo``, ``now``/``start``, interval
+comparisons) behind the ``xcql=True`` parse flag.
+
+Typical use::
+
+    from repro.xquery import parse, Context, Evaluator
+
+    ctx = Context()
+    ctx.register_document("books.xml", my_document)
+    result = Evaluator(ctx).evaluate_module(
+        parse('for $b in doc("books.xml")//book where $b/price > 10 return $b')
+    )
+"""
+
+from repro.xquery.errors import (
+    XQueryDynamicError,
+    XQueryError,
+    XQueryNameError,
+    XQuerySyntaxError,
+    XQueryTypeError,
+)
+from repro.xquery.evaluator import Context, Evaluator, evaluate
+from repro.xquery.parser import parse, parse_expression, parse_xcql
+from repro.xquery.xast import Module, to_source
+
+__all__ = [
+    "parse",
+    "parse_expression",
+    "parse_xcql",
+    "Context",
+    "Evaluator",
+    "evaluate",
+    "Module",
+    "to_source",
+    "XQueryError",
+    "XQuerySyntaxError",
+    "XQueryTypeError",
+    "XQueryNameError",
+    "XQueryDynamicError",
+]

@@ -1,0 +1,37 @@
+"""Error hierarchy for the XQuery engine."""
+
+from __future__ import annotations
+
+__all__ = [
+    "XQueryError",
+    "XQuerySyntaxError",
+    "XQueryTypeError",
+    "XQueryNameError",
+    "XQueryDynamicError",
+]
+
+
+class XQueryError(Exception):
+    """Base class for all query compilation and evaluation errors."""
+
+
+class XQuerySyntaxError(XQueryError):
+    """A parse error, carrying the source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        position = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{position}")
+        self.line = line
+        self.column = column
+
+
+class XQueryTypeError(XQueryError):
+    """A (dynamic) type error, e.g. comparing incomparable values."""
+
+
+class XQueryNameError(XQueryError):
+    """Reference to an undefined variable or function."""
+
+
+class XQueryDynamicError(XQueryError):
+    """Any other runtime evaluation error."""

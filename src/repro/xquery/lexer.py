@@ -1,0 +1,194 @@
+"""Tokenizer for the XQuery/XCQL grammar.
+
+The lexer is deliberately dumb about keywords: XQuery keywords are
+context-sensitive (``for`` is a valid element name), so every word is a
+``NAME`` token and the parser decides.  Direct element constructors are not
+tokenized here at all — the parser switches to raw character scanning for
+them (see :meth:`Lexer.set_position`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.xquery.errors import XQuerySyntaxError
+
+__all__ = ["Token", "Lexer", "NAME", "INTEGER", "DECIMAL", "DOUBLE", "STRING", "SYMBOL", "EOF"]
+
+NAME = "NAME"
+INTEGER = "INTEGER"
+DECIMAL = "DECIMAL"
+DOUBLE = "DOUBLE"
+STRING = "STRING"
+SYMBOL = "SYMBOL"
+EOF = "EOF"
+
+# Multi-character symbols first so maximal munch wins.
+_SYMBOLS = [
+    "?[", "#[",
+    "//", "..", "::", ":=", "<=", ">=", "!=", "<<", ">>",
+    "(", ")", "[", "]", "{", "}",
+    ",", ";", "$", "@", "/", ".", "*", "+", "-", "=", "<", ">", "|", "?", "#",
+]
+
+_NAME_RE = re.compile(r"[A-Za-z_][\w\-.]*(?::[A-Za-z_][\w\-.]*)?")
+_NUMBER_RE = re.compile(r"(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?")
+_WS_RE = re.compile(r"\s+")
+
+
+@dataclass
+class Token:
+    """A lexical token with its source position."""
+
+    kind: str
+    value: str
+    pos: int
+    line: int
+    column: int
+
+    def is_symbol(self, *symbols: str) -> bool:
+        """True when this is one of the given punctuation tokens."""
+        return self.kind == SYMBOL and self.value in symbols
+
+    def is_name(self, *names: str) -> bool:
+        """True when this is a NAME token with one of the given spellings."""
+        return self.kind == NAME and self.value in names
+
+    def __str__(self) -> str:
+        return f"{self.value!r}" if self.kind != EOF else "end of query"
+
+
+class Lexer:
+    """An on-demand tokenizer with random access for the parser.
+
+    The parser may rewind (:meth:`set_position`) — used when a ``<`` turns
+    out to start a direct constructor, which is scanned character-wise from
+    the raw source.
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+
+    # -- position bookkeeping ---------------------------------------------------
+
+    def location(self, pos: int | None = None) -> tuple[int, int]:
+        """(line, column) of a source offset."""
+        at = self.pos if pos is None else pos
+        line = self.source.count("\n", 0, at) + 1
+        last_nl = self.source.rfind("\n", 0, at)
+        return line, at - last_nl
+
+    def error(self, message: str, pos: int | None = None) -> XQuerySyntaxError:
+        line, column = self.location(pos)
+        return XQuerySyntaxError(message, line, column)
+
+    def set_position(self, pos: int) -> None:
+        """Rewind/advance the raw scan position (constructor support)."""
+        self.pos = pos
+
+    # -- scanning ------------------------------------------------------------------
+
+    def skip_ignorable(self) -> None:
+        """Skip whitespace and (nested) ``(: ... :)`` comments."""
+        source = self.source
+        while self.pos < len(source):
+            match = _WS_RE.match(source, self.pos)
+            if match:
+                self.pos = match.end()
+                continue
+            if source.startswith("(:", self.pos):
+                depth = 1
+                scan = self.pos + 2
+                while depth and scan < len(source):
+                    if source.startswith("(:", scan):
+                        depth += 1
+                        scan += 2
+                    elif source.startswith(":)", scan):
+                        depth -= 1
+                        scan += 2
+                    else:
+                        scan += 1
+                if depth:
+                    raise self.error("unterminated comment")
+                self.pos = scan
+                continue
+            return
+
+    def next_token(self) -> Token:
+        """Scan and consume the next token."""
+        self.skip_ignorable()
+        start = self.pos
+        line, column = self.location(start)
+        source = self.source
+        if start >= len(source):
+            return Token(EOF, "", start, line, column)
+        char = source[start]
+
+        if char in "\"'":
+            return self._scan_string(char, start, line, column)
+
+        if char.isdigit() or (char == "." and start + 1 < len(source) and source[start + 1].isdigit()):
+            match = _NUMBER_RE.match(source, start)
+            assert match is not None
+            self.pos = match.end()
+            text = match.group()
+            if match.group(2):
+                kind = DOUBLE
+            elif "." in text:
+                kind = DECIMAL
+            else:
+                kind = INTEGER
+            return Token(kind, text, start, line, column)
+
+        match = _NAME_RE.match(source, start)
+        if match:
+            # Do not eat the colon of "name :=" or the axis "name::".
+            text = match.group()
+            if ":" in text:
+                colon = start + text.index(":")
+                if source.startswith("::", colon) or source.startswith(":=", colon):
+                    text = text[: text.index(":")]
+            self.pos = start + len(text)
+            return Token(NAME, text, start, line, column)
+
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, start):
+                self.pos = start + len(symbol)
+                return Token(SYMBOL, symbol, start, line, column)
+
+        raise self.error(f"unexpected character {char!r}")
+
+    def _scan_string(self, quote: str, start: int, line: int, column: int) -> Token:
+        source = self.source
+        scan = start + 1
+        parts: list[str] = []
+        while scan < len(source):
+            char = source[scan]
+            if char == quote:
+                if source.startswith(quote * 2, scan):
+                    parts.append(quote)
+                    scan += 2
+                    continue
+                self.pos = scan + 1
+                return Token(STRING, "".join(parts), start, line, column)
+            if char == "&":
+                semi = source.find(";", scan)
+                if semi < 0:
+                    raise self.error("unterminated entity reference in string", scan)
+                entity = source[scan + 1 : semi]
+                replacements = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+                if entity in replacements:
+                    parts.append(replacements[entity])
+                elif entity.startswith("#x") or entity.startswith("#X"):
+                    parts.append(chr(int(entity[2:], 16)))
+                elif entity.startswith("#"):
+                    parts.append(chr(int(entity[1:])))
+                else:
+                    raise self.error(f"unknown entity &{entity};", scan)
+                scan = semi + 1
+                continue
+            parts.append(char)
+            scan += 1
+        raise self.error("unterminated string literal", start)

@@ -1,0 +1,920 @@
+"""Recursive-descent parser for the XQuery subset, with XCQL extensions.
+
+The grammar covers what the paper's translation scheme emits and what its
+example queries use: FLWOR expressions, quantified expressions, conditionals,
+full path expressions (``/``, ``//``, wildcards, attributes, predicates),
+direct and computed constructors, user function definitions
+(``define function`` / ``declare function``) and the usual operator ladder.
+
+With ``xcql=True`` the parser additionally accepts the paper's temporal
+syntax (§2):
+
+- interval projection ``e ? [t1, t2]`` and version projection ``e # [v1, v2]``
+  (single-point shorthands ``?[t]`` / ``#[v]`` included),
+- the constants ``now`` and ``start``,
+- bare ``xs:dateTime`` literals (``2003-11-01``) and bare duration literals
+  (``PT1M``, ``P1Y2M``),
+- interval comparisons ``before / after / meets / overlaps / during /
+  icontains / istarts / finishes / iequals``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.xquery.errors import XQuerySyntaxError
+from repro.xquery.lexer import (
+    EOF,
+    INTEGER,
+    DECIMAL,
+    DOUBLE,
+    NAME,
+    STRING,
+    SYMBOL,
+    Lexer,
+    Token,
+)
+from repro.xquery.xast import (
+    BinOp,
+    CastExpr,
+    ComputedAttribute,
+    ComputedElement,
+    ComputedText,
+    DateTimeLiteral,
+    DirectAttribute,
+    DirectElement,
+    DurationLiteral,
+    Expr,
+    Filter,
+    FLWOR,
+    ForClause,
+    FunctionCall,
+    FunctionDef,
+    IfExpr,
+    InstanceOf,
+    IntervalProjection,
+    LetClause,
+    Literal,
+    Module,
+    NowConstant,
+    OrderByClause,
+    OrderSpec,
+    Param,
+    PathExpr,
+    Quantified,
+    SequenceExpr,
+    StartConstant,
+    Step,
+    UnaryOp,
+    VarRef,
+    VersionProjection,
+    WhereClause,
+)
+
+__all__ = ["parse", "parse_expression", "parse_xcql"]
+
+_DURATION_TOKEN_RE = re.compile(r"^P(\d+Y)?(\d+M)?(\d+D)?(T(\d+H)?(\d+M)?(\d+(\.\d+)?S)?)?$")
+_DATETIME_START_RE = re.compile(r"^\d{4}$")
+_INTERVAL_COMPARISONS = {
+    "before",
+    "after",
+    "meets",
+    "met-by",
+    "overlaps",
+    "during",
+    "icontains",
+    "istarts",
+    "finishes",
+    "iequals",
+}
+_VALUE_COMPARISONS = {"eq", "ne", "lt", "le", "gt", "ge"}
+_GENERAL_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, source: str, xcql: bool):
+        self.lexer = Lexer(source)
+        self.xcql = xcql
+        self.token = self.lexer.next_token()
+
+    # -- token plumbing ----------------------------------------------------------
+
+    def _advance(self) -> Token:
+        consumed = self.token
+        self.token = self.lexer.next_token()
+        return consumed
+
+    def _sync_from(self, pos: int) -> None:
+        """Re-seat the lookahead token from a raw source offset."""
+        self.lexer.set_position(pos)
+        self.token = self.lexer.next_token()
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        if not self.token.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}, found {self.token}")
+        return self._advance()
+
+    def _expect_name(self, *names: str) -> Token:
+        if self.token.kind != NAME or (names and self.token.value not in names):
+            want = " or ".join(repr(n) for n in names) if names else "a name"
+            raise self._error(f"expected {want}, found {self.token}")
+        return self._advance()
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self.token.is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _accept_name(self, *names: str) -> bool:
+        if self.token.is_name(*names):
+            self._advance()
+            return True
+        return False
+
+    def _error(self, message: str) -> XQuerySyntaxError:
+        line, column = self.lexer.location(self.token.pos)
+        return XQuerySyntaxError(message, line, column)
+
+    # -- module level ------------------------------------------------------------
+
+    def parse_module(self) -> Module:
+        functions: list[FunctionDef] = []
+        while self.token.is_name("define", "declare"):
+            functions.append(self._parse_function_def())
+            self._accept_symbol(";")
+        body = self.parse_expr()
+        if self.token.kind != EOF:
+            raise self._error(f"unexpected trailing input: {self.token}")
+        return Module(functions, body)
+
+    def _parse_function_def(self) -> FunctionDef:
+        self._expect_name("define", "declare")
+        self._expect_name("function")
+        name = self._expect_name().value
+        self._expect_symbol("(")
+        params: list[Param] = []
+        if not self.token.is_symbol(")"):
+            while True:
+                self._expect_symbol("$")
+                pname = self._expect_name().value
+                ptype = None
+                if self._accept_name("as"):
+                    ptype = self._parse_sequence_type()
+                params.append(Param(pname, ptype))
+                if not self._accept_symbol(","):
+                    break
+        self._expect_symbol(")")
+        return_type = None
+        if self._accept_name("as"):
+            return_type = self._parse_sequence_type()
+        self._expect_symbol("{")
+        body = self.parse_expr()
+        self._expect_symbol("}")
+        return FunctionDef(name, params, return_type, body)
+
+    def _parse_sequence_type(self) -> str:
+        """A sequence type, kept as a string (used for documentation only)."""
+        name = self._expect_name().value
+        if self._accept_symbol("("):
+            self._expect_symbol(")")
+            name += "()"
+        for marker in ("*", "?", "+"):
+            if self.token.is_symbol(marker):
+                self._advance()
+                name += marker
+                break
+        return name
+
+    # -- expressions ----------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        first = self.parse_expr_single()
+        if not self.token.is_symbol(","):
+            return first
+        items = [first]
+        while self._accept_symbol(","):
+            items.append(self.parse_expr_single())
+        return SequenceExpr(items)
+
+    def parse_expr_single(self) -> Expr:
+        token = self.token
+        if token.kind == NAME:
+            if token.value in ("for", "let") and self._peek_is_dollar():
+                return self._parse_flwor()
+            if token.value in ("some", "every") and self._peek_is_dollar():
+                return self._parse_quantified()
+            if token.value == "if" and self._peek_is_lparen():
+                return self._parse_if()
+        return self._parse_or()
+
+    def _peek_is_dollar(self) -> bool:
+        saved = self.lexer.pos
+        nxt = self.lexer.next_token()
+        self.lexer.set_position(saved)
+        return nxt.is_symbol("$")
+
+    def _peek_is_lparen(self) -> bool:
+        saved = self.lexer.pos
+        nxt = self.lexer.next_token()
+        self.lexer.set_position(saved)
+        return nxt.is_symbol("(")
+
+    # -- FLWOR ---------------------------------------------------------------------
+
+    def _parse_flwor(self) -> FLWOR:
+        clauses: list = []
+        while True:
+            if self.token.is_name("for") and self._peek_is_dollar():
+                self._advance()
+                while True:
+                    self._expect_symbol("$")
+                    var = self._expect_name().value
+                    position_var = None
+                    if self._accept_name("at"):
+                        self._expect_symbol("$")
+                        position_var = self._expect_name().value
+                    self._expect_name("in")
+                    expr = self.parse_expr_single()
+                    clauses.append(ForClause(var, expr, position_var))
+                    if not self._accept_symbol(","):
+                        break
+                # The paper frequently omits the comma between for-bindings
+                # ("for $v in ...\n $r in ..."); accept a bare "$" too.
+                if self.token.is_symbol("$"):
+                    while self.token.is_symbol("$"):
+                        self._advance()
+                        var = self._expect_name().value
+                        position_var = None
+                        if self._accept_name("at"):
+                            self._expect_symbol("$")
+                            position_var = self._expect_name().value
+                        self._expect_name("in")
+                        expr = self.parse_expr_single()
+                        clauses.append(ForClause(var, expr, position_var))
+                        self._accept_symbol(",")
+                continue
+            if self.token.is_name("let") and self._peek_is_dollar():
+                self._advance()
+                while True:
+                    self._expect_symbol("$")
+                    var = self._expect_name().value
+                    self._expect_symbol(":=")
+                    expr = self.parse_expr_single()
+                    clauses.append(LetClause(var, expr))
+                    if not self._accept_symbol(","):
+                        break
+                continue
+            break
+        if self._accept_name("where"):
+            clauses.append(WhereClause(self.parse_expr_single()))
+        stable = False
+        if self.token.is_name("stable"):
+            self._advance()
+            stable = True
+        if self.token.is_name("order"):
+            self._advance()
+            self._expect_name("by")
+            specs = []
+            while True:
+                expr = self.parse_expr_single()
+                descending = False
+                if self._accept_name("descending"):
+                    descending = True
+                else:
+                    self._accept_name("ascending")
+                empty_least = True
+                if self._accept_name("empty"):
+                    which = self._expect_name("greatest", "least").value
+                    empty_least = which == "least"
+                specs.append(OrderSpec(expr, descending, empty_least))
+                if not self._accept_symbol(","):
+                    break
+            clauses.append(OrderByClause(specs, stable))
+        self._expect_name("return")
+        return FLWOR(clauses, self.parse_expr_single())
+
+    def _parse_quantified(self) -> Quantified:
+        kind = self._expect_name("some", "every").value
+        bindings = []
+        while True:
+            self._expect_symbol("$")
+            var = self._expect_name().value
+            self._expect_name("in")
+            expr = self.parse_expr_single()
+            bindings.append((var, expr))
+            if not self._accept_symbol(","):
+                break
+        self._expect_name("satisfies")
+        return Quantified(kind, bindings, self.parse_expr_single())
+
+    def _parse_if(self) -> IfExpr:
+        self._expect_name("if")
+        self._expect_symbol("(")
+        condition = self.parse_expr()
+        self._expect_symbol(")")
+        self._expect_name("then")
+        then = self.parse_expr_single()
+        self._expect_name("else")
+        otherwise = self.parse_expr_single()
+        return IfExpr(condition, then, otherwise)
+
+    # -- operator ladder -----------------------------------------------------------
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.token.is_name("or"):
+            self._advance()
+            left = BinOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_comparison()
+        while self.token.is_name("and"):
+            self._advance()
+            left = BinOp("and", left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_range()
+        token = self.token
+        op: Optional[str] = None
+        if token.kind == SYMBOL and token.value in _GENERAL_COMPARISONS:
+            op = token.value
+        elif token.kind == NAME and token.value in _VALUE_COMPARISONS:
+            op = token.value
+        elif token.kind == NAME and token.value == "is":
+            op = "is"
+        elif token.is_symbol("<<", ">>"):
+            op = token.value
+        elif self.xcql and token.kind == NAME and token.value in _INTERVAL_COMPARISONS:
+            op = token.value
+        if op is None:
+            return left
+        self._advance()
+        return BinOp(op, left, self._parse_range())
+
+    def _parse_range(self) -> Expr:
+        left = self._parse_additive()
+        if self.token.is_name("to"):
+            self._advance()
+            return BinOp("to", left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self.token.is_symbol("+", "-"):
+            op = self._advance().value
+            left = BinOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_union()
+        while True:
+            if self.token.is_symbol("*"):
+                op = "*"
+            elif self.token.is_name("div", "idiv", "mod"):
+                op = self.token.value
+            else:
+                return left
+            self._advance()
+            left = BinOp(op, left, self._parse_union())
+
+    def _parse_union(self) -> Expr:
+        left = self._parse_intersect()
+        while self.token.is_symbol("|") or self.token.is_name("union"):
+            self._advance()
+            left = BinOp("|", left, self._parse_intersect())
+        return left
+
+    def _parse_intersect(self) -> Expr:
+        left = self._parse_cast()
+        while self.token.is_name("intersect", "except"):
+            op = self._advance().value
+            left = BinOp(op, left, self._parse_cast())
+        return left
+
+    def _parse_cast(self) -> Expr:
+        expr = self._parse_unary()
+        if self.token.is_name("cast"):
+            self._advance()
+            self._expect_name("as")
+            type_name = self._expect_name().value
+            self._accept_symbol("?")
+            return CastExpr(expr, type_name)
+        if self.token.is_name("instance"):
+            self._advance()
+            self._expect_name("of")
+            return InstanceOf(expr, self._parse_sequence_type())
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        if self.token.is_symbol("-", "+"):
+            op = self._advance().value
+            return UnaryOp(op, self._parse_unary())
+        return self._parse_path()
+
+    # -- paths and postfix -----------------------------------------------------------
+
+    def _parse_path(self) -> Expr:
+        token = self.token
+        base: Optional[Expr]
+        steps: list[Step] = []
+        if token.is_symbol("/"):
+            self._advance()
+            base = FunctionCall("root", [])
+            if not self._starts_step():
+                return base
+            steps.append(self._parse_step())
+        elif token.is_symbol("//"):
+            self._advance()
+            base = FunctionCall("root", [])
+            steps.append(self._parse_descendant_step())
+        elif self._starts_primary():
+            base = self._parse_primary()
+        elif self._starts_step():
+            base = None
+            steps.append(self._parse_step())
+        else:
+            raise self._error(f"expected an expression, found {self.token}")
+        return self._parse_postfix(base, steps)
+
+    def _parse_postfix(self, base: Optional[Expr], steps: list[Step]) -> Expr:
+        while True:
+            token = self.token
+            if token.is_symbol("/"):
+                self._advance()
+                steps.append(self._parse_step())
+            elif token.is_symbol("//"):
+                self._advance()
+                steps.append(self._parse_descendant_step())
+            elif token.is_symbol("["):
+                self._advance()
+                predicate = self.parse_expr()
+                self._expect_symbol("]")
+                if steps:
+                    steps[-1].predicates.append(predicate)
+                else:
+                    assert base is not None
+                    base = Filter(base, predicate)
+            elif self.xcql and token.is_symbol("?["):
+                expr = self._collapse(base, steps)
+                base, steps = self._parse_interval_projection(expr), []
+            elif self.xcql and token.is_symbol("#["):
+                expr = self._collapse(base, steps)
+                base, steps = self._parse_version_projection(expr), []
+            elif self.xcql and token.is_symbol("?") and self._next_is_bracket():
+                self._advance()
+                expr = self._collapse(base, steps)
+                base, steps = self._parse_interval_projection_body(expr), []
+            else:
+                return self._collapse(base, steps)
+
+    def _next_is_bracket(self) -> bool:
+        saved = self.lexer.pos
+        nxt = self.lexer.next_token()
+        self.lexer.set_position(saved)
+        return nxt.is_symbol("[")
+
+    @staticmethod
+    def _collapse(base: Optional[Expr], steps: list[Step]) -> Expr:
+        if steps:
+            return PathExpr(base, steps)
+        assert base is not None
+        return base
+
+    def _parse_interval_projection(self, base: Expr) -> IntervalProjection:
+        self._expect_symbol("?[")
+        return self._finish_interval_projection(base)
+
+    def _parse_interval_projection_body(self, base: Expr) -> IntervalProjection:
+        self._expect_symbol("[")
+        return self._finish_interval_projection(base)
+
+    def _finish_interval_projection(self, base: Expr) -> IntervalProjection:
+        begin = self._parse_time_point()
+        if self._accept_symbol(","):
+            end = self._parse_time_point()
+        else:
+            end = begin
+        self._expect_symbol("]")
+        return IntervalProjection(base, begin, end)
+
+    def _parse_version_projection(self, base: Expr) -> VersionProjection:
+        self._expect_symbol("#[")
+        begin = self._parse_version_bound()
+        if self._accept_symbol(","):
+            end = self._parse_version_bound()
+        else:
+            end = begin
+        self._expect_symbol("]")
+        return VersionProjection(base, begin, end)
+
+    def _parse_version_bound(self) -> Expr:
+        """A version index; the bare word ``last`` means the newest version."""
+        if self.token.is_name("last"):
+            saved = self.lexer.pos
+            nxt = self.lexer.next_token()
+            self.lexer.set_position(saved)
+            if nxt.is_symbol("]", ",", "-", "+"):
+                self._advance()
+                last_call = FunctionCall("last", [])
+                if self.token.is_symbol("-", "+"):
+                    op = self._advance().value
+                    return BinOp(op, last_call, self.parse_expr_single())
+                return last_call
+        return self.parse_expr_single()
+
+    def _parse_time_point(self) -> Expr:
+        """A time expression inside ``?[...]`` — dates, now/start, arithmetic."""
+        return self.parse_expr_single()
+
+    def _starts_primary(self) -> bool:
+        token = self.token
+        if token.kind in (STRING, INTEGER, DECIMAL, DOUBLE):
+            return True
+        if token.is_symbol("$", "(", "<"):
+            return True
+        if token.kind == NAME:
+            if self.xcql and (
+                token.value in ("now", "start") or token.value.startswith("now-")
+            ):
+                return True
+            if self.xcql and _DURATION_TOKEN_RE.match(token.value) and token.value != "P":
+                return True
+            if token.value in ("element", "attribute", "text", "document", "comment") and self._lookahead_constructor():
+                return True
+            return self._peek_is_lparen() and token.value not in ("if", "text", "node")
+        return False
+
+    def _lookahead_constructor(self) -> bool:
+        saved = self.lexer.pos
+        nxt = self.lexer.next_token()
+        if nxt.is_symbol("{"):
+            self.lexer.set_position(saved)
+            return True
+        if nxt.kind == NAME:
+            nxt2 = self.lexer.next_token()
+            self.lexer.set_position(saved)
+            return nxt2.is_symbol("{")
+        self.lexer.set_position(saved)
+        return False
+
+    def _starts_step(self) -> bool:
+        token = self.token
+        return (
+            token.kind == NAME
+            or token.is_symbol("@", "*", ".", "..")
+        )
+
+    def _parse_step(self) -> Step:
+        token = self.token
+        if token.is_symbol("@"):
+            self._advance()
+            if self.token.is_symbol("*"):
+                self._advance()
+                return Step("attribute", "*")
+            name = self._expect_name().value
+            return Step("attribute", name)
+        if token.is_symbol("*"):
+            self._advance()
+            return Step("child", "*")
+        if token.is_symbol("."):
+            self._advance()
+            return Step("self", "node()")
+        if token.is_symbol(".."):
+            self._advance()
+            return Step("parent", "node()")
+        name = self._expect_name().value
+        if name in ("text", "node") and self.token.is_symbol("("):
+            self._advance()
+            self._expect_symbol(")")
+            return Step("child", f"{name}()")
+        return Step("child", name)
+
+    def _parse_descendant_step(self) -> Step:
+        step = self._parse_step()
+        if step.axis == "child":
+            return Step("descendant-or-self", step.test, step.predicates)
+        if step.axis == "attribute":
+            return Step("descendant-attribute", step.test, step.predicates)
+        raise self._error("invalid step after //")
+
+    # -- primary expressions --------------------------------------------------------
+
+    def _parse_primary(self) -> Expr:
+        token = self.token
+        if token.kind == STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.kind == INTEGER:
+            self._advance()
+            if self.xcql and _DATETIME_START_RE.match(token.value):
+                datetime_expr = self._try_parse_datetime_literal(token)
+                if datetime_expr is not None:
+                    return datetime_expr
+            return Literal(int(token.value))
+        if token.kind in (DECIMAL, DOUBLE):
+            self._advance()
+            return Literal(float(token.value))
+        if token.is_symbol("$"):
+            self._advance()
+            return VarRef(self._expect_name().value)
+        if token.is_symbol("("):
+            self._advance()
+            if self._accept_symbol(")"):
+                return SequenceExpr([])
+            inner = self.parse_expr()
+            self._expect_symbol(")")
+            return inner
+        if token.is_symbol("<"):
+            return self._parse_direct_element()
+        if token.kind == NAME:
+            if self.xcql and token.value == "now":
+                self._advance()
+                return NowConstant()
+            if self.xcql and token.value.startswith("now-"):
+                # XML names may contain '-', so "now-PT1H" lexes as one
+                # name; XCQL means `now - PT1H`.  Re-seat after "now".
+                self._sync_from(token.pos + 3)
+                return NowConstant()
+            if self.xcql and token.value == "start" and not self._peek_is_lparen():
+                self._advance()
+                return StartConstant()
+            if (
+                self.xcql
+                and token.value != "P"
+                and _DURATION_TOKEN_RE.match(token.value)
+                and not self._peek_is_lparen()
+            ):
+                self._advance()
+                return DurationLiteral(token.value)
+            if token.value in ("element", "attribute", "text", "document") and self._lookahead_constructor():
+                return self._parse_computed_constructor()
+            if self._peek_is_lparen():
+                return self._parse_function_call()
+        raise self._error(f"expected a primary expression, found {self.token}")
+
+    def _try_parse_datetime_literal(self, year_token: Token) -> Optional[Expr]:
+        """After an INTEGER that looks like a year, try ``-MM-DD[Thh:mm:ss]``.
+
+        The attempt is purely lexical on the raw source so that genuine
+        subtraction (``2003 - 11``) is unaffected: a date literal has *no
+        spaces* between its parts.
+        """
+        source = self.lexer.source
+        start = year_token.pos
+        match = re.match(
+            r"\d{4}-\d{2}-\d{1,2}(T\d{2}:\d{2}:\d{2}(\.\d+)?)?", source[start:]
+        )
+        if not match:
+            return None
+        self._sync_from(start + match.end())
+        return DateTimeLiteral(match.group())
+
+    def _parse_function_call(self) -> FunctionCall:
+        name = self._expect_name().value
+        self._expect_symbol("(")
+        args: list[Expr] = []
+        if not self.token.is_symbol(")"):
+            while True:
+                args.append(self.parse_expr_single())
+                if not self._accept_symbol(","):
+                    break
+        self._expect_symbol(")")
+        return FunctionCall(name, args)
+
+    def _parse_computed_constructor(self) -> Expr:
+        kind = self._expect_name().value
+        name: object = ""
+        if kind == "text":
+            # text { content } has no name part.
+            content: Optional[Expr] = None
+            self._expect_symbol("{")
+            if not self.token.is_symbol("}"):
+                content = self.parse_expr()
+            self._expect_symbol("}")
+            return ComputedText(content)
+        if self.token.is_symbol("{"):
+            self._advance()
+            name = self.parse_expr()
+            self._expect_symbol("}")
+        else:
+            name = self._expect_name().value
+        content: Optional[Expr] = None
+        self._expect_symbol("{")
+        if not self.token.is_symbol("}"):
+            content = self.parse_expr()
+        self._expect_symbol("}")
+        if kind == "element":
+            return ComputedElement(name, content)
+        if kind == "attribute":
+            return ComputedAttribute(name, content)
+        if kind == "text":
+            return ComputedText(content)
+        if kind == "document":
+            return ComputedElement(name, content)
+        raise self._error(f"unsupported computed constructor {kind!r}")
+
+    # -- direct constructors (raw scanning) -------------------------------------------
+
+    def _parse_direct_element(self) -> DirectElement:
+        """Parse ``<tag ...>...</tag>`` starting at the current ``<`` token."""
+        start = self.token.pos
+        element, end = self._scan_element(start)
+        self._sync_from(end)
+        return element
+
+    def _scan_element(self, pos: int) -> tuple[DirectElement, int]:
+        source = self.lexer.source
+        if source[pos] != "<":
+            raise self.lexer.error("expected '<'", pos)
+        pos += 1
+        match = re.match(r"[A-Za-z_][\w\-.:]*", source[pos:])
+        if not match:
+            raise self.lexer.error("expected element name", pos)
+        name = match.group()
+        pos += match.end()
+        attributes: list[DirectAttribute] = []
+        while True:
+            while pos < len(source) and source[pos] in " \t\r\n":
+                pos += 1
+            if pos >= len(source):
+                raise self.lexer.error("unterminated constructor", pos)
+            if source.startswith("/>", pos):
+                return DirectElement(name, attributes, []), pos + 2
+            if source[pos] == ">":
+                pos += 1
+                break
+            amatch = re.match(r"[A-Za-z_][\w\-.:]*", source[pos:])
+            if not amatch:
+                raise self.lexer.error("expected attribute name", pos)
+            aname = amatch.group()
+            pos += amatch.end()
+            while pos < len(source) and source[pos] in " \t\r\n":
+                pos += 1
+            if pos >= len(source) or source[pos] != "=":
+                raise self.lexer.error("expected '=' in attribute", pos)
+            pos += 1
+            while pos < len(source) and source[pos] in " \t\r\n":
+                pos += 1
+            parts: list
+            if pos < len(source) and source[pos] in "\"'":
+                quote = source[pos]
+                pos += 1
+                parts, pos = self._scan_attr_value(pos, quote)
+            elif pos < len(source) and source[pos] == "{":
+                # The paper writes id={$a/@id} without quotes; accept it.
+                expr, pos = self._scan_enclosed(pos)
+                parts = [expr]
+            else:
+                raise self.lexer.error("expected attribute value", pos)
+            attributes.append(DirectAttribute(aname, parts))
+        content, pos = self._scan_content(pos, name)
+        return DirectElement(name, attributes, content), pos
+
+    def _scan_attr_value(self, pos: int, quote: str) -> tuple[list, int]:
+        source = self.lexer.source
+        parts: list = []
+        buffer: list[str] = []
+        while pos < len(source):
+            char = source[pos]
+            if char == quote:
+                if buffer:
+                    parts.append("".join(buffer))
+                return parts, pos + 1
+            if char == "{":
+                if source.startswith("{{", pos):
+                    buffer.append("{")
+                    pos += 2
+                    continue
+                if buffer:
+                    parts.append("".join(buffer))
+                    buffer = []
+                expr, pos = self._scan_enclosed(pos)
+                parts.append(expr)
+                continue
+            if char == "}":
+                if source.startswith("}}", pos):
+                    buffer.append("}")
+                    pos += 2
+                    continue
+                raise self.lexer.error("unescaped '}' in attribute value", pos)
+            if char == "&":
+                text, pos = self._scan_entity(pos)
+                buffer.append(text)
+                continue
+            buffer.append(char)
+            pos += 1
+        raise self.lexer.error("unterminated attribute value", pos)
+
+    def _scan_content(self, pos: int, tag: str) -> tuple[list, int]:
+        source = self.lexer.source
+        content: list = []
+        buffer: list[str] = []
+
+        def flush() -> None:
+            if buffer:
+                text = "".join(buffer)
+                if text.strip():
+                    content.append(text)
+                buffer.clear()
+
+        while pos < len(source):
+            if source.startswith("</", pos):
+                flush()
+                pos += 2
+                match = re.match(r"[A-Za-z_][\w\-.:]*", source[pos:])
+                if not match or match.group() != tag:
+                    raise self.lexer.error(f"mismatched closing tag for <{tag}>", pos)
+                pos += match.end()
+                while pos < len(source) and source[pos] in " \t\r\n":
+                    pos += 1
+                if pos >= len(source) or source[pos] != ">":
+                    raise self.lexer.error("expected '>'", pos)
+                return content, pos + 1
+            if source.startswith("<!--", pos):
+                end = source.find("-->", pos)
+                if end < 0:
+                    raise self.lexer.error("unterminated comment", pos)
+                pos = end + 3
+                continue
+            if source.startswith("<![CDATA[", pos):
+                end = source.find("]]>", pos)
+                if end < 0:
+                    raise self.lexer.error("unterminated CDATA", pos)
+                buffer.append(source[pos + 9 : end])
+                pos = end + 3
+                continue
+            char = source[pos]
+            if char == "<":
+                flush()
+                element, pos = self._scan_element(pos)
+                content.append(element)
+                continue
+            if char == "{":
+                if source.startswith("{{", pos):
+                    buffer.append("{")
+                    pos += 2
+                    continue
+                flush()
+                expr, pos = self._scan_enclosed(pos)
+                content.append(expr)
+                continue
+            if char == "}":
+                if source.startswith("}}", pos):
+                    buffer.append("}")
+                    pos += 2
+                    continue
+                raise self.lexer.error("unescaped '}' in element content", pos)
+            if char == "&":
+                text, pos = self._scan_entity(pos)
+                buffer.append(text)
+                continue
+            buffer.append(char)
+            pos += 1
+        raise self.lexer.error(f"unterminated element <{tag}>", pos)
+
+    def _scan_enclosed(self, pos: int) -> tuple[Expr, int]:
+        """Parse a ``{ expr }`` enclosed expression starting at ``{``."""
+        self._sync_from(pos + 1)
+        expr = self.parse_expr()
+        if not self.token.is_symbol("}"):
+            raise self._error(f"expected '}}' after enclosed expression, found {self.token}")
+        end = self.token.pos + 1
+        return expr, end
+
+    def _scan_entity(self, pos: int) -> tuple[str, int]:
+        source = self.lexer.source
+        semi = source.find(";", pos)
+        if semi < 0:
+            raise self.lexer.error("unterminated entity", pos)
+        entity = source[pos + 1 : semi]
+        table = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+        if entity in table:
+            return table[entity], semi + 1
+        if entity.startswith("#x") or entity.startswith("#X"):
+            return chr(int(entity[2:], 16)), semi + 1
+        if entity.startswith("#"):
+            return chr(int(entity[1:])), semi + 1
+        raise self.lexer.error(f"unknown entity &{entity};", pos)
+
+
+def parse(source: str, xcql: bool = False) -> Module:
+    """Parse a complete query (prolog function definitions + body)."""
+    return _Parser(source, xcql).parse_module()
+
+
+def parse_expression(source: str, xcql: bool = False) -> Expr:
+    """Parse a single expression (no prolog)."""
+    parser = _Parser(source, xcql)
+    expr = parser.parse_expr()
+    if parser.token.kind != EOF:
+        raise parser._error(f"unexpected trailing input: {parser.token}")
+    return expr
+
+
+def parse_xcql(source: str) -> Module:
+    """Parse an XCQL query (XQuery + the paper's temporal extensions)."""
+    return parse(source, xcql=True)

@@ -1,0 +1,232 @@
+"""XCQL temporal semantics over element trees (the temporal view).
+
+Implements the paper's §6 library functions in their *temporal view* form:
+
+- ``vtFrom(e)`` / ``vtTo(e)`` — the lifespan accessors.  Elements that carry
+  explicit ``vtFrom``/``vtTo`` attributes (event and temporal fragments in
+  the Hole-Filler model) use them; for any other element the lifespan is the
+  minimal interval covering its children's lifespans, or ``[start, now]``
+  for leaves (paper §2).
+- ``interval_projection(e, tb, te)`` — temporal slicing: prune elements
+  whose lifespan misses ``[tb, te]`` and clip the survivors' lifespans to
+  the intersection, recursively.  When the evaluation context provides a
+  ``hole_resolver`` (the fragment layer), ``<hole id=.../>`` children are
+  resolved to their filler versions on the fly and projected in place, so
+  the same function powers both the materialized-view path (CaQ) and the
+  fragment-direct path (QaC/QaC+).
+- ``version_projection(e, vb, ve)`` — select versions by 1-based position
+  in the version sequence, then interval-project each version's content to
+  that version's own lifespan.
+
+A version's lifespan ends where its successor begins (paper §5), so
+lifespans are treated as half-open at ``vtTo`` during projection: at the
+exact update instant only the *new* version is current.  Events (and
+already-clipped points), whose ``vtFrom == vtTo``, are genuine instants and
+stay closed.
+
+Projection returns *new* elements (the inputs are never mutated), matching
+the constructor semantics of the paper's XQuery definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dom.nodes import Attr, Comment, Element, Node, ProcessingInstruction, Text
+from repro.temporal.chrono import ChronoError, XSDateTime
+from repro.temporal.interval import NOW, START, TimeInterval, _Symbolic, resolve_point
+from repro.xquery.errors import XQueryTypeError
+from repro.xquery.xdm import atomize, to_number
+
+__all__ = [
+    "element_lifespan",
+    "parse_vt",
+    "fn_vt_from",
+    "fn_vt_to",
+    "fn_interval_projection",
+    "fn_version_projection",
+    "interval_project_nodes",
+    "version_project_nodes",
+]
+
+_VT_FROM = "vtFrom"
+_VT_TO = "vtTo"
+_VALID_TIME = "validTime"
+
+
+def parse_vt(text: str):
+    """Parse a lifespan endpoint attribute: a dateTime, ``now`` or ``start``."""
+    stripped = text.strip()
+    if stripped == "now":
+        return NOW
+    if stripped == "start":
+        return START
+    return XSDateTime.parse(stripped)
+
+
+def element_lifespan(element: Element, ctx) -> TimeInterval:
+    """The (possibly symbolic) lifespan of an element, per paper §2."""
+    vt_from = element.attrs.get(_VT_FROM)
+    vt_to = element.attrs.get(_VT_TO)
+    if vt_from is not None:
+        return TimeInterval(parse_vt(vt_from), parse_vt(vt_to) if vt_to else NOW)
+    valid_time = element.attrs.get(_VALID_TIME)
+    if valid_time is not None:
+        return TimeInterval.point(parse_vt(valid_time))
+    children = element.child_elements()
+    if not children:
+        return TimeInterval.always()
+    cover: Optional[TimeInterval] = None
+    for child in children:
+        child_span = element_lifespan(child, ctx).resolve(ctx.now)
+        cover = child_span if cover is None else cover.cover(child_span)
+    return cover if cover is not None else TimeInterval.always()
+
+
+def _point_from_arg(seq: list, ctx, default):
+    """Interpret a projection bound argument as a time point."""
+    if not seq:
+        return default
+    value = atomize(seq[0])
+    if isinstance(value, XSDateTime):
+        return value
+    if isinstance(value, _Symbolic):
+        return value
+    if isinstance(value, str):
+        try:
+            return parse_vt(value)
+        except ChronoError as exc:
+            raise XQueryTypeError(f"invalid time point {value!r}") from exc
+    raise XQueryTypeError(f"invalid time point of type {type(value).__name__}")
+
+
+def fn_vt_from(ctx, args):
+    """Builtin ``vtFrom(e)``."""
+    if not args[0]:
+        return []
+    node = args[0][0]
+    if not isinstance(node, Element):
+        raise XQueryTypeError("vtFrom() requires an element")
+    return [resolve_point(element_lifespan(node, ctx).begin, ctx.now)]
+
+
+def fn_vt_to(ctx, args):
+    """Builtin ``vtTo(e)``."""
+    if not args[0]:
+        return []
+    node = args[0][0]
+    if not isinstance(node, Element):
+        raise XQueryTypeError("vtTo() requires an element")
+    return [resolve_point(element_lifespan(node, ctx).end, ctx.now)]
+
+
+def fn_interval_projection(ctx, args):
+    """Builtin ``interval_projection(e, tb, te)``."""
+    begin = resolve_point(_point_from_arg(args[1], ctx, START), ctx.now)
+    end = resolve_point(_point_from_arg(args[2], ctx, NOW), ctx.now)
+    return interval_project_nodes(args[0], begin, end, ctx)
+
+
+def fn_version_projection(ctx, args):
+    """Builtin ``version_projection(e, vb, ve)``."""
+    base = args[0]
+    begin = int(to_number(args[1][0])) if args[1] else 1
+    end = int(to_number(args[2][0])) if args[2] else len(base)
+    return version_project_nodes(base, begin, end, ctx)
+
+
+def interval_project_nodes(nodes: list, begin: XSDateTime, end: XSDateTime, ctx) -> list:
+    """Apply temporal slicing to a node sequence (paper's projection loop)."""
+    if begin > end:
+        raise XQueryTypeError(f"interval projection with begin > end: [{begin}, {end}]")
+    out: list = []
+    for node in nodes:
+        out.extend(_project_one(node, begin, end, ctx))
+    return out
+
+
+def _project_one(node: object, begin: XSDateTime, end: XSDateTime, ctx) -> list:
+    if isinstance(node, Text):
+        return [Text(node.text)]
+    if isinstance(node, (Comment, ProcessingInstruction, Attr)):
+        return []
+    if not isinstance(node, Element):
+        # Atomic values pass through untouched (projection of a constructed
+        # value keeps the value; its lifespan is the projection interval).
+        return [node]
+
+    if node.tag == "hole":
+        resolver = ctx.hole_resolver
+        if resolver is None:
+            # Without a fragment store the hole stays in place (it will
+            # simply not match any query path).
+            return [node.copy()]
+        resolved = resolver(node.attrs.get("id"))
+        out: list = []
+        for version in resolved:
+            out.extend(_project_one(version, begin, end, ctx))
+        return out
+
+    vt_from_attr = node.attrs.get(_VT_FROM)
+    valid_time_attr = node.attrs.get(_VALID_TIME)
+    if vt_from_attr is None and valid_time_attr is None:
+        # Snapshot element: no temporal dimension of its own; recurse.
+        clone = Element(node.tag, dict(node.attrs))
+        for child in node.children:
+            for projected in _project_one(child, begin, end, ctx):
+                if isinstance(projected, Node):
+                    clone.append(projected)
+        return [clone]
+
+    if vt_from_attr is not None:
+        vt_from = resolve_point(parse_vt(vt_from_attr), ctx.now)
+        vt_to_attr = node.attrs.get(_VT_TO)
+        vt_to = resolve_point(parse_vt(vt_to_attr) if vt_to_attr else NOW, ctx.now)
+        open_ended = vt_to_attr is None or vt_to_attr.strip() == "now"
+    else:
+        vt_from = vt_to = resolve_point(parse_vt(valid_time_attr), ctx.now)
+        open_ended = False
+
+    # A superseded version's lifespan is half-open at vtTo ([from, to)):
+    # at the update instant exactly one version is current.  Events and
+    # clipped points (from == to) are genuine instants, and the *current*
+    # version (vtTo = "now", no successor yet) is valid at now itself.
+    if vt_from == vt_to:
+        if vt_from < begin or vt_from > end:
+            return []
+    elif vt_from > end or (vt_to < begin if open_ended else vt_to <= begin):
+        return []
+    clipped_from = max(vt_from, begin)
+    clipped_to = min(vt_to, end)
+    clone = Element(node.tag, dict(node.attrs))
+    clone.set(_VT_FROM, str(clipped_from))
+    clone.set(_VT_TO, str(clipped_to))
+    for child in node.children:
+        for projected in _project_one(child, begin, end, ctx):
+            if isinstance(projected, Node):
+                clone.append(projected)
+    return [clone]
+
+
+def version_project_nodes(nodes: list, begin: int, end: int, ctx) -> list:
+    """Select versions ``begin..end`` (1-based) and slice their content."""
+    if begin > end:
+        raise XQueryTypeError(f"version projection with begin > end: [{begin}, {end}]")
+    out: list = []
+    for position, node in enumerate(nodes, start=1):
+        if position < begin or position > end:
+            continue
+        if not isinstance(node, Element):
+            out.append(node)
+            continue
+        span = element_lifespan(node, ctx).resolve(ctx.now)
+        clone = Element(node.tag, dict(node.attrs))
+        for child in node.children:
+            if isinstance(child, Text):
+                clone.append(Text(child.text))
+                continue
+            for projected in _project_one(child, span.begin, span.end, ctx):
+                if isinstance(projected, Node):
+                    clone.append(projected)
+        out.append(clone)
+    return out

@@ -1,0 +1,177 @@
+"""Tests for attribute versioning via pseudo-elements (paper §8 ext)."""
+
+import pytest
+
+from repro import Channel, Fragmenter, SimulatedClock, StreamClient, StreamServer, TagStructure
+from repro.dom import Element, parse_document, serialize
+from repro.fragments.attrversion import (
+    attribute_of,
+    demote_attributes,
+    is_pseudo,
+    promote_attributes,
+    pseudo_name,
+    with_versioned_attributes,
+)
+from repro.fragments.tagstructure import TagType
+from repro.temporal import XSDateTime
+
+NOW = XSDateTime.parse("2003-12-15T00:00:00")
+
+
+class TestPseudoNames:
+    def test_round_trip(self):
+        assert pseudo_name("tier") == "attr:tier"
+        assert attribute_of("attr:tier") == "tier"
+        assert is_pseudo("attr:tier")
+        assert not is_pseudo("tier")
+
+    def test_attribute_of_rejects_plain(self):
+        with pytest.raises(ValueError):
+            attribute_of("tier")
+
+
+class TestPromotion:
+    def test_promote_moves_attribute(self):
+        element = parse_document('<account id="1" tier="gold"/>').document_element
+        promoted = promote_attributes(element, ["tier"])
+        assert "tier" not in promoted.attrs
+        assert promoted.attrs["id"] == "1"  # unlisted attributes stay
+        pseudo = promoted.first("attr:tier")
+        assert pseudo is not None and pseudo.text() == "gold"
+
+    def test_promote_idempotent(self):
+        element = parse_document('<account tier="gold"/>').document_element
+        once = promote_attributes(element, ["tier"])
+        twice = promote_attributes(once, ["tier"])
+        assert serialize(twice) == serialize(once)
+
+    def test_promote_missing_attribute_noop(self):
+        element = parse_document("<account/>").document_element
+        assert serialize(promote_attributes(element, ["tier"])) == "<account/>"
+
+    def test_original_untouched(self):
+        element = parse_document('<account tier="gold"/>').document_element
+        promote_attributes(element, ["tier"])
+        assert element.attrs == {"tier": "gold"}
+
+
+class TestDemotion:
+    def test_current_version_becomes_attribute(self):
+        element = parse_document(
+            "<account>"
+            '<attr:tier vtFrom="2003-01-01T00:00:00" vtTo="2003-06-01T00:00:00">silver</attr:tier>'
+            '<attr:tier vtFrom="2003-06-01T00:00:00" vtTo="now">gold</attr:tier>'
+            "<customer>X</customer></account>"
+        ).document_element
+        demoted = demote_attributes(element, NOW)
+        assert demoted.attrs["tier"] == "gold"
+        assert demoted.first("attr:tier") is None
+        assert demoted.first("customer") is not None
+
+    def test_historical_demotion(self):
+        element = parse_document(
+            "<account>"
+            '<attr:tier vtFrom="2003-01-01T00:00:00" vtTo="2003-06-01T00:00:00">silver</attr:tier>'
+            '<attr:tier vtFrom="2003-06-01T00:00:00" vtTo="now">gold</attr:tier>'
+            "</account>"
+        ).document_element
+        demoted = demote_attributes(element, XSDateTime.parse("2003-03-01T00:00:00"))
+        assert demoted.attrs["tier"] == "silver"
+
+    def test_no_current_version_no_attribute(self):
+        element = parse_document(
+            "<account>"
+            '<attr:tier vtFrom="2004-01-01T00:00:00" vtTo="now">future</attr:tier>'
+            "</account>"
+        ).document_element
+        demoted = demote_attributes(element, NOW)
+        assert "tier" not in demoted.attrs
+
+    def test_recurses_into_children(self):
+        element = parse_document(
+            "<root><account>"
+            '<attr:tier vtFrom="2003-01-01T00:00:00" vtTo="now">gold</attr:tier>'
+            "</account></root>"
+        ).document_element
+        demoted = demote_attributes(element, NOW)
+        assert demoted.first("account").attrs["tier"] == "gold"
+
+
+class TestStructureExtension:
+    BASE = TagStructure.build(
+        {
+            "name": "creditAccounts",
+            "type": "snapshot",
+            "children": [
+                {
+                    "name": "account",
+                    "type": "temporal",
+                    "children": [{"name": "customer", "type": "snapshot"}],
+                }
+            ],
+        }
+    )
+
+    def test_pseudo_tag_added_temporal(self):
+        extended = with_versioned_attributes(self.BASE, {"account": ["tier"]})
+        account = extended.resolve_path(["creditAccounts", "account"])
+        pseudo = account.child("attr:tier")
+        assert pseudo is not None
+        assert pseudo.type is TagType.TEMPORAL
+
+    def test_fresh_tsids(self):
+        extended = with_versioned_attributes(self.BASE, {"account": ["tier"]})
+        tsids = [t.tsid for t in extended.all_tags()]
+        assert len(tsids) == len(set(tsids))
+
+    def test_original_tags_preserved(self):
+        extended = with_versioned_attributes(self.BASE, {"account": ["tier"]})
+        assert extended.resolve_path(["creditAccounts", "account", "customer"])
+
+
+class TestEndToEnd:
+    def test_versioned_attribute_pipeline(self):
+        """Promote -> fragment -> stream update -> XCQL query, per §8."""
+        structure = with_versioned_attributes(
+            TestStructureExtension.BASE, {"account": ["tier"]}
+        )
+        clock = SimulatedClock("2003-01-01T00:00:00")
+        channel = Channel()
+        client = StreamClient(clock)
+        client.tune_in(channel)
+        server = StreamServer("credit", structure, channel, clock)
+        server.announce()
+
+        account = parse_document(
+            '<account id="1" tier="silver"><customer>X</customer></account>'
+        ).document_element
+        root = Element("creditAccounts")
+        root.append(promote_attributes(account, ["tier"]))
+        server.publish_document(root)
+
+        # The tier changes mid-year: stream a new pseudo-element version.
+        clock.advance("P150D")
+        account_hole = server.hole_id(0, "account", "1")
+        tier_hole = server.hole_id(account_hole, "attr:tier", "1")
+        new_tier = Element("attr:tier")
+        new_tier.add_text("gold")
+        server.update_fragment(tier_hole, new_tier)
+
+        engine = client.engine
+        current = engine.execute(
+            'for $a in stream("credit")//account return $a/attr:tier?[now]',
+            now=clock.now(),
+        )
+        assert [e.text() for e in current] == ["gold"]
+        historical = engine.execute(
+            'for $a in stream("credit")//account return $a/attr:tier?[2003-02-01]',
+            now=clock.now(),
+        )
+        assert [e.text() for e in historical] == ["silver"]
+
+        # Demote a materialized snapshot back to plain attributes.
+        from repro.fragments import temporalize
+
+        view = temporalize(client.store_of("credit"))
+        snapshot = demote_attributes(view.document_element, clock.now())
+        assert snapshot.first("account").attrs["tier"] == "gold"

@@ -1,0 +1,68 @@
+"""Tests for the Figure 4 harness itself (repro.bench.figure4)."""
+
+import pytest
+
+from repro.bench.figure4 import (
+    Figure4Cell,
+    Figure4Workload,
+    default_scales,
+    format_table,
+    run_figure4,
+)
+from repro.core import Strategy
+from repro.xmark import PAPER_QUERIES
+
+
+class TestWorkload:
+    def test_build_minimal(self):
+        workload = Figure4Workload.build(0.0)
+        assert workload.file_size > 10_000
+        assert workload.fragmented_size > workload.file_size * 0.8
+        assert workload.filler_count > 50
+
+    def test_paper_faithful_store_unindexed(self):
+        workload = Figure4Workload.build(0.0, paper_faithful=True)
+        store = workload.engine.stores["auction"]
+        assert store.use_index is False and store.use_cache is False
+
+    def test_engineered_store_indexed(self):
+        workload = Figure4Workload.build(0.0, paper_faithful=False)
+        store = workload.engine.stores["auction"]
+        assert store.use_index is True and store.use_cache is True
+
+    def test_run_returns_timing_and_result(self):
+        workload = Figure4Workload.build(0.0)
+        seconds, result = workload.run(PAPER_QUERIES["Q5"], Strategy.QAC_PLUS)
+        assert seconds > 0
+        assert len(result) == 1
+
+
+class TestRunFigure4:
+    def test_grid_shape(self):
+        cells = run_figure4(scales=[0.0], queries={"Q5": PAPER_QUERIES["Q5"]})
+        assert len(cells) == 3  # one query x three strategies
+        strategies = [cell.strategy for cell in cells]
+        assert strategies == [Strategy.QAC_PLUS, Strategy.QAC, Strategy.CAQ]
+
+    def test_result_counts_cross_checked(self):
+        cells = run_figure4(scales=[0.0], queries={"Q1": PAPER_QUERIES["Q1"]})
+        assert len({cell.result_count for cell in cells}) == 1
+
+    def test_default_scales_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIG4_SCALES", "0.0, 0.25")
+        assert default_scales() == [0.0, 0.25]
+        monkeypatch.delenv("REPRO_FIG4_SCALES")
+        assert default_scales() == [0.0, 0.01, 0.02]
+
+
+class TestFormatTable:
+    def test_paper_layout(self):
+        cells = [
+            Figure4Cell("Q5", 0.0, 27_955, 35_635, Strategy.QAC_PLUS, 0.161, 1),
+            Figure4Cell("Q5", 0.1, 12_372_221, 14_572_000, Strategy.CAQ, 1_886.022, 1),
+        ]
+        table = format_table(cells)
+        assert "27.3Kb" in table
+        assert "11.8Mb" in table
+        assert "QaC+" in table and "CaQ" in table
+        assert "161ms" in table.replace(",", "")

@@ -1,0 +1,209 @@
+"""Tests for xs:dateTime / xs:duration values (repro.temporal.chrono)."""
+
+import datetime as stdlib_datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.temporal.chrono import (
+    ChronoError,
+    XSDateTime,
+    XSDuration,
+    civil_from_days,
+    days_from_civil,
+    days_in_month,
+    is_leap_year,
+)
+
+
+class TestCalendarMath:
+    def test_epoch_is_day_zero(self):
+        assert days_from_civil(1970, 1, 1) == 0
+
+    def test_known_day_numbers(self):
+        assert days_from_civil(1970, 1, 2) == 1
+        assert days_from_civil(1969, 12, 31) == -1
+        assert days_from_civil(2000, 3, 1) == 11017
+
+    @given(st.integers(min_value=-200_000, max_value=200_000))
+    def test_civil_round_trip(self, day_number):
+        year, month, day = civil_from_days(day_number)
+        assert days_from_civil(year, month, day) == day_number
+
+    @given(
+        st.integers(min_value=1, max_value=9999),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=28),
+    )
+    def test_matches_python_datetime(self, year, month, day):
+        ours = days_from_civil(year, month, day)
+        theirs = (stdlib_datetime.date(year, month, day) - stdlib_datetime.date(1970, 1, 1)).days
+        assert ours == theirs
+
+    def test_leap_years(self):
+        assert is_leap_year(2000)
+        assert is_leap_year(2004)
+        assert not is_leap_year(1900)
+        assert not is_leap_year(2003)
+
+    def test_days_in_month(self):
+        assert days_in_month(2004, 2) == 29
+        assert days_in_month(2003, 2) == 28
+        assert days_in_month(2003, 12) == 31
+        assert days_in_month(2003, 4) == 30
+
+
+class TestDurationParsing:
+    @pytest.mark.parametrize(
+        "text, months, seconds",
+        [
+            ("PT1M", 0, 60),
+            ("PT1S", 0, 1),
+            ("PT1H", 0, 3600),
+            ("P1D", 0, 86400),
+            ("P1Y", 12, 0),
+            ("P2M", 2, 0),
+            ("P1Y2M3DT4H5M6S", 14, 3 * 86400 + 4 * 3600 + 5 * 60 + 6),
+            ("-PT30S", 0, -30),
+            ("PT0.5S", 0, 0.5),
+        ],
+    )
+    def test_parse(self, text, months, seconds):
+        duration = XSDuration.parse(text)
+        assert duration.months == months
+        assert duration.seconds == seconds
+
+    @pytest.mark.parametrize("bad", ["P", "PT", "1D", "P-1D", "PT1X", "", "PxD"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ChronoError):
+            XSDuration.parse(bad)
+
+    @pytest.mark.parametrize(
+        "text", ["PT1M", "P1D", "P1Y2M3DT4H5M6S", "-PT30S", "P2M", "PT0S"]
+    )
+    def test_string_round_trip(self, text):
+        assert str(XSDuration.parse(text)) == text
+
+    def test_canonical_folding(self):
+        # 90 seconds renders as PT1M30S.
+        assert str(XSDuration(0, 90)) == "PT1M30S"
+        assert str(XSDuration(14, 0)) == "P1Y2M"
+
+
+class TestDurationArithmetic:
+    def test_add_sub_neg(self):
+        a = XSDuration.parse("PT1H")
+        b = XSDuration.parse("PT30M")
+        assert (a + b).seconds == 5400
+        assert (a - b).seconds == 1800
+        assert (-a).seconds == -3600
+
+    def test_scale(self):
+        assert (XSDuration.parse("PT10S") * 6).seconds == 60
+        assert (XSDuration.parse("PT1M") / 2).seconds == 30
+        assert (2 * XSDuration.parse("PT1M")).seconds == 120
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            XSDuration.parse("PT1M") / 0
+
+    def test_ordering_day_time(self):
+        assert XSDuration.parse("PT1M") < XSDuration.parse("PT2M")
+        assert XSDuration.parse("P1D") > XSDuration.parse("PT23H")
+
+    def test_ordering_year_month(self):
+        assert XSDuration.parse("P11M") < XSDuration.parse("P1Y")
+
+    def test_mixed_comparison_rejected(self):
+        with pytest.raises(ChronoError):
+            XSDuration.parse("P1M") < XSDuration.parse("P30D")
+
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_addition_commutes(self, s1, s2):
+        a, b = XSDuration(0, s1), XSDuration(0, s2)
+        assert a + b == b + a
+
+    def test_hashable(self):
+        assert len({XSDuration(0, 60), XSDuration.parse("PT1M")}) == 1
+
+
+class TestDateTimeParsing:
+    def test_paper_format(self):
+        value = XSDateTime.parse("2003-10-23T12:23:34")
+        assert (value.year, value.month, value.day) == (2003, 10, 23)
+        assert (value.hour, value.minute, value.second) == (12, 23, 34.0)
+
+    def test_date_only_means_midnight(self):
+        value = XSDateTime.parse("2003-11-01")
+        assert (value.hour, value.minute, value.second) == (0, 0, 0.0)
+
+    def test_fractional_seconds(self):
+        assert XSDateTime.parse("2003-01-01T00:00:00.250").second == 0.25
+
+    def test_utc_designator(self):
+        assert XSDateTime.parse("2003-01-01T12:00:00Z") == XSDateTime.parse(
+            "2003-01-01T12:00:00"
+        )
+
+    def test_timezone_offset_normalized(self):
+        east = XSDateTime.parse("2003-01-01T12:00:00+02:00")
+        assert east == XSDateTime.parse("2003-01-01T10:00:00")
+        west = XSDateTime.parse("2003-01-01T12:00:00-05:30")
+        assert west == XSDateTime.parse("2003-01-01T17:30:00")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["2003-13-01", "2003-02-30", "2003-00-10", "not-a-date", "2003-1-1", "2003-01-01T25:00:00"],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ChronoError):
+            XSDateTime.parse(bad)
+
+    def test_string_round_trip(self):
+        text = "2003-10-23T12:23:34"
+        assert str(XSDateTime.parse(text)) == text
+
+    @given(st.floats(min_value=-1e10, max_value=1e10, allow_nan=False))
+    def test_epoch_round_trip(self, seconds):
+        seconds = round(seconds)  # whole seconds survive float exactly
+        value = XSDateTime.from_epoch_seconds(seconds)
+        assert value.to_epoch_seconds() == seconds
+
+
+class TestDateTimeArithmetic:
+    def test_add_day_time(self):
+        base = XSDateTime.parse("2003-10-23T12:23:34")
+        assert str(base + XSDuration.parse("PT1M")) == "2003-10-23T12:24:34"
+        assert str(base - XSDuration.parse("PT1H")) == "2003-10-23T11:23:34"
+
+    def test_add_months_clamps_day(self):
+        jan31 = XSDateTime.parse("2003-01-31")
+        assert str(jan31 + XSDuration.parse("P1M")) == "2003-02-28T00:00:00"
+        leap = XSDateTime.parse("2004-01-31")
+        assert str(leap + XSDuration.parse("P1M")) == "2004-02-29T00:00:00"
+
+    def test_add_year_crosses(self):
+        assert str(
+            XSDateTime.parse("2003-12-31T23:59:59") + XSDuration.parse("PT1S")
+        ) == "2004-01-01T00:00:00"
+
+    def test_datetime_difference(self):
+        a = XSDateTime.parse("2003-10-23T13:00:00")
+        b = XSDateTime.parse("2003-10-23T12:00:00")
+        assert (a - b) == XSDuration.parse("PT1H")
+
+    @given(st.integers(-10**8, 10**8))
+    def test_add_then_subtract_is_identity(self, seconds):
+        base = XSDateTime.parse("2000-06-15T12:00:00")
+        delta = XSDuration(0, seconds)
+        assert (base + delta) - delta == base
+
+    def test_ordering(self):
+        early = XSDateTime.parse("2003-01-01T00:00:00")
+        late = XSDateTime.parse("2003-01-01T00:00:01")
+        assert early < late
+        assert late >= early
+        assert early != late
+
+    def test_hashable(self):
+        assert len({XSDateTime.parse("2003-01-01"), XSDateTime.parse("2003-01-01")}) == 1

@@ -1,0 +1,168 @@
+"""Tests for derived output streams (paper §10: continuous output)."""
+
+import pytest
+
+from repro import (
+    Channel,
+    SimulatedClock,
+    Strategy,
+    StreamClient,
+    StreamServer,
+    TagStructure,
+)
+from repro.dom import Element, parse_document
+from repro.fragments.tagstructure import TagType
+from repro.streams.derived import DerivedStream, infer_result_structure
+
+from tests.conftest import CREDIT_TAG_STRUCTURE_XML
+
+
+class TestInferStructure:
+    def test_sample_becomes_event(self):
+        sample = parse_document(
+            '<alert id="1"><account>x</account></alert>'
+        ).document_element
+        structure = infer_result_structure(sample)
+        assert structure.root.name == "results"
+        alert = structure.root.child("alert")
+        assert alert.type is TagType.EVENT
+        assert alert.child("account").type is TagType.SNAPSHOT
+
+    def test_repeated_children_declared_once(self):
+        sample = parse_document("<r><x>1</x><x>2</x><y/></r>").document_element
+        structure = infer_result_structure(sample)
+        names = [c.name for c in structure.root.child("r").children]
+        assert names == ["x", "y"]
+
+    def test_tsids_unique(self):
+        sample = parse_document("<r><a><b/></a><c/></r>").document_element
+        structure = infer_result_structure(sample)
+        tsids = [t.tsid for t in structure.all_tags()]
+        assert len(tsids) == len(set(tsids))
+
+
+@pytest.fixture()
+def cascade():
+    """source stream -> alert query -> derived stream -> downstream client."""
+    structure = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+    clock = SimulatedClock("2003-10-01T00:00:00")
+    source_channel = Channel()
+    derived_channel = Channel()
+
+    first_client = StreamClient(clock)
+    first_client.tune_in(source_channel)
+    server = StreamServer("credit", structure, source_channel, clock)
+    server.announce()
+    server.publish_document(
+        parse_document(
+            "<creditAccounts><account id='1'>"
+            "<customer>X</customer><creditLimit>100</creditLimit>"
+            "</account></creditAccounts>"
+        )
+    )
+    alert_query = first_client.register_query(
+        'for $a in stream("credit")//account '
+        "where sum($a/transaction?[now-PT1H,now]/amount) >= 50 "
+        'return <alert account="{$a/@id}"><level>high</level></alert>',
+        strategy=Strategy.QAC,
+    )
+    derived = DerivedStream("alerts", derived_channel, clock)
+    derived.attach(alert_query)
+
+    downstream = StreamClient(clock)
+    downstream.tune_in(derived_channel)
+    return clock, server, first_client, derived, downstream
+
+
+def transaction(txn_id: str, amount: str) -> Element:
+    txn = Element("transaction", {"id": txn_id})
+    vendor = Element("vendor")
+    vendor.add_text("V")
+    txn.append(vendor)
+    amt = Element("amount")
+    amt.add_text(amount)
+    txn.append(amt)
+    return txn
+
+
+class TestDerivedStream:
+    def test_results_republished(self, cascade):
+        clock, server, first_client, derived, downstream = cascade
+        account = server.hole_id(0, "account", "1")
+        server.emit_event(account, transaction("t1", "80"))
+        first_client.poll()
+        assert derived.published == 1
+        assert "alerts" in downstream.engine.stores
+
+    def test_downstream_can_query_alerts(self, cascade):
+        clock, server, first_client, derived, downstream = cascade
+        account = server.hole_id(0, "account", "1")
+        server.emit_event(account, transaction("t1", "80"))
+        first_client.poll()
+        result = downstream.engine.execute(
+            'for $w in stream("alerts")//alert return $w/@account', now=clock.now()
+        )
+        assert [a.value for a in result] == ["1"]
+
+    def test_cascaded_continuous_query(self, cascade):
+        """A continuous query over the derived stream fires on new alerts."""
+        clock, server, first_client, derived, downstream = cascade
+        seen: list = []
+        downstream_query = None
+
+        account = server.hole_id(0, "account", "1")
+        server.emit_event(account, transaction("t1", "80"))
+        first_client.poll()  # first alert creates the derived stream
+
+        downstream_query = downstream.register_query(
+            'count(stream("alerts")//alert)', strategy=Strategy.QAC, emit="full"
+        )
+        assert downstream_query.evaluate(clock.now()) == [1]
+
+        # A second account triggers a second, distinct alert.
+        new_account = Element("account", {"id": "2"})
+        customer = Element("customer")
+        customer.add_text("Y")
+        new_account.append(customer)
+        server.insert_child(0, new_account)
+        account2 = server.hole_id(0, "account", "2")
+        clock.advance("PT1M")
+        server.emit_event(account2, transaction("t2", "70"))
+        first_client.poll()
+        assert downstream_query.evaluate(clock.now()) == [2]
+
+    def test_alert_events_carry_time(self, cascade):
+        clock, server, first_client, derived, downstream = cascade
+        account = server.hole_id(0, "account", "1")
+        clock.advance("PT30M")
+        server.emit_event(account, transaction("t1", "80"))
+        first_client.poll()
+        result = downstream.engine.execute(
+            'for $w in stream("alerts")//alert return vtFrom($w)', now=clock.now()
+        )
+        assert [str(t) for t in result] == ["2003-10-01T00:30:00"]
+
+    def test_atomic_results_skipped(self):
+        clock = SimulatedClock("2003-01-01T00:00:00")
+        derived = DerivedStream("out", Channel(), clock)
+        derived.publish_results([1, "text"])
+        assert derived.published == 0
+        assert derived.server is None
+
+    def test_explicit_structure(self):
+        clock = SimulatedClock("2003-01-01T00:00:00")
+        structure = TagStructure.build(
+            {
+                "name": "results",
+                "type": "snapshot",
+                "children": [{"name": "alert", "type": "event"}],
+            }
+        )
+        channel = Channel()
+        client = StreamClient(clock)
+        client.tune_in(channel)
+        derived = DerivedStream("out", channel, clock, tag_structure=structure)
+        derived.publish_results([Element("alert", {"n": "1"})])
+        assert client.engine.execute(
+            'count(stream("out")//alert)', now=clock.now()
+        ) == [1]

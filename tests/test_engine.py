@@ -1,0 +1,197 @@
+"""Tests for the XCQLEngine facade and strategy equivalence."""
+
+import pytest
+
+from repro import Strategy, XCQLEngine
+from repro.core.translator import TranslationError
+from repro.dom import serialize
+from repro.temporal import XSDateTime
+from repro.xquery.errors import XQueryDynamicError
+
+from tests.conftest import NOW_2003_12_15
+
+# Queries over the credit fixture that every strategy must agree on.
+EQUIVALENCE_QUERIES = [
+    'count(stream("credit")//account)',
+    'count(stream("credit")//transaction)',
+    'for $a in stream("credit")//account order by $a/@id return $a/@id',
+    'for $a in stream("credit")//account return count($a/creditLimit)',
+    'sum(stream("credit")//transaction/amount)',
+    'for $a in stream("credit")//account where $a/customer = "Jane Roe" return $a/@id',
+    'stream("credit")//account/creditLimit?[now]',
+    'stream("credit")//transaction?[2003-09-01, 2003-10-01]',
+    'for $a in stream("credit")//account return $a/creditLimit#[1]',
+    'for $t in stream("credit")//transaction where $t/amount > 1000 '
+    'and $t/status?[now] = "charged" return $t/@id',
+    'for $a in stream("credit")//account return '
+    "<r id=\"{$a/@id}\">{ count($a/transaction) }</r>",
+    'some $t in stream("credit")//transaction satisfies $t/amount > 1000',
+]
+
+
+def normalized(result) -> list[str]:
+    out = []
+    for item in result:
+        out.append(serialize(item) if hasattr(item, "string_value") else str(item))
+    return out
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("query", EQUIVALENCE_QUERIES)
+    def test_all_strategies_and_view_agree(self, credit_engine, query):
+        reference = normalized(credit_engine.execute_on_view(query, now=NOW_2003_12_15))
+        for strategy in (Strategy.QAC, Strategy.QAC_PLUS, Strategy.CAQ):
+            result = normalized(
+                credit_engine.execute(query, strategy=strategy, now=NOW_2003_12_15)
+            )
+            assert result == reference, f"{strategy} diverged on {query}"
+
+
+class TestPaperQueries:
+    def test_query1_maxed_out_accounts(self, credit_engine):
+        query = """
+        for $a in stream("credit")//account
+        where sum($a/transaction?[2003-11-01,2003-12-01][status = "charged"]/amount) >=
+              $a/creditLimit?[now]
+        return <account id="{$a/@id}"/>
+        """
+        result = credit_engine.execute(query, now=NOW_2003_12_15)
+        assert [e.attrs["id"] for e in result] == ["7777"]
+
+    def test_query2_no_fraud_in_fixture(self, credit_engine):
+        query = """
+        for $a in stream("credit")//account
+        where sum($a/transaction?[now-PT1H,now][status = "charged"]/amount) >=
+              max($a/creditLimit?[now] * 0.9, 5000)
+        return <alert id="{$a/@id}"/>
+        """
+        assert credit_engine.execute(query, now=NOW_2003_12_15) == []
+
+    def test_suspended_transaction_excluded_at_now(self, credit_engine):
+        # Paper §6.1: after filler 5 (status -> suspended), the >1000 query
+        # with ?[now] must NOT return transaction 23456.
+        query = """
+        for $t in stream("credit")//transaction
+        where $t/amount > 1000 and $t/status?[now] = "charged"
+        return $t/@id
+        """
+        result = credit_engine.execute(query, now=NOW_2003_12_15)
+        assert normalized(result) == []
+
+    def test_suspended_transaction_included_existentially(self, credit_engine):
+        # Without the projection the existential semantics match the old
+        # "charged" version (the paper's first, less accurate variant).
+        query = """
+        for $t in stream("credit")//transaction
+        where $t/amount > 1000 and $t/status = "charged"
+        return $t/@id
+        """
+        result = credit_engine.execute(query, now=NOW_2003_12_15)
+        assert [a.value for a in result] == ["23456"]
+
+    def test_version_projection_equivalent_to_now(self, credit_engine):
+        by_now = credit_engine.execute(
+            'for $t in stream("credit")//transaction where $t/amount > 1000 '
+            'and $t/status?[now] = "charged" return $t/@id',
+            now=NOW_2003_12_15,
+        )
+        by_last = credit_engine.execute(
+            'for $t in stream("credit")//transaction where $t/amount > 1000 '
+            'and $t/status#[last] = "charged" return $t/@id',
+            now=NOW_2003_12_15,
+        )
+        assert normalized(by_now) == normalized(by_last)
+
+    def test_historical_query_sees_old_state(self, credit_engine):
+        # In October 2003 the big transaction was still "charged".
+        query = """
+        for $t in stream("credit")//transaction
+        where $t/amount > 1000 and $t/status?[2003-10-01] = "charged"
+        return $t/@id
+        """
+        result = credit_engine.execute(query, now=NOW_2003_12_15)
+        assert [a.value for a in result] == ["23456"]
+
+
+class TestEngineMechanics:
+    def test_compiled_query_reusable(self, credit_engine):
+        compiled = credit_engine.compile('count(stream("credit")//account)')
+        assert credit_engine.execute(compiled) == [2]
+        assert credit_engine.execute(compiled) == [2]
+
+    def test_translated_source_exposed(self, credit_engine):
+        compiled = credit_engine.compile('stream("credit")//account')
+        assert "get_fillers" in compiled.translated_source
+
+    def test_unknown_stream_at_compile(self, credit_engine):
+        with pytest.raises(TranslationError):
+            credit_engine.compile('stream("nope")//x')
+
+    def test_feed_returns_new_count(self, credit_engine, credit_fillers):
+        assert credit_engine.feed("credit", credit_fillers[0]) == 0  # duplicate
+
+    def test_explain(self, credit_engine):
+        plan = credit_engine.explain(
+            'count(stream("credit")//transaction?[now-PT1H, now])',
+            Strategy.QAC_PLUS,
+        )
+        assert plan["strategy"] == "QaC+"
+        assert "get_fillers_by_tsid" in plan["translated"]
+        assert plan["depends_on"] == [("credit", 5)]
+        assert plan["time_sensitive"] is True
+        assert plan["hoisted_calls"] == 0
+
+    def test_explain_with_optimizer(self, credit_engine):
+        plan = credit_engine.explain(
+            'for $a in stream("credit")//account '
+            "return ($a/creditLimit, $a/creditLimit)",
+            Strategy.QAC,
+            optimize=True,
+        )
+        assert plan["hoisted_calls"] == 1
+        assert plan["depends_on"] == [("credit", "*")]
+        assert plan["time_sensitive"] is False
+
+    def test_register_function(self, credit_engine):
+        credit_engine.register_function(
+            "double", lambda ctx, args: [args[0][0] * 2], (1, 1)
+        )
+        assert credit_engine.execute("double(21)") == [42]
+
+    def test_default_now_used(self, credit_structure, credit_fillers):
+        engine = XCQLEngine(default_now=XSDateTime.parse("2001-01-01T00:00:00"))
+        engine.register_stream("credit", credit_structure)
+        engine.feed("credit", credit_fillers)
+        # At 2001-01-01 the Smith limit was still 2000.
+        result = engine.execute('stream("credit")//account/creditLimit?[now]')
+        assert sorted(e.text().strip() for e in result) == ["2000", "800"]
+
+    def test_single_stream_get_fillers_shorthand(self, credit_engine):
+        # The paper's single-argument get_fillers(0).
+        result = credit_engine.execute(
+            'get_fillers(0)/creditAccounts', strategy=Strategy.QAC
+        )
+        assert len(result) == 1
+
+    def test_multi_stream_requires_name(self, credit_engine, credit_structure):
+        credit_engine.register_stream("other", credit_structure)
+        with pytest.raises(XQueryDynamicError):
+            credit_engine.execute("get_fillers(0)")
+
+    def test_two_streams_joinable(self, credit_engine, credit_structure, credit_fillers):
+        from repro.fragments import FragmentStore
+
+        # A second stream with disjoint content: an empty credit system.
+        from repro.fragments.model import Filler
+        from repro.dom.nodes import Element
+
+        store = FragmentStore(credit_structure)
+        store.append(
+            Filler(10_000, 1, XSDateTime(2003, 1, 1), Element("creditAccounts"))
+        )
+        credit_engine.stores["backup"] = store
+        credit_engine.tag_structures["backup"] = credit_structure
+        count = credit_engine.execute(
+            'count(stream("credit")//account) + count(stream("backup")//account)',
+        )
+        assert count == [2]

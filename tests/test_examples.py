@@ -1,0 +1,60 @@
+"""Run every example end to end (they carry their own assertions)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None, capsys=None):
+    saved_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "Jane Roe" in out  # the maxed-out account
+        assert "get_fillers" in out  # the printed translation
+
+    def test_network_monitoring(self, capsys):
+        run_example("network_monitoring.py")
+        out = capsys.readouterr().out
+        assert "OK: exactly the unacknowledged connection was flagged." in out
+
+    def test_traffic_monitoring(self, capsys):
+        run_example("traffic_monitoring.py")
+        out = capsys.readouterr().out
+        assert "5.00,5.00" in out  # triangulated position
+        assert "green at +4s" in out
+
+    def test_stock_ticker(self, capsys):
+        run_example("stock_ticker.py")
+        out = capsys.readouterr().out
+        assert "('102.0', '95.0')" in out
+
+    def test_resilient_operations(self, capsys):
+        run_example("resilient_operations.py")
+        out = capsys.readouterr().out
+        assert "overheat alerts: ['m1']" in out
+        assert "in sync: True" in out
+
+    def test_patient_monitoring(self, capsys):
+        run_example("patient_monitoring.py")
+        out = capsys.readouterr().out
+        assert 'escalate patient="p2"' in out
+        assert "escalated exactly once" in out
+
+    def test_xmark_strategies_small(self, capsys):
+        run_example("xmark_strategies.py", ["0.0"])
+        out = capsys.readouterr().out
+        assert "=== Q5 ===" in out
+        assert "strategies returned" in out

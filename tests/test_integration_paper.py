@@ -1,0 +1,231 @@
+"""End-to-end scenarios lifted directly from the paper's text."""
+
+import pytest
+
+from repro import (
+    Channel,
+    Fragmenter,
+    FragmentStore,
+    SimulatedClock,
+    Strategy,
+    StreamClient,
+    StreamServer,
+    TagStructure,
+    XCQLEngine,
+)
+from repro.dom import Element, parse_document, serialize
+from repro.fragments import parse_filler, temporalize
+from repro.temporal import XSDateTime
+
+from tests.conftest import CREDIT_TAG_STRUCTURE_XML, NOW_2003_12_15
+
+# The exact fillers printed in §4.2.
+PAPER_FILLERS = [
+    """<filler id="100" tsid="5" validTime="2003-10-23T12:23:34">
+         <transaction id="12345">
+           <vendor>Southlake Pizza</vendor>
+           <amount>38.20</amount>
+           <hole id="200" tsid="7"/>
+         </transaction>
+       </filler>""",
+    """<filler id="200" tsid="7" validTime="2003-10-23T12:23:35">
+         <status>charged</status>
+       </filler>""",
+    """<filler id="300" tsid="5" validTime="2003-09-10T14:30:12">
+         <transaction id="23456">
+           <vendor>ResAris Contaceu</vendor>
+           <amount>1200</amount>
+           <hole id="400" tsid="7"/>
+         </transaction>
+       </filler>""",
+    """<filler id="400" tsid="7" validTime="2003-09-10T14:30:13">
+         <status>charged</status>
+       </filler>""",
+    """<filler id="400" tsid="7" validTime="2003-11-01T10:12:56">
+         <status>suspended</status>
+       </filler>""",
+]
+
+
+@pytest.fixture()
+def paper_engine(credit_structure):
+    """An engine loaded with exactly the §4.2 fillers, under one account."""
+    engine = XCQLEngine(default_now=NOW_2003_12_15)
+    store = engine.register_stream("credit", credit_structure)
+    root = Element("creditAccounts")
+    root.append(Element("hole", {"id": "10", "tsid": "2"}))
+    account = Element("account", {"id": "1234"})
+    customer = Element("customer")
+    customer.add_text("John Smith")
+    account.append(customer)
+    account.append(Element("hole", {"id": "100", "tsid": "5"}))
+    account.append(Element("hole", {"id": "300", "tsid": "5"}))
+    from repro.fragments.model import Filler
+
+    store.append(Filler(0, 1, XSDateTime(1998, 1, 1), root))
+    store.append(Filler(10, 2, XSDateTime(1998, 10, 10), account))
+    for text in PAPER_FILLERS:
+        store.append(parse_filler(text))
+    return engine
+
+
+class TestSection42Fillers:
+    def test_fillers_parse_as_printed(self):
+        fillers = [parse_filler(text) for text in PAPER_FILLERS]
+        assert [f.filler_id for f in fillers] == [100, 200, 300, 400, 400]
+        assert fillers[0].hole_ids() == [200]
+
+    def test_status_versions_derived(self, paper_engine):
+        store = paper_engine.stores["credit"]
+        versions = store.versions_of(400)
+        assert [v.text() for v in versions] == ["charged", "suspended"]
+        assert versions[0].attrs["vtTo"] == "2003-11-01T10:12:56"
+        assert versions[1].attrs["vtTo"] == "now"
+
+    def test_materialized_view_matches_section_31(self, paper_engine):
+        view = temporalize(paper_engine.stores["credit"])
+        text = serialize(view)
+        assert "<customer>John Smith</customer>" in text
+        assert 'vtFrom="2003-10-23T12:23:35" vtTo="now"' in text  # status 200
+
+    def test_section_61_query_with_projection(self, paper_engine):
+        # "The above query would not retrieve the filler 3, since its
+        # current status, after filler 5 is received, is suspended."
+        query = """
+        for $t in stream("credit")/creditAccounts//transaction
+        where $t/amount > 1000 and $t/status?[now] = "charged"
+        return $t
+        """
+        for strategy in (Strategy.QAC, Strategy.QAC_PLUS, Strategy.CAQ):
+            assert paper_engine.execute(query, strategy=strategy) == []
+
+    def test_section_61_query_existential(self, paper_engine):
+        # "due to the existential semantics ... the above query will
+        # retrieve filler 3".
+        query = """
+        for $t in stream("credit")/creditAccounts//transaction
+        where $t/amount > 1000 and $t/status = "charged"
+        return $t
+        """
+        result = paper_engine.execute(query)
+        assert len(result) == 1
+        assert result[0].attrs["id"] == "23456"
+
+    def test_e_last_equivalent(self, paper_engine):
+        # "we could have also used e#[last] to achieve the same result."
+        query = """
+        for $t in stream("credit")/creditAccounts//transaction
+        where $t/amount > 1000 and $t/status#[last] = "charged"
+        return $t
+        """
+        assert paper_engine.execute(query) == []
+
+    def test_before_suspension_it_was_charged(self, paper_engine):
+        query = """
+        for $t in stream("credit")/creditAccounts//transaction
+        where $t/amount > 1000 and $t/status?[2003-10-01] = "charged"
+        return $t/@id
+        """
+        assert [a.value for a in paper_engine.execute(query)] == ["23456"]
+
+
+class TestFullBroadcastPipeline:
+    def test_paper_lifecycle(self):
+        """The complete story: publish, charge, status update, query."""
+        structure = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+        clock = SimulatedClock("2003-09-01T00:00:00")
+        channel = Channel()
+        client = StreamClient(clock)
+        client.tune_in(channel)
+        server = StreamServer("credit", structure, channel, clock)
+        server.announce()
+        server.publish_document(
+            parse_document(
+                "<creditAccounts><account id='1234'>"
+                "<customer>John Smith</customer>"
+                "<creditLimit>5000</creditLimit>"
+                "</account></creditAccounts>"
+            )
+        )
+        account = server.hole_id(0, "account", "1234")
+
+        # A charge request arrives; its status is confirmed a second later
+        # ("requesting a charge and receiving a response at a later time").
+        clock.advance("P9DT14H30M12S")
+        txn = Element("transaction", {"id": "23456"})
+        vendor = Element("vendor")
+        vendor.add_text("ResAris Contaceu")
+        txn.append(vendor)
+        amount = Element("amount")
+        amount.add_text("1200")
+        txn.append(amount)
+        emitted = server.emit_event(account, txn)
+        status_hole = int(emitted.holes()[0].attrs["id"]) if emitted.holes() else None
+        assert status_hole is None  # no status child yet
+
+        clock.advance("PT1S")
+        status = Element("status")
+        status.add_text("charged")
+        # The status arrives as an update *inside* the transaction: the
+        # server replaces the transaction fragment with one that has a
+        # status hole, then fills it.
+        with_status = server.latest_content(emitted.filler_id)
+        new_txn = Element("transaction", dict(with_status.attrs))
+        for child in with_status.children:
+            new_txn.append(child.copy() if isinstance(child, Element) else child)
+        new_txn.append(status)
+        server.update_fragment(emitted.filler_id, new_txn)
+
+        flagged = client.engine.execute(
+            'for $t in stream("credit")//transaction '
+            'where $t/amount > 1000 and $t/status?[now] = "charged" '
+            "return $t/@id",
+            now=clock.now(),
+        )
+        assert [a.value for a in flagged] == ["23456"]
+
+        # Two months later the customer disputes; the status flips.
+        clock.advance("P52DT19H42M44S")
+        status_id = server.hole_id(emitted.filler_id, "status", "23456")
+        suspended = Element("status")
+        suspended.add_text("suspended")
+        server.update_fragment(status_id, suspended)
+
+        flagged_after = client.engine.execute(
+            'for $t in stream("credit")//transaction '
+            'where $t/amount > 1000 and $t/status?[now] = "charged" '
+            "return $t/@id",
+            now=clock.now(),
+        )
+        assert flagged_after == []
+
+        # But history is preserved: the charge was valid back then.
+        historical = client.engine.execute(
+            'for $t in stream("credit")//transaction '
+            'where $t/amount > 1000 and $t/status?[2003-10-01] = "charged" '
+            "return $t/@id",
+            now=clock.now(),
+        )
+        assert [a.value for a in historical] == ["23456"]
+
+
+class TestWindowSimulationOfCQL:
+    def test_tuple_window_via_version_projection(self, credit_engine):
+        # Paper §2: CQL's "Rows n" windows are version projections after a
+        # grouping; the transactions of one account, first N.
+        query = """
+        for $a in stream("credit")//account[@id = "1234"]
+        return $a/transaction#[1, 1]
+        """
+        result = credit_engine.execute(query, now=NOW_2003_12_15)
+        assert len(result) == 1
+
+    def test_time_window_via_interval_projection(self, credit_engine):
+        query = """
+        for $a in stream("credit")//account
+        return count($a/transaction?[2003-11-01, 2003-12-01])
+        """
+        # Account 1234's transactions are in September/October; only
+        # account 7777 charged inside the November window.
+        result = credit_engine.execute(query, now=NOW_2003_12_15)
+        assert result == [0, 1]

@@ -1,0 +1,180 @@
+"""Tests for time intervals and Allen relations (repro.temporal.interval)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.temporal.chrono import XSDateTime
+from repro.temporal.interval import (
+    NOW,
+    START,
+    IntervalError,
+    TimeInterval,
+    parse_time_point,
+    resolve_point,
+)
+
+T = XSDateTime.parse
+NOW_T = T("2003-12-15T00:00:00")
+
+
+def iv(begin: str, end: str) -> TimeInterval:
+    return TimeInterval(T(begin), T(end))
+
+
+class TestConstruction:
+    def test_point_interval(self):
+        point = TimeInterval.point(T("2003-01-01"))
+        assert point.begin == point.end
+
+    def test_always(self):
+        always = TimeInterval.always()
+        assert always.begin is START and always.end is NOW
+
+    def test_parse_pair(self):
+        parsed = TimeInterval.parse("[2003-01-01, 2003-02-01]")
+        assert parsed == iv("2003-01-01", "2003-02-01")
+
+    def test_parse_single_point(self):
+        assert TimeInterval.parse("[now]") == TimeInterval(NOW, NOW)
+
+    def test_parse_symbolic(self):
+        parsed = TimeInterval.parse("[start, now]")
+        assert parsed.begin is START and parsed.end is NOW
+
+    def test_parse_rejects_triple(self):
+        with pytest.raises(IntervalError):
+            TimeInterval.parse("[a, b, c]")
+
+    def test_parse_time_point(self):
+        assert parse_time_point("now") is NOW
+        assert parse_time_point("start") is START
+        assert parse_time_point("2003-01-01") == T("2003-01-01")
+
+
+class TestResolution:
+    def test_resolve_now(self):
+        resolved = TimeInterval(START, NOW).resolve(NOW_T)
+        assert resolved.is_resolved
+        assert resolved.end == NOW_T
+
+    def test_resolve_start_below_everything(self):
+        resolved = resolve_point(START, NOW_T)
+        assert resolved < T("0100-01-01")
+
+    def test_resolve_rejects_inverted(self):
+        with pytest.raises(IntervalError):
+            TimeInterval(T("2003-02-01"), T("2003-01-01")).resolve(NOW_T)
+
+    def test_relations_require_resolution(self):
+        with pytest.raises(IntervalError):
+            TimeInterval(START, NOW).before(iv("2003-01-01", "2003-01-02"))
+
+
+class TestAllenRelations:
+    a = iv("2003-01-01T00:00:00", "2003-01-10T00:00:00")
+
+    def test_before_after(self):
+        later = iv("2003-02-01", "2003-02-10")
+        assert self.a.before(later)
+        assert later.after(self.a)
+        assert not later.before(self.a)
+
+    def test_paper_definition_of_before(self):
+        # Paper §2: a before b  ≡  a.t2 < b.t3.
+        b = iv("2003-01-10T00:00:01", "2003-01-20T00:00:00")
+        assert self.a.before(b)
+
+    def test_meets(self):
+        b = iv("2003-01-10T00:00:00", "2003-01-20T00:00:00")
+        assert self.a.meets(b)
+        assert b.met_by(self.a)
+        assert not self.a.before(b)
+
+    def test_overlaps_is_symmetric_here(self):
+        b = iv("2003-01-05", "2003-01-15")
+        assert self.a.overlaps(b)
+        assert b.overlaps(self.a)
+
+    def test_contains_during(self):
+        inner = iv("2003-01-03", "2003-01-05")
+        assert self.a.contains(inner)
+        assert inner.during(self.a)
+        assert not inner.contains(self.a)
+
+    def test_starts_finishes(self):
+        prefix = iv("2003-01-01T00:00:00", "2003-01-05T00:00:00")
+        suffix = iv("2003-01-05T00:00:00", "2003-01-10T00:00:00")
+        assert prefix.starts(self.a)
+        assert suffix.finishes(self.a)
+
+    def test_equals(self):
+        assert self.a.equals(iv("2003-01-01T00:00:00", "2003-01-10T00:00:00"))
+
+    def test_inverse_relations(self):
+        prefix = iv("2003-01-01T00:00:00", "2003-01-05T00:00:00")
+        suffix = iv("2003-01-05T00:00:00", "2003-01-10T00:00:00")
+        assert self.a.started_by(prefix)
+        assert self.a.finished_by(suffix)
+        assert self.a.overlapped_by(iv("2003-01-05", "2003-02-01"))
+
+    def test_contains_point(self):
+        assert self.a.contains_point(T("2003-01-05"))
+        assert not self.a.contains_point(T("2003-02-05"))
+
+
+class TestCombination:
+    def test_intersect(self):
+        a = iv("2003-01-01", "2003-01-10")
+        b = iv("2003-01-05", "2003-01-20")
+        overlap = a.intersect(b)
+        assert overlap == iv("2003-01-05", "2003-01-10")
+
+    def test_intersect_disjoint_is_none(self):
+        assert iv("2003-01-01", "2003-01-02").intersect(iv("2003-02-01", "2003-02-02")) is None
+
+    def test_cover(self):
+        a = iv("2003-01-01", "2003-01-10")
+        b = iv("2003-01-05", "2003-01-20")
+        assert a.cover(b) == iv("2003-01-01", "2003-01-20")
+
+    def test_duration_seconds(self):
+        assert iv("2003-01-01T00:00:00", "2003-01-01T01:00:00").duration_seconds() == 3600
+
+
+_point = st.integers(min_value=0, max_value=10**6).map(
+    lambda s: XSDateTime.from_epoch_seconds(1_000_000_000 + s)
+)
+_interval = st.tuples(_point, _point).map(
+    lambda pair: TimeInterval(min(pair), max(pair))
+)
+
+
+class TestProperties:
+    @given(_interval, _interval)
+    def test_intersect_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(_interval, _interval)
+    def test_cover_commutative(self, a, b):
+        assert a.cover(b) == b.cover(a)
+
+    @given(_interval, _interval)
+    def test_intersect_within_cover(self, a, b):
+        overlap = a.intersect(b)
+        if overlap is not None:
+            assert a.cover(b).contains(overlap)
+
+    @given(_interval, _interval)
+    def test_before_after_mutually_exclusive(self, a, b):
+        assert not (a.before(b) and a.after(b))
+
+    @given(_interval, _interval)
+    def test_overlap_iff_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersect(b) is not None)
+
+    @given(_interval)
+    def test_self_relations(self, a):
+        assert a.equals(a)
+        assert a.contains(a)
+        assert a.during(a)
+        assert not a.before(a)

@@ -1,0 +1,147 @@
+"""The paper's §2/§3.1 queries, as printed, must parse and translate."""
+
+import pytest
+
+from repro import TagStructure
+from repro.core import Strategy, Translator
+from repro.xquery import parse_xcql
+
+# Queries exactly as printed in the paper (§2 examples 1-3, §3.1 queries 1-2,
+# §6 version-projection example), modulo whitespace.
+PAPER_QUERIES = {
+    "syn_ack": """
+        for $s in stream("gsyn")//packet
+        where not (some $a in stream("ack")//packet
+                   ?[vtFrom($s)+PT1M,now]
+                   satisfies $s/id = $a/id
+                     and $s/srcIP = $a/destIP
+                     and $s/srcPort = $a/destPort)
+        return <warning> { $s/id } </warning>
+    """,
+    "radar": """
+        for $r in stream("radar1")//event,
+            $s in stream("radar2")//event
+                 ?[vtFrom($r)-PT1S,vtTo($r)+PT1S]
+        where $r/frequency = $s/frequency
+        return
+          <position>
+            { triangulate($r/angle,$s/angle) }
+          </position>
+    """,
+    "ambulance": """
+        for $v in stream("vehicle")//event
+            $r in stream("road_sensor")
+                  //event?[vtFrom($v),vtTo($v)]
+            $t in stream("traffic_light")
+                  //event?[vtFrom($v),vtTo($v)]
+        where distance($v/location,$r/location)<0.1
+          and distance($v/location,$t/location)<10
+          and $v/type = "ambulance"
+        return
+          <set_traffic_light ID="{$t/id}">
+            <status>green</status>,
+            <time> {vtFrom($t)
+                    +(distance($v/location,$t/location)
+                      div $r/speed)}
+            </time>
+          </set_traffic_light>
+    """,
+    "credit_q1": """
+        for $a in stream("credit")//account
+        where sum($a/transaction?[2003-11-01,2003-12-01]
+                  [status = "charged"]/amount) >=
+              $a/creditLimit?[now]
+        return
+          <account>
+            { attribute id {$a/@id},
+              $a/customer,
+              $a/creditLimit }
+          </account>
+    """,
+    "credit_q2": """
+        for $a in stream("credit")//account
+        where sum($a/transaction?[now-PT1H,now]
+                  [status = "charged"]/amount) >=
+              max($a/creditLimit?[now] * 0.9, 5000)
+        return
+          <alert>
+            <account id={$a/@id}>
+              {$a/customer}
+            </account>
+          </alert>
+    """,
+    "version_window": """
+        stream("credit")
+        //transaction[vendor="ABC Inc"]#[1,10]
+    """,
+}
+
+
+def event_structure(root: str, fields: list[str]) -> TagStructure:
+    return TagStructure.build(
+        {
+            "name": root,
+            "type": "snapshot",
+            "children": [
+                {
+                    "name": "event",
+                    "type": "event",
+                    "children": [{"name": f, "type": "snapshot"} for f in fields],
+                }
+            ],
+        }
+    )
+
+
+def packet_structure(root: str) -> TagStructure:
+    return TagStructure.build(
+        {
+            "name": root,
+            "type": "snapshot",
+            "children": [
+                {
+                    "name": "packet",
+                    "type": "event",
+                    "children": [
+                        {"name": f, "type": "snapshot"}
+                        for f in ("id", "srcIP", "destIP", "srcPort", "destPort")
+                    ],
+                }
+            ],
+        }
+    )
+
+
+STRUCTURES = {
+    "gsyn": packet_structure("syns"),
+    "ack": packet_structure("acks"),
+    "radar1": event_structure("events", ["frequency", "angle"]),
+    "radar2": event_structure("events", ["frequency", "angle"]),
+    "vehicle": event_structure("events", ["id", "type", "location"]),
+    "road_sensor": event_structure("events", ["id", "speed", "location"]),
+    "traffic_light": event_structure("events", ["id", "status", "location"]),
+}
+
+
+@pytest.fixture(scope="module")
+def all_structures(credit_structure=None):
+    from tests.conftest import CREDIT_TAG_STRUCTURE_XML
+
+    structures = dict(STRUCTURES)
+    structures["credit"] = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+    return structures
+
+
+class TestVerbatimQueries:
+    @pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+    def test_parses(self, name):
+        module = parse_xcql(PAPER_QUERIES[name])
+        assert module.body is not None
+
+    @pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_translates(self, all_structures, name, strategy):
+        module = parse_xcql(PAPER_QUERIES[name])
+        translator = Translator(all_structures, strategy)
+        translated = translator.translate_module(module)
+        assert translated.body is not None

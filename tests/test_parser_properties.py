@@ -1,0 +1,131 @@
+"""Property-based tests for the XQuery/XCQL parser.
+
+Random ASTs are rendered with ``to_source`` and re-parsed: the second
+render must be identical (render∘parse is a projection).  Random evaluable
+expressions additionally round-trip through evaluation with equal results.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xquery import evaluate, parse, to_source
+from repro.xquery import xast
+
+# ---------------------------------------------------------------------------
+# Random evaluable arithmetic/logic expression sources
+# ---------------------------------------------------------------------------
+
+_numbers = st.integers(min_value=0, max_value=999)
+
+
+@st.composite
+def arithmetic_sources(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return str(draw(_numbers))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(arithmetic_sources(depth=depth + 1))
+    right = draw(arithmetic_sources(depth=depth + 1))
+    if draw(st.booleans()):
+        return f"({left} {op} {right})"
+    return f"{left} {op} {right}"
+
+
+@st.composite
+def boolean_sources(draw):
+    comparison = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+    left = draw(arithmetic_sources())
+    right = draw(arithmetic_sources())
+    expr = f"{left} {comparison} {right}"
+    if draw(st.booleans()):
+        other = f"{draw(arithmetic_sources())} = {draw(arithmetic_sources())}"
+        connective = draw(st.sampled_from(["and", "or"]))
+        expr = f"{expr} {connective} {other}"
+    return expr
+
+
+class TestEvaluableRoundTrip:
+    @given(arithmetic_sources())
+    @settings(max_examples=150, deadline=None)
+    def test_arithmetic_render_parse_fixpoint(self, source):
+        module = parse(source)
+        rendered = to_source(module)
+        again = to_source(parse(rendered))
+        assert again == rendered
+
+    @given(arithmetic_sources())
+    @settings(max_examples=150, deadline=None)
+    def test_arithmetic_value_preserved(self, source):
+        direct = evaluate(source)
+        round_tripped = evaluate(to_source(parse(source)))
+        assert round_tripped == direct
+
+    @given(boolean_sources())
+    @settings(max_examples=100, deadline=None)
+    def test_boolean_value_preserved(self, source):
+        assert evaluate(to_source(parse(source))) == evaluate(source)
+
+
+# ---------------------------------------------------------------------------
+# Random ASTs (paths, FLWOR, constructors) — render/parse fixpoint
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "item", "price", "x1"])
+_vars = st.sampled_from(["v", "w", "acc"])
+
+
+@st.composite
+def path_exprs(draw):
+    base = xast.VarRef(draw(_vars))
+    steps = []
+    for _ in range(draw(st.integers(1, 3))):
+        axis = draw(st.sampled_from(["child", "descendant-or-self", "attribute"]))
+        steps.append(xast.Step(axis, draw(_names)))
+    return xast.PathExpr(base, steps)
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 2:
+        return draw(
+            st.one_of(
+                st.builds(xast.Literal, _numbers),
+                st.builds(xast.VarRef, _vars),
+                path_exprs(),
+            )
+        )
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        return xast.BinOp(
+            draw(st.sampled_from(["+", "*", "=", "<"])),
+            draw(expressions(depth=depth + 1)),
+            draw(expressions(depth=depth + 1)),
+        )
+    if kind == 1:
+        return xast.IfExpr(
+            draw(expressions(depth=depth + 1)),
+            draw(expressions(depth=depth + 1)),
+            draw(expressions(depth=depth + 1)),
+        )
+    if kind == 2:
+        return xast.FLWOR(
+            [xast.ForClause(draw(_vars), draw(expressions(depth=depth + 1)))],
+            draw(expressions(depth=depth + 1)),
+        )
+    if kind == 3:
+        return xast.FunctionCall(
+            draw(st.sampled_from(["count", "sum", "f"])),
+            [draw(expressions(depth=depth + 1))],
+        )
+    if kind == 4:
+        return xast.IntervalProjection(
+            draw(path_exprs()), xast.NowConstant(), xast.NowConstant()
+        )
+    return draw(path_exprs())
+
+
+class TestASTRoundTrip:
+    @given(expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_render_parse_fixpoint(self, tree):
+        rendered = to_source(xast.Module([], tree))
+        reparsed = parse(rendered, xcql=True)
+        assert to_source(reparsed) == rendered

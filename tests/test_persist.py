@@ -1,0 +1,165 @@
+"""Tests for store snapshots and broadcast journals."""
+
+import pytest
+
+from repro import Channel, SimulatedClock, StreamClient, StreamServer, TagStructure
+from repro.dom import parse_document, serialize
+from repro.fragments import temporalize
+from repro.fragments.persist import Journal, load_store, save_store
+from repro.streams.transport import FILLER, Message
+
+from tests.conftest import CREDIT_TAG_STRUCTURE_XML
+
+
+class TestStoreSnapshot:
+    def test_round_trip(self, credit_store, tmp_path):
+        path = tmp_path / "credit.store.xml"
+        written = save_store(credit_store, path)
+        assert written == credit_store.filler_count
+        loaded = load_store(path)
+        assert loaded.filler_count == credit_store.filler_count
+        assert serialize(temporalize(loaded)) == serialize(temporalize(credit_store))
+
+    def test_tag_structure_preserved(self, credit_store, tmp_path):
+        path = tmp_path / "credit.store.xml"
+        save_store(credit_store, path)
+        loaded = load_store(path)
+        assert loaded.tag_structure is not None
+        assert loaded.tag_structure.by_id(5).name == "transaction"
+
+    def test_store_without_structure(self, credit_fillers, tmp_path):
+        from repro import FragmentStore
+
+        store = FragmentStore(tag_structure=None)
+        store.extend(credit_fillers)
+        path = tmp_path / "untyped.store.xml"
+        save_store(store, path)
+        loaded = load_store(path)
+        assert loaded.tag_structure is None
+        assert loaded.filler_count == store.filler_count
+
+    def test_rejects_other_documents(self, tmp_path):
+        path = tmp_path / "junk.xml"
+        path.write_text("<other/>")
+        with pytest.raises(ValueError):
+            load_store(path)
+
+    def test_index_flags_respected(self, credit_store, tmp_path):
+        path = tmp_path / "credit.store.xml"
+        save_store(credit_store, path)
+        loaded = load_store(path, use_index=False, use_cache=False)
+        assert loaded.use_index is False and loaded.use_cache is False
+
+
+class TestEngineState:
+    def test_round_trip(self, credit_engine, tmp_path):
+        from repro import XCQLEngine
+
+        from tests.conftest import NOW_2003_12_15
+
+        saved = credit_engine.save_state(tmp_path / "state")
+        assert saved == ["credit"]
+        restored = XCQLEngine.load_state(tmp_path / "state", default_now=NOW_2003_12_15)
+        query = 'for $a in stream("credit")//account order by $a/@id return $a/@id'
+        assert [a.value for a in restored.execute(query)] == [
+            a.value for a in credit_engine.execute(query, now=NOW_2003_12_15)
+        ]
+
+    def test_multiple_streams(self, credit_engine, credit_structure, tmp_path):
+        from repro import FragmentStore, XCQLEngine
+
+        credit_engine.register_stream("second", credit_structure, FragmentStore(credit_structure))
+        saved = credit_engine.save_state(tmp_path / "state")
+        assert saved == ["credit", "second"]
+        restored = XCQLEngine.load_state(tmp_path / "state")
+        assert set(restored.stores) == {"credit", "second"}
+
+    def test_rejects_bad_directory(self, tmp_path):
+        from repro import XCQLEngine
+
+        with pytest.raises(FileNotFoundError):
+            XCQLEngine.load_state(tmp_path / "nope")
+
+
+class TestJournal:
+    def test_record_and_read(self, tmp_path):
+        journal = Journal(tmp_path / "stream.journal")
+        journal.record(Message(FILLER, "s", "<filler id='1' tsid='1' validTime='2003-01-01T00:00:00'><a/></filler>"))
+        journal.record(Message(FILLER, "s", "<filler id='2' tsid='1' validTime='2003-01-02T00:00:00'><b/></filler>"))
+        messages = list(journal.read())
+        assert [m.kind for m in messages] == [FILLER, FILLER]
+        assert "<a/>" in messages[0].payload
+
+    def test_read_missing_file_empty(self, tmp_path):
+        journal = Journal(tmp_path / "nope.journal")
+        assert list(journal.read()) == []
+
+    def test_corrupt_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.journal"
+        path.write_text("<notjournal/>\n")
+        with pytest.raises(ValueError):
+            list(Journal(path).read())
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.journal"
+        path.write_text('<journal kind="weird" stream="s"><x/></journal>\n')
+        with pytest.raises(ValueError):
+            list(Journal(path).read())
+
+    def test_late_joiner_bootstraps_from_journal(self, tmp_path):
+        """A client that tunes in late replays the journal and catches up."""
+        structure = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+        clock = SimulatedClock("2003-10-01T00:00:00")
+        channel = Channel()
+        journal = Journal(tmp_path / "credit.journal")
+        channel.subscribe(journal.record)
+
+        early = StreamClient(clock)
+        early.tune_in(channel)
+        server = StreamServer("credit", structure, channel, clock)
+        server.announce()
+        server.publish_document(
+            parse_document(
+                "<creditAccounts><account id='1'><customer>X</customer>"
+                "<creditLimit>100</creditLimit></account></creditAccounts>"
+            )
+        )
+
+        late = StreamClient(clock)
+        replayed = journal.replay(late._on_message)
+        assert replayed == journal.records_written
+        late.tune_in(channel)  # from now on it hears live traffic too
+
+        clock.advance("P1D")
+        account = server.hole_id(0, "account", "1")
+        limit = server.hole_id(account, "creditLimit", "1")
+        from repro.dom import Element
+
+        newlimit = Element("creditLimit")
+        newlimit.add_text("900")
+        server.update_fragment(limit, newlimit)
+
+        early_view = serialize(temporalize(early.store_of("credit")))
+        late_view = serialize(temporalize(late.store_of("credit")))
+        assert early_view == late_view
+        assert "900" in late_view
+
+    def test_replay_idempotent(self, tmp_path):
+        structure = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+        clock = SimulatedClock("2003-10-01T00:00:00")
+        channel = Channel()
+        journal = Journal(tmp_path / "credit.journal")
+        channel.subscribe(journal.record)
+        client = StreamClient(clock)
+        client.tune_in(channel)
+        server = StreamServer("credit", structure, channel, clock)
+        server.announce()
+        server.publish_document(
+            parse_document(
+                "<creditAccounts><account id='1'><customer>X</customer>"
+                "<creditLimit>100</creditLimit></account></creditAccounts>"
+            )
+        )
+        before = client.store_of("credit").filler_count
+        journal.replay(client._on_message)  # duplicates: all dropped
+        assert client.store_of("credit").filler_count == before

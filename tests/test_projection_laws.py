@@ -1,0 +1,130 @@
+"""Property-based laws of the XCQL projections (paper §2/§6 semantics)."""
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.dom import serialize
+from repro.temporal import XSDateTime
+
+from tests.conftest import NOW_2003_12_15
+
+# Random instants across the credit fixture's active years.
+_instants = st.tuples(
+    st.integers(1999, 2003), st.integers(1, 12), st.integers(1, 28)
+).map(lambda ymd: XSDateTime(*ymd))
+
+
+def project(engine, begin, end):
+    return [
+        serialize(e)
+        for e in engine.execute(
+            f'stream("credit")//account/creditLimit?[{begin}, {end}]',
+            now=NOW_2003_12_15,
+        )
+    ]
+
+
+class TestIntervalProjectionLaws:
+    @given(_instants, _instants)
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_nested_projection_is_intersection(self, credit_engine, a, b):
+        """e?[w1]?[w2] selects what e?[w1∩w2] selects."""
+        lo, hi = (a, b) if a <= b else (b, a)
+        mid = XSDateTime.from_epoch_seconds(
+            (lo.to_epoch_seconds() + hi.to_epoch_seconds()) / 2
+        )
+        nested = [
+            serialize(e)
+            for e in credit_engine.execute(
+                f'stream("credit")//account/creditLimit?[{lo}, {hi}]?[{mid}, {hi}]',
+                now=NOW_2003_12_15,
+            )
+        ]
+        direct = project(credit_engine, mid, hi)
+        assert nested == direct
+
+    @given(_instants)
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_point_projection_selects_at_most_one_version(self, credit_engine, t):
+        result = credit_engine.execute(
+            f'for $a in stream("credit")//account '
+            f"return count($a/creditLimit?[{t}])",
+            now=NOW_2003_12_15,
+        )
+        assert all(count <= 1 for count in result)
+
+    @given(_instants, _instants)
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_projection_monotone_in_window(self, credit_engine, a, b):
+        """A wider window never selects fewer versions."""
+        lo, hi = (a, b) if a <= b else (b, a)
+        assume(lo < hi)
+        narrow = credit_engine.execute(
+            f'count(stream("credit")//transaction?[{lo}, {hi}])',
+            now=NOW_2003_12_15,
+        )[0]
+        wide = credit_engine.execute(
+            f'count(stream("credit")//transaction?[1998-01-01, 2003-12-14])',
+            now=NOW_2003_12_15,
+        )[0]
+        assert narrow <= wide
+
+    @given(_instants, _instants)
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_clipped_lifespans_inside_window(self, credit_engine, a, b):
+        lo, hi = (a, b) if a <= b else (b, a)
+        for text in project(credit_engine, lo, hi):
+            # every reported vtFrom/vtTo lies inside [lo, hi]
+            import re
+
+            vt_from = re.search(r'vtFrom="([^"]+)"', text).group(1)
+            vt_to = re.search(r'vtTo="([^"]+)"', text).group(1)
+            assert lo <= XSDateTime.parse(vt_from) <= hi
+            assert lo <= XSDateTime.parse(vt_to) <= hi
+
+
+class TestVersionProjectionLaws:
+    @given(st.integers(1, 4))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_prefix_ranges_nest(self, credit_engine, n):
+        """#[1, n] is a prefix of #[1, n+1]."""
+        shorter = [
+            serialize(e)
+            for e in credit_engine.execute(
+                f'stream("credit")//account[@id="1234"]/transaction#[1, {n}]',
+                now=NOW_2003_12_15,
+            )
+        ]
+        longer = [
+            serialize(e)
+            for e in credit_engine.execute(
+                f'stream("credit")//account[@id="1234"]/transaction#[1, {n + 1}]',
+                now=NOW_2003_12_15,
+            )
+        ]
+        assert longer[: len(shorter)] == shorter
+
+    @given(st.integers(1, 6))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_single_version_cardinality(self, credit_engine, v):
+        counts = credit_engine.execute(
+            f'for $a in stream("credit")//account '
+            f"return count($a/creditLimit#[{v}])",
+            now=NOW_2003_12_15,
+        )
+        assert all(count in (0, 1) for count in counts)
+
+    def test_full_range_is_identity_selection(self, credit_engine):
+        everything = credit_engine.execute(
+            'count(stream("credit")//account/creditLimit)', now=NOW_2003_12_15
+        )
+        ranged = credit_engine.execute(
+            'count(stream("credit")//account/creditLimit#[1, 99])',
+            now=NOW_2003_12_15,
+        )
+        assert ranged == everything

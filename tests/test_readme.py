@@ -1,0 +1,32 @@
+"""The README's Python snippets must run as written."""
+
+import re
+from pathlib import Path
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks() -> list[str]:
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+class TestReadme:
+    def test_has_python_examples(self):
+        assert len(python_blocks()) >= 2
+
+    def test_snippets_execute(self):
+        namespace: dict = {}
+        for block in python_blocks():
+            exec(compile(block, str(README), "exec"), namespace)  # noqa: S102
+        # The quickstart block leaves a result behind; sanity-check it.
+        assert "result" in namespace
+        assert [n.string_value() for n in namespace["result"]] == ["Ada"]
+
+    def test_mentioned_files_exist(self):
+        text = README.read_text()
+        root = README.parent
+        for match in re.findall(r"`((?:examples|docs)/[\w./-]+)`", text):
+            assert (root / match).exists(), match
+        for match in re.findall(r"python (examples/[\w.]+\.py)", text):
+            assert (root / match).exists(), match

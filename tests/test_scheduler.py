@@ -1,0 +1,220 @@
+"""Tests for the continuous-query scheduler (paper §8 extension)."""
+
+import pytest
+
+from repro import (
+    Channel,
+    SimulatedClock,
+    Strategy,
+    StreamClient,
+    StreamServer,
+    TagStructure,
+    XCQLEngine,
+)
+from repro.dom import Element, parse_document
+from repro.streams.scheduler import ALL_TSIDS, QueryScheduler, dependencies_of
+
+from tests.conftest import CREDIT_TAG_STRUCTURE_XML
+
+
+def make_engine():
+    structure = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+    engine = XCQLEngine()
+    engine.register_stream("credit", structure)
+    return engine
+
+
+class TestDependencyDerivation:
+    def test_qac_depends_on_whole_stream(self):
+        engine = make_engine()
+        compiled = engine.compile('count(stream("credit")//account)', Strategy.QAC)
+        deps = dependencies_of(compiled)
+        assert ("credit", ALL_TSIDS) in deps.streams
+
+    def test_qac_plus_depends_on_tsid(self):
+        engine = make_engine()
+        compiled = engine.compile(
+            'count(stream("credit")//transaction)', Strategy.QAC_PLUS
+        )
+        deps = dependencies_of(compiled)
+        assert deps.streams == frozenset({("credit", 5)})
+
+    def test_now_makes_time_sensitive(self):
+        engine = make_engine()
+        compiled = engine.compile(
+            'stream("credit")//transaction?[now-PT1H, now]', Strategy.QAC_PLUS
+        )
+        assert dependencies_of(compiled).time_sensitive
+
+    def test_without_now_not_time_sensitive(self):
+        engine = make_engine()
+        compiled = engine.compile(
+            'count(stream("credit")//transaction)', Strategy.QAC_PLUS
+        )
+        assert not dependencies_of(compiled).time_sensitive
+
+    def test_caq_depends_on_whole_stream(self):
+        engine = make_engine()
+        compiled = engine.compile('count(stream("credit")//account)', Strategy.CAQ)
+        deps = dependencies_of(compiled)
+        assert ("credit", ALL_TSIDS) in deps.streams
+
+    def test_touches(self):
+        engine = make_engine()
+        deps = dependencies_of(
+            engine.compile('count(stream("credit")//transaction)', Strategy.QAC_PLUS)
+        )
+        assert deps.touches("credit", {5})
+        assert not deps.touches("credit", {4})
+        assert not deps.touches("other", {5})
+
+
+@pytest.fixture()
+def scheduled_rig():
+    structure = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+    clock = SimulatedClock("2003-10-01T00:00:00")
+    channel = Channel()
+    scheduler = QueryScheduler()
+    client = StreamClient(clock, scheduler=scheduler)
+    client.tune_in(channel)
+    server = StreamServer("credit", structure, channel, clock)
+    server.announce()
+    server.publish_document(
+        parse_document(
+            "<creditAccounts><account id='1'>"
+            "<customer>X</customer><creditLimit>100</creditLimit>"
+            "</account></creditAccounts>"
+        )
+    )
+    return clock, server, client, scheduler
+
+
+def transaction(txn_id: str, amount: str) -> Element:
+    txn = Element("transaction", {"id": txn_id})
+    vendor = Element("vendor")
+    vendor.add_text("V")
+    txn.append(vendor)
+    amt = Element("amount")
+    amt.add_text(amount)
+    txn.append(amt)
+    return txn
+
+
+class TestScheduler:
+    def test_first_poll_always_runs(self, scheduled_rig):
+        clock, server, client, scheduler = scheduled_rig
+        query = client.register_query(
+            'count(stream("credit")//transaction)', strategy=Strategy.QAC_PLUS
+        )
+        client.poll()
+        assert scheduler.total_evaluations == 1
+
+    def test_no_arrivals_no_time_skips(self, scheduled_rig):
+        clock, server, client, scheduler = scheduled_rig
+        client.register_query(
+            'count(stream("credit")//transaction)', strategy=Strategy.QAC_PLUS
+        )
+        client.poll()
+        client.poll()
+        client.poll()
+        assert scheduler.total_evaluations == 1
+        assert scheduler.total_skips == 2
+
+    def test_relevant_arrival_triggers(self, scheduled_rig):
+        clock, server, client, scheduler = scheduled_rig
+        query = client.register_query(
+            'count(stream("credit")//transaction)',
+            strategy=Strategy.QAC_PLUS,
+            emit="full",
+        )
+        client.poll()
+        account_hole = server.hole_id(0, "account", "1")
+        server.emit_event(account_hole, transaction("t1", "5"))
+        result = client.poll()
+        assert scheduler.total_evaluations == 2
+        assert result[query] == [1]
+
+    def test_irrelevant_arrival_skipped(self, scheduled_rig):
+        clock, server, client, scheduler = scheduled_rig
+        client.register_query(
+            'count(stream("credit")//creditLimit)', strategy=Strategy.QAC_PLUS
+        )
+        client.poll()
+        account_hole = server.hole_id(0, "account", "1")
+        server.emit_event(account_hole, transaction("t1", "5"))  # tsid 5 + status
+        client.poll()
+        # creditLimit is tsid 4: the transaction arrival is irrelevant.
+        assert scheduler.total_evaluations == 1
+        assert scheduler.total_skips == 1
+
+    def test_time_sensitive_reruns_on_clock_advance(self, scheduled_rig):
+        clock, server, client, scheduler = scheduled_rig
+        client.register_query(
+            'count(stream("credit")//transaction?[now-PT1H, now])',
+            strategy=Strategy.QAC_PLUS,
+        )
+        client.poll()
+        clock.advance("PT10M")
+        client.poll()
+        assert scheduler.total_evaluations == 2
+
+    def test_time_insensitive_not_rerun_on_clock_advance(self, scheduled_rig):
+        clock, server, client, scheduler = scheduled_rig
+        client.register_query(
+            'count(stream("credit")//transaction)', strategy=Strategy.QAC_PLUS
+        )
+        client.poll()
+        clock.advance("PT10M")
+        client.poll()
+        assert scheduler.total_evaluations == 1
+
+    def test_scheduled_results_match_unscheduled(self):
+        """The scheduler is a pure optimization: emissions are identical."""
+        structure = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+
+        def run(with_scheduler: bool):
+            clock = SimulatedClock("2003-10-01T00:00:00")
+            channel = Channel()
+            client = StreamClient(
+                clock, scheduler=QueryScheduler() if with_scheduler else None
+            )
+            client.tune_in(channel)
+            server = StreamServer("credit", structure, channel, clock)
+            server.announce()
+            server.publish_document(
+                parse_document(
+                    "<creditAccounts><account id='1'>"
+                    "<customer>X</customer><creditLimit>100</creditLimit>"
+                    "</account></creditAccounts>"
+                )
+            )
+            query = client.register_query(
+                'for $a in stream("credit")//account '
+                "where sum($a/transaction?[now-PT1H,now]/amount) >= 10 "
+                'return <hot id="{$a/@id}"/>',
+                strategy=Strategy.QAC,
+            )
+            emitted: list[str] = []
+            from repro.dom import serialize
+
+            query.subscribe(lambda items: emitted.extend(serialize(i) for i in items))
+            account_hole = server.hole_id(0, "account", "1")
+            client.poll()
+            server.emit_event(account_hole, transaction("t1", "4"))
+            client.poll()
+            server.emit_event(account_hole, transaction("t2", "8"))
+            client.poll()
+            clock.advance("PT2H")
+            client.poll()
+            return emitted
+
+        assert run(True) == run(False)
+
+    def test_stats(self, scheduled_rig):
+        _clock, _server, client, scheduler = scheduled_rig
+        client.register_query(
+            'count(stream("credit")//transaction)', strategy=Strategy.QAC_PLUS
+        )
+        client.poll()
+        client.poll()
+        assert scheduler.stats() == {"evaluations": 1, "skips": 1}

@@ -1,0 +1,147 @@
+"""Tests for interval/version projection over element trees."""
+
+import pytest
+
+from repro.dom import parse_document, serialize
+from repro.temporal import XSDateTime
+from repro.xquery import Context, evaluate
+from repro.xquery.errors import XQueryTypeError
+
+NOW = XSDateTime.parse("2003-12-15T00:00:00")
+
+
+@pytest.fixture()
+def ctx():
+    context = Context(now=NOW)
+    context.register_document(
+        "credit.xml",
+        parse_document(
+            """
+            <creditAccounts>
+              <account id="1234" vtFrom="1998-10-10T12:20:22" vtTo="now">
+                <customer>John Smith</customer>
+                <creditLimit vtFrom="1998-10-10T12:20:22" vtTo="2001-04-23T23:11:08">2000</creditLimit>
+                <creditLimit vtFrom="2001-04-23T23:11:08" vtTo="now">5000</creditLimit>
+                <transaction id="12345" vtFrom="2003-10-23T12:23:34" vtTo="2003-10-23T12:23:34">
+                  <vendor>Southlake Pizza</vendor>
+                  <amount>38.20</amount>
+                  <status vtFrom="2003-10-23T12:24:35" vtTo="now">charged</status>
+                </transaction>
+              </account>
+            </creditAccounts>
+            """
+        ),
+    )
+    return context
+
+
+class TestIntervalProjection:
+    def test_current_version_selected(self, ctx):
+        out = evaluate('doc("credit.xml")//creditLimit?[now]', ctx, xcql=True)
+        assert len(out) == 1
+        assert out[0].text().strip() == "5000"
+
+    def test_historical_version_selected(self, ctx):
+        out = evaluate('doc("credit.xml")//creditLimit?[2000-01-01]', ctx, xcql=True)
+        assert out[0].text().strip() == "2000"
+
+    def test_boundary_instant_prefers_new_version(self, ctx):
+        out = evaluate(
+            'doc("credit.xml")//creditLimit?[2001-04-23T23:11:08]', ctx, xcql=True
+        )
+        assert [e.text().strip() for e in out] == ["5000"]
+
+    def test_clipping(self, ctx):
+        out = evaluate(
+            'doc("credit.xml")//creditLimit?[2003-01-01, 2003-02-01]', ctx, xcql=True
+        )
+        assert out[0].attrs["vtFrom"] == "2003-01-01T00:00:00"
+        assert out[0].attrs["vtTo"] == "2003-02-01T00:00:00"
+
+    def test_event_point_in_window(self, ctx):
+        out = evaluate(
+            'doc("credit.xml")//transaction?[2003-10-01, 2003-11-01]', ctx, xcql=True
+        )
+        assert len(out) == 1
+
+    def test_event_point_outside_window(self, ctx):
+        out = evaluate(
+            'doc("credit.xml")//transaction?[2003-11-01, 2003-12-01]', ctx, xcql=True
+        )
+        assert out == []
+
+    def test_window_prunes_children_too(self, ctx):
+        # Project the account to a window before the status change: the
+        # nested status (from 2003-10-23) must disappear.
+        out = evaluate(
+            'doc("credit.xml")//account?[1999-01-01, 2000-01-01]', ctx, xcql=True
+        )
+        assert len(out) == 1
+        assert "status" not in serialize(out[0])
+        assert "2000" in serialize(out[0])  # old creditLimit survives
+
+    def test_snapshot_children_kept(self, ctx):
+        out = evaluate('doc("credit.xml")//account?[now]', ctx, xcql=True)
+        assert "John Smith" in serialize(out[0])
+
+    def test_default_projection_is_everything(self, ctx):
+        everything = evaluate('doc("credit.xml")//creditLimit', ctx, xcql=True)
+        assert len(everything) == 2
+
+    def test_inputs_not_mutated(self, ctx):
+        before = serialize(evaluate('doc("credit.xml")', ctx)[0])
+        evaluate('doc("credit.xml")//account?[now]', ctx, xcql=True)
+        after = serialize(evaluate('doc("credit.xml")', ctx)[0])
+        assert before == after
+
+    def test_inverted_interval_rejected(self, ctx):
+        with pytest.raises(XQueryTypeError):
+            evaluate('doc("credit.xml")//account?[2003-02-01, 2003-01-01]', ctx, xcql=True)
+
+    def test_atomics_pass_through(self, ctx):
+        assert evaluate("(1, 2)?[now]", ctx, xcql=True) == [1, 2]
+
+
+class TestVersionProjection:
+    def test_first_version(self, ctx):
+        out = evaluate('doc("credit.xml")//creditLimit#[1]', ctx, xcql=True)
+        assert [e.text().strip() for e in out] == ["2000"]
+
+    def test_last_version(self, ctx):
+        out = evaluate('doc("credit.xml")//creditLimit#[last]', ctx, xcql=True)
+        assert [e.text().strip() for e in out] == ["5000"]
+
+    def test_range_of_versions(self, ctx):
+        out = evaluate('doc("credit.xml")//creditLimit#[1, 2]', ctx, xcql=True)
+        assert len(out) == 2
+
+    def test_out_of_range_empty(self, ctx):
+        assert evaluate('doc("credit.xml")//creditLimit#[5]', ctx, xcql=True) == []
+
+    def test_version_lifespan_slices_children(self, ctx):
+        # Version 1 of the account covers times when no transaction existed
+        # yet... the single account version keeps its children.
+        out = evaluate('doc("credit.xml")//account#[1]', ctx, xcql=True)
+        assert len(out) == 1
+
+    def test_combined_with_interval(self, ctx):
+        out = evaluate(
+            'doc("credit.xml")//creditLimit?[1998-01-01, now]#[1]', ctx, xcql=True
+        )
+        assert [e.text().strip() for e in out] == ["2000"]
+
+    def test_inverted_range_rejected(self, ctx):
+        with pytest.raises(XQueryTypeError):
+            evaluate('doc("credit.xml")//creditLimit#[2, 1]', ctx, xcql=True)
+
+
+class TestVersionSemanticsExample:
+    def test_paper_tuple_window_example(self, ctx):
+        # stream("credit")//transaction[vendor="ABC Inc"]#[1,10] — the paper's
+        # §6 example: version projection after a predicate filter.
+        out = evaluate(
+            'doc("credit.xml")//transaction[vendor = "Southlake Pizza"]#[1, 10]',
+            ctx,
+            xcql=True,
+        )
+        assert len(out) == 1

@@ -1,0 +1,81 @@
+"""Tests for AST source rendering (repro.xquery.xast.to_source)."""
+
+import pytest
+
+from repro.xquery import parse, parse_expression, to_source
+from repro.xquery import xast
+
+
+def render(source: str, xcql: bool = True) -> str:
+    return to_source(parse(source, xcql=xcql))
+
+
+class TestRendering:
+    def test_module_with_functions(self):
+        out = render("define function f($x as xs:integer) as xs:integer { $x } f(1)")
+        assert out.startswith("define function f($x as xs:integer) as xs:integer")
+        assert out.endswith("f(1)")
+
+    def test_flwor_multiline(self):
+        out = render("for $x at $i in (1, 2) where $x > 1 order by $x descending return $x")
+        assert "for $x at $i in" in out
+        assert "order by $x descending" in out
+
+    def test_parenthesization_preserves_structure(self):
+        # Right-associated subtraction must not silently re-associate.
+        expr = xast.BinOp("-", xast.Literal(1), xast.BinOp("-", xast.Literal(2), xast.Literal(3)))
+        out = to_source(expr)
+        assert out == "1 - (2 - 3)"
+        reparsed = parse_expression(out)
+        assert to_source(reparsed) == out
+
+    def test_unary_parenthesization(self):
+        expr = xast.UnaryOp("-", xast.BinOp("+", xast.Literal(1), xast.Literal(2)))
+        assert to_source(expr) == "-(1 + 2)"
+
+    def test_string_escaping(self):
+        assert to_source(xast.Literal('say "hi"')) == '"say ""hi"""'
+
+    def test_boolean_literals(self):
+        assert to_source(xast.Literal(True)) == "true()"
+        assert to_source(xast.Literal(False)) == "false()"
+
+    def test_direct_constructor(self):
+        out = render('<a x="1" y="{$v}">text{ $v }</a>')
+        assert out == '<a x="1" y="{$v}">text{ $v }</a>'
+
+    def test_empty_direct_constructor(self):
+        assert render("<a/>") == "<a/>"
+
+    def test_computed_constructors(self):
+        assert render("element {name($e)} { $e }") == "element {name($e)} { $e }"
+        assert render('attribute id { "x" }') == 'attribute id { "x" }'
+        assert render('text { "t" }') == 'text { "t" }'
+
+    def test_projections(self):
+        assert render("$a?[now, now]") == "$a?[now, now]"
+        assert render("$a#[1, 2]") == "$a#[1, 2]"
+
+    def test_quantified(self):
+        assert render("some $x in (1, 2) satisfies $x = 2") == (
+            "some $x in (1, 2) satisfies $x = 2"
+        )
+
+    def test_relative_paths(self):
+        assert render("a/b/@c") == "a/b/@c"
+        assert render("./x") == "./x"
+        assert render("..") == ".."
+        assert render("@id") == "@id"
+
+    def test_predicates(self):
+        assert render('$a/b[c = "1"][2]') == '$a/b[c = "1"][2]'
+
+    def test_instance_and_cast(self):
+        assert render("1 instance of xs:integer") == "1 instance of xs:integer"
+        assert render('"5" cast as xs:integer') == '"5" cast as xs:integer'
+
+    def test_interval_comparison(self):
+        assert render("$a before $b") == "$a before $b"
+
+    def test_empty_sequence(self):
+        assert render("()") == "()"

@@ -1,0 +1,242 @@
+"""Tests for the Figure 3 schema-based translation (repro.core.translator)."""
+
+import pytest
+
+from repro.core import Strategy, TranslationError, Translator
+from repro.xquery import parse_xcql, to_source
+
+
+@pytest.fixture()
+def translator(credit_structure):
+    return Translator({"credit": credit_structure}, Strategy.QAC)
+
+
+def translate(credit_structure, source, strategy=Strategy.QAC) -> str:
+    translator = Translator({"credit": credit_structure}, strategy)
+    return to_source(translator.translate_module(parse_xcql(source)))
+
+
+class TestStreamAccessor:
+    def test_stream_becomes_get_fillers_zero(self, credit_structure):
+        out = translate(credit_structure, 'stream("credit")/creditAccounts')
+        assert out == 'get_fillers("credit", 0)/creditAccounts'
+
+    def test_caq_materializes(self, credit_structure):
+        out = translate(credit_structure, 'stream("credit")/creditAccounts', Strategy.CAQ)
+        assert out == 'materialized_view("credit")/creditAccounts'
+
+    def test_unknown_stream(self, credit_structure):
+        with pytest.raises(TranslationError):
+            translate(credit_structure, 'stream("nope")/x')
+
+    def test_non_literal_stream_name(self, credit_structure):
+        with pytest.raises(TranslationError):
+            translate(credit_structure, "stream($x)/y")
+
+
+class TestPathTranslation:
+    def test_snapshot_step_stays_plain(self, credit_structure):
+        out = translate(
+            credit_structure, 'stream("credit")/creditAccounts'
+        )
+        assert "hole" not in out.split("creditAccounts")[1] if "creditAccounts" in out else True
+
+    def test_fragmented_step_resolves_holes(self, credit_structure):
+        out = translate(credit_structure, 'stream("credit")/creditAccounts/account')
+        assert (
+            out
+            == 'get_fillers("credit", get_fillers("credit", 0)/creditAccounts/hole/@id)/account'
+        )
+
+    def test_paper_shaped_chain(self, credit_structure):
+        # §6.1's triple-nested get_fillers chain.
+        out = translate(
+            credit_structure,
+            'stream("credit")/creditAccounts/account/transaction',
+        )
+        assert out.count("get_fillers") == 3
+
+    def test_descendant_expansion(self, credit_structure):
+        out = translate(credit_structure, 'stream("credit")//status')
+        # status is only reachable via account/transaction.
+        assert out.count("get_fillers") == 4
+
+    def test_snapshot_inside_fragment_direct(self, credit_structure):
+        out = translate(
+            credit_structure, 'stream("credit")//account/customer'
+        )
+        assert out.endswith("/account/customer")
+
+    def test_attribute_untouched(self, credit_structure):
+        out = translate(credit_structure, 'stream("credit")//account/@id')
+        assert out.endswith("/@id")
+
+    def test_unknown_child_rejected(self, credit_structure):
+        with pytest.raises(TranslationError):
+            translate(credit_structure, 'stream("credit")/creditAccounts/bogus')
+
+    def test_unknown_descendant_rejected(self, credit_structure):
+        with pytest.raises(TranslationError):
+            translate(credit_structure, 'stream("credit")//bogus')
+
+    def test_wildcard_expands_to_union(self, credit_structure):
+        out = translate(credit_structure, 'stream("credit")//transaction/*')
+        # vendor and amount are snapshot; status goes through get_fillers.
+        assert "/vendor" in out and "/amount" in out and "/status" in out
+
+    def test_explicit_hole_passthrough(self, credit_structure):
+        out = translate(credit_structure, 'stream("credit")//account/hole/@id')
+        assert out.endswith("/hole/@id")
+
+
+class TestPredicates:
+    def test_relative_predicate_path_translated(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'stream("credit")//account[customer = "X"]',
+        )
+        assert '[./customer = "X"]' in out
+
+    def test_fragmented_predicate_path_resolves(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'stream("credit")//account[creditLimit = "5000"]',
+        )
+        assert 'get_fillers("credit", ./hole/@id)/creditLimit' in out
+
+    def test_projection_inside_predicate(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'stream("credit")//transaction[status?[now] = "charged"]',
+        )
+        assert "?[now, now]" in out
+
+
+class TestProjections:
+    def test_interval_projection_preserved(self, credit_structure):
+        out = translate(
+            credit_structure, 'stream("credit")//account/creditLimit?[now]'
+        )
+        assert out.endswith("/creditLimit?[now, now]")
+
+    def test_steps_after_projection_stay_plain(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'stream("credit")//account/transaction?[now]/amount',
+        )
+        assert out.endswith("?[now, now]/amount")
+        # amount resolves against the projected (view) content: no extra
+        # get_fillers after the projection.
+        tail = out.split("?[")[1]
+        assert "get_fillers" not in tail
+
+    def test_version_projection(self, credit_structure):
+        out = translate(
+            credit_structure, 'stream("credit")//account/creditLimit#[1, 10]'
+        )
+        assert out.endswith("#[1, 10]")
+
+
+class TestVariablesAndClauses:
+    def test_for_var_annotation_flows(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'for $a in stream("credit")//account return $a/creditLimit',
+        )
+        assert 'get_fillers("credit", $a/hole/@id)/creditLimit' in out
+
+    def test_let_annotation_flows(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'let $a := stream("credit")//account return $a/customer',
+        )
+        assert "$a/customer" in out
+
+    def test_quantified_binding(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'some $t in stream("credit")//transaction satisfies $t/amount > 10',
+        )
+        assert "$t/amount" in out
+
+    def test_unknown_variable_defaults_to_view(self, credit_structure):
+        out = translate(credit_structure, "$x/anything")
+        assert out == "$x/anything"
+
+
+class TestQaCPlus:
+    def test_shortcut_on_descendant(self, credit_structure):
+        out = translate(
+            credit_structure, 'stream("credit")//transaction', Strategy.QAC_PLUS
+        )
+        assert out == 'get_fillers_by_tsid("credit", 5)/transaction'
+
+    def test_shortcut_on_child_chain(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'stream("credit")/creditAccounts/account',
+            Strategy.QAC_PLUS,
+        )
+        assert out == 'get_fillers_by_tsid("credit", 2)/account'
+
+    def test_landing_predicates_kept(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'stream("credit")//account[customer = "X"]',
+            Strategy.QAC_PLUS,
+        )
+        assert out == 'get_fillers_by_tsid("credit", 2)/account[./customer = "X"]'
+
+    def test_shortcut_reaches_deepest_clean_fragment(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'stream("credit")//account/creditLimit',
+            Strategy.QAC_PLUS,
+        )
+        assert out == 'get_fillers_by_tsid("credit", 4)/creditLimit'
+
+    def test_steps_after_shortcut_use_qac_rules(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'stream("credit")//account[customer = "X"]/creditLimit',
+            Strategy.QAC_PLUS,
+        )
+        assert out == (
+            'get_fillers("credit", get_fillers_by_tsid("credit", 2)'
+            '/account[./customer = "X"]/hole/@id)/creditLimit'
+        )
+
+    def test_deepest_fragment_wins(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'stream("credit")/creditAccounts/account/transaction/status',
+            Strategy.QAC_PLUS,
+        )
+        assert out == 'get_fillers_by_tsid("credit", 7)/status'
+
+    def test_intermediate_predicate_blocks_deeper_shortcut(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'stream("credit")//account[customer = "X"]/transaction',
+            Strategy.QAC_PLUS,
+        )
+        # The shortcut may land on account (whose predicate applies there)
+        # but must not skip past it.
+        assert 'get_fillers_by_tsid("credit", 2)/account' in out
+        assert 'get_fillers_by_tsid("credit", 5)' not in out
+
+
+class TestModuleLevel:
+    def test_user_functions_passed_through(self, credit_structure):
+        out = translate(
+            credit_structure,
+            "define function f($x) { $x } f(stream(\"credit\")//account)",
+        )
+        assert "define function f" in out
+
+    def test_constructors_translate_content(self, credit_structure):
+        out = translate(
+            credit_structure,
+            'for $a in stream("credit")//account return <r>{ $a/creditLimit }</r>',
+        )
+        assert 'get_fillers("credit", $a/hole/@id)/creditLimit' in out

@@ -1,0 +1,158 @@
+"""Tests for the XMark substrate (generator, schema, queries)."""
+
+import pytest
+
+from repro import Fragmenter, Strategy
+from repro.dom import serialize
+from repro.temporal import XSDateTime
+from repro.xmark import (
+    ALL_QUERIES,
+    PAPER_QUERIES,
+    ScaleProfile,
+    XMarkGenerator,
+    auction_tag_structure,
+    generate_auction_document,
+)
+
+
+class TestScaleProfile:
+    def test_factor_one_matches_xmark(self):
+        profile = ScaleProfile.for_factor(1.0)
+        assert profile.people == 25_500
+        assert profile.items == 21_750
+        assert profile.open_auctions == 12_000
+        assert profile.closed_auctions == 9_750
+        assert profile.categories == 1_000
+
+    def test_factor_zero_is_minimal(self):
+        profile = ScaleProfile.for_factor(0.0)
+        assert profile.people == 25
+        assert profile.closed_auctions == 9
+
+    def test_monotone_in_factor(self):
+        small, big = ScaleProfile.for_factor(0.01), ScaleProfile.for_factor(0.1)
+        assert small.people < big.people
+        assert small.items < big.items
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = serialize(generate_auction_document(0.0, seed=1))
+        b = serialize(generate_auction_document(0.0, seed=1))
+        assert a == b
+
+    def test_seed_changes_content(self):
+        a = serialize(generate_auction_document(0.0, seed=1))
+        b = serialize(generate_auction_document(0.0, seed=2))
+        assert a != b
+
+    def test_document_shape(self):
+        site = generate_auction_document(0.0).document_element
+        sections = [c.tag for c in site.child_elements()]
+        assert sections == [
+            "regions",
+            "categories",
+            "catgraph",
+            "people",
+            "open_auctions",
+            "closed_auctions",
+        ]
+
+    def test_cardinalities_respected(self):
+        document = generate_auction_document(0.002)
+        profile = ScaleProfile.for_factor(0.002)
+        site = document.document_element
+        assert len(site.first("people").child_elements("person")) == profile.people
+        assert (
+            len(site.first("closed_auctions").child_elements("closed_auction"))
+            == profile.closed_auctions
+        )
+
+    def test_person_ids_sequential(self):
+        site = generate_auction_document(0.0).document_element
+        people = site.first("people").child_elements("person")
+        assert people[0].attrs["id"] == "person0"
+        assert people[-1].attrs["id"] == f"person{len(people) - 1}"
+
+    def test_size_grows_with_scale(self):
+        small = len(serialize(generate_auction_document(0.0)))
+        large = len(serialize(generate_auction_document(0.005)))
+        assert large > 2 * small
+
+    def test_prices_have_tail(self):
+        site = generate_auction_document(0.005).document_element
+        prices = [
+            float(a.first("price").text())
+            for a in site.first("closed_auctions").child_elements()
+        ]
+        assert any(p < 40 for p in prices)
+        assert any(p >= 40 for p in prices)
+
+
+class TestSchemaConformance:
+    def test_generated_document_fragments_strictly(self):
+        # The strict fragmenter validates every path against the schema.
+        structure = auction_tag_structure()
+        document = generate_auction_document(0.0)
+        fillers = Fragmenter(structure).fragment(
+            document, XSDateTime.parse("2003-01-01T00:00:00")
+        )
+        assert fillers[0].content.tag == "site"
+        tags = {f.content.tag for f in fillers}
+        assert {"item", "person", "open_auction", "closed_auction", "category"} <= tags
+
+    def test_fragment_sizes_reasonable(self):
+        structure = auction_tag_structure()
+        document = generate_auction_document(0.0)
+        fillers = Fragmenter(structure).fragment(
+            document, XSDateTime.parse("2003-01-01T00:00:00")
+        )
+        # Paper §1: "reasonable fragmentation" — no giant fragments besides
+        # possibly the root skeleton.
+        non_root = [f.wire_size for f in fillers if f.filler_id != 0]
+        assert max(non_root) < 4096
+
+
+class TestQueries:
+    def test_q1_returns_person0_name(self, tiny_auction_engine):
+        result = tiny_auction_engine.execute(PAPER_QUERIES["Q1"])
+        assert len(result) == 1
+
+    def test_q2_one_increase_per_auction(self, tiny_auction_engine):
+        result = tiny_auction_engine.execute(PAPER_QUERIES["Q2"])
+        assert all(e.tag == "increase" for e in result)
+        assert len(result) == 12  # minimal profile open auctions
+
+    def test_q5_counts_expensive_sales(self, tiny_auction_engine):
+        result = tiny_auction_engine.execute(PAPER_QUERIES["Q5"])
+        assert len(result) == 1
+        assert 0 <= result[0] <= 9
+
+    @pytest.mark.parametrize("name", sorted(ALL_QUERIES))
+    def test_all_queries_strategy_equivalent(self, tiny_auction_engine, name):
+        query = ALL_QUERIES[name]
+        outputs = []
+        for strategy in (Strategy.QAC, Strategy.QAC_PLUS, Strategy.CAQ):
+            result = tiny_auction_engine.execute(query, strategy=strategy)
+            outputs.append(
+                [serialize(i) if hasattr(i, "string_value") else str(i) for i in result]
+            )
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_q6_matches_region_total(self, tiny_auction_engine):
+        count = tiny_auction_engine.execute(ALL_QUERIES["Q6"])[0]
+        assert count == ScaleProfile.for_factor(0.0).items
+
+
+class TestGeneratorInternals:
+    def test_dates_well_formed(self):
+        generator = XMarkGenerator(0.0, seed=5)
+        for _ in range(50):
+            month, day, year = generator._date().split("/")
+            assert 1 <= int(month) <= 12
+            assert 1 <= int(day) <= 28
+            assert 1998 <= int(year) <= 2003
+
+    def test_person_name_two_tokens(self):
+        generator = XMarkGenerator(0.0, seed=5)
+        assert len(generator._person_name().split()) == 2

@@ -1,0 +1,410 @@
+"""Tests for the XQuery evaluator (repro.xquery.evaluator)."""
+
+import pytest
+
+from repro.dom import Element, parse_document, serialize
+from repro.temporal import XSDateTime, XSDuration
+from repro.xquery import Context, evaluate
+from repro.xquery.errors import (
+    XQueryDynamicError,
+    XQueryNameError,
+    XQueryTypeError,
+)
+
+
+@pytest.fixture()
+def ctx():
+    context = Context(now=XSDateTime.parse("2003-12-15T00:00:00"))
+    context.register_document(
+        "t.xml",
+        parse_document(
+            '<site><a id="1"><b>10</b><b>20</b></a>'
+            '<a id="2"><b>30</b><c note="x">hey</c></a></site>'
+        ),
+    )
+    return context
+
+
+class TestBasics:
+    def test_literals(self):
+        assert evaluate("42") == [42]
+        assert evaluate("3.5") == [3.5]
+        assert evaluate('"hi"') == ["hi"]
+
+    def test_arithmetic(self):
+        assert evaluate("1 + 2 * 3") == [7]
+        assert evaluate("(1 + 2) * 3") == [9]
+        assert evaluate("7 mod 2") == [1]
+        assert evaluate("7 idiv 2") == [3]
+        assert evaluate("1 div 2") == [0.5]
+
+    def test_unary(self):
+        assert evaluate("-(2 + 3)") == [-5]
+        assert evaluate("--2") == [2]
+
+    def test_division_by_zero(self):
+        with pytest.raises(XQueryDynamicError):
+            evaluate("1 div 0")
+
+    def test_empty_propagates_through_arithmetic(self):
+        assert evaluate("() + 1") == []
+
+    def test_range(self):
+        assert evaluate("1 to 4") == [1, 2, 3, 4]
+        assert evaluate("3 to 1") == []
+
+    def test_sequence_flattening(self):
+        assert evaluate("((1, 2), (), (3))") == [1, 2, 3]
+
+    def test_if_uses_ebv(self):
+        assert evaluate('if (0) then "t" else "f"') == ["f"]
+        assert evaluate('if ("x") then "t" else "f"') == ["t"]
+        assert evaluate('if (()) then "t" else "f"') == ["f"]
+
+    def test_string_arithmetic_coerces(self):
+        assert evaluate('"4" + 1') == [5]
+
+    def test_variables(self):
+        context = Context(variables={"x": [21]})
+        assert evaluate("$x * 2", context) == [42]
+
+    def test_undefined_variable(self):
+        with pytest.raises(XQueryNameError):
+            evaluate("$nope")
+
+    def test_undefined_function(self):
+        with pytest.raises(XQueryNameError):
+            evaluate("no_such_fn()")
+
+
+class TestComparisons:
+    def test_general_existential(self):
+        assert evaluate("(1, 2, 3) = 2") == [True]
+        assert evaluate("(1, 2) = (3, 4)") == [False]
+        assert evaluate("(1, 2) != (2)") == [True]  # 1 != 2
+
+    def test_empty_comparison_false(self):
+        assert evaluate("() = 1") == [False]
+
+    def test_numeric_string_promotion(self):
+        assert evaluate('"10" > 9') == [True]
+        assert evaluate('10 = "10"') == [True]
+
+    def test_string_comparison(self):
+        assert evaluate('"abc" < "abd"') == [True]
+
+    def test_value_comparison_singleton(self):
+        assert evaluate("2 eq 2") == [True]
+        assert evaluate("() eq 2") == []
+        with pytest.raises(XQueryTypeError):
+            evaluate("(1, 2) eq 2")
+
+    def test_datetime_comparison(self):
+        assert evaluate(
+            'xs:dateTime("2003-01-01T00:00:00") lt xs:dateTime("2003-01-02T00:00:00")'
+        ) == [True]
+
+    def test_datetime_string_coercion(self):
+        assert evaluate('"2003-01-01T00:00:00" lt xs:dateTime("2003-01-02T00:00:00")') == [True]
+
+    def test_boolean_logic_short_circuit(self):
+        assert evaluate("1 = 1 or 1 div 0") == [True]
+        assert evaluate("1 = 2 and 1 div 0") == [False]
+
+    def test_is_identity(self, ctx):
+        assert evaluate('doc("t.xml")/site is doc("t.xml")/site', ctx) == [True]
+
+    def test_node_order_comparisons(self, ctx):
+        assert evaluate('doc("t.xml")//b[1] << doc("t.xml")//c', ctx) == [True]
+        assert evaluate('doc("t.xml")//c >> doc("t.xml")//b[1]', ctx) == [True]
+        assert evaluate('doc("t.xml")//c << doc("t.xml")//b[1]', ctx) == [False]
+        assert evaluate('() << doc("t.xml")//c', ctx) == []
+        with pytest.raises(XQueryTypeError):
+            evaluate('1 << doc("t.xml")//c', ctx)
+
+
+class TestPaths:
+    def test_child_steps(self, ctx):
+        assert len(evaluate('doc("t.xml")/site/a', ctx)) == 2
+
+    def test_descendant(self, ctx):
+        assert len(evaluate('doc("t.xml")//b', ctx)) == 3
+
+    def test_attribute(self, ctx):
+        assert [a.value for a in evaluate('doc("t.xml")/site/a/@id', ctx)] == ["1", "2"]
+
+    def test_descendant_attribute(self, ctx):
+        assert len(evaluate('doc("t.xml")//@id', ctx)) == 2
+
+    def test_wildcard(self, ctx):
+        assert len(evaluate('doc("t.xml")/site/*', ctx)) == 2
+
+    def test_text_kind_test(self, ctx):
+        assert evaluate('doc("t.xml")//c/text()', ctx)[0].text == "hey"
+
+    def test_positional_predicate(self, ctx):
+        assert evaluate('doc("t.xml")//b[2]', ctx)[0].string_value() == "20"
+
+    def test_position_last(self, ctx):
+        out = evaluate('doc("t.xml")//a[@id="1"]/b[position() = last()]', ctx)
+        assert [n.string_value() for n in out] == ["20"]
+
+    def test_predicate_comparison(self, ctx):
+        assert len(evaluate('doc("t.xml")//a[b = 30]', ctx)) == 1
+
+    def test_predicate_per_parent_positions(self, ctx):
+        # b[1] is evaluated per a-parent: two firsts.
+        out = evaluate('doc("t.xml")//a/b[1]', ctx)
+        assert [n.string_value() for n in out] == ["10", "30"]
+
+    def test_parent_step(self, ctx):
+        out = evaluate('doc("t.xml")//c/../@id', ctx)
+        assert [a.value for a in out] == ["2"]
+
+    def test_document_order_dedup(self, ctx):
+        out = evaluate('(doc("t.xml")//b | doc("t.xml")//b)', ctx)
+        assert len(out) == 3
+        assert [n.string_value() for n in out] == ["10", "20", "30"]
+
+    def test_intersect_except(self, ctx):
+        assert len(evaluate('(doc("t.xml")//b intersect doc("t.xml")//b[2])', ctx)) == 1
+        assert len(evaluate('(doc("t.xml")//b except doc("t.xml")//b[2])', ctx)) == 2
+
+    def test_step_on_atomic_fails(self):
+        with pytest.raises(XQueryTypeError):
+            evaluate("(1)/a")
+
+    def test_relative_path_needs_context(self):
+        with pytest.raises(XQueryDynamicError):
+            evaluate("a/b")
+
+
+class TestFLWOR:
+    def test_basic_for(self):
+        assert evaluate("for $i in (1, 2, 3) return $i * 2") == [2, 4, 6]
+
+    def test_let(self):
+        assert evaluate("let $x := (1, 2) return count($x)") == [2]
+
+    def test_where(self):
+        assert evaluate("for $i in 1 to 10 where $i mod 2 = 0 return $i") == [2, 4, 6, 8, 10]
+
+    def test_at_position(self):
+        assert evaluate('for $x at $i in ("a", "b") return $i') == [1, 2]
+
+    def test_nested_for_cross_product(self):
+        out = evaluate("for $i in (1, 2), $j in (10, 20) return $i + $j")
+        assert out == [11, 21, 12, 22]
+
+    def test_order_by(self):
+        assert evaluate("for $i in (3, 1, 2) order by $i return $i") == [1, 2, 3]
+
+    def test_order_by_descending(self):
+        assert evaluate("for $i in (3, 1, 2) order by $i descending return $i") == [3, 2, 1]
+
+    def test_order_by_string_key(self):
+        out = evaluate('for $s in ("b", "a", "c") order by $s return $s')
+        assert out == ["a", "b", "c"]
+
+    def test_order_by_multiple_keys(self):
+        out = evaluate(
+            "for $p in ((1, 2), (1, 1), (0, 9)) return $p"
+        )  # sanity: sequences flatten
+        assert len(out) == 6
+
+    def test_order_by_empty_least(self):
+        out = evaluate("for $i in (2, 1) order by (if ($i = 1) then () else $i) return $i")
+        assert out == [1, 2]
+
+    def test_order_by_empty_greatest(self):
+        out = evaluate(
+            "for $i in (2, 1) order by (if ($i = 1) then () else $i) "
+            "empty greatest return $i"
+        )
+        assert out == [2, 1]
+
+    def test_order_by_is_stable(self):
+        # Equal keys keep input order (our sort is a stable cmp sort).
+        out = evaluate(
+            'for $p in (("b", 1), ("a", 1), ("c", 1)) return $p'
+        )
+        assert len(out) == 6
+        out = evaluate(
+            "for $i in (31, 11, 21, 12) order by $i mod 10 return $i"
+        )
+        assert out == [31, 11, 21, 12]
+
+    def test_stable_order_by_keyword(self):
+        out = evaluate("for $i in (3, 1, 2) stable order by $i return $i")
+        assert out == [1, 2, 3]
+
+    def test_order_by_two_keys(self):
+        out = evaluate(
+            "for $i in (13, 22, 11, 21) "
+            "order by $i mod 10, $i descending return $i"
+        )
+        assert out == [21, 11, 22, 13]
+
+    def test_scoping_shadowing(self):
+        out = evaluate("let $x := 1 return (for $x in (2, 3) return $x, $x)")
+        assert out == [2, 3, 1]
+
+    def test_quantified_every(self):
+        assert evaluate("every $x in (2, 4) satisfies $x mod 2 = 0") == [True]
+        assert evaluate("every $x in (2, 3) satisfies $x mod 2 = 0") == [False]
+
+    def test_quantified_empty_domain(self):
+        assert evaluate("some $x in () satisfies 1 = 1") == [False]
+        assert evaluate("every $x in () satisfies 1 = 2") == [True]
+
+    def test_quantified_multi_binding(self):
+        assert evaluate("some $x in (1, 2), $y in (2, 3) satisfies $x = $y") == [True]
+
+
+class TestConstructors:
+    def test_direct_with_text(self):
+        out = evaluate("<a>hi</a>")
+        assert serialize(out[0]) == "<a>hi</a>"
+
+    def test_enclosed_sequence_spacing(self):
+        out = evaluate("<a>{ (1, 2, 3) }</a>")
+        assert serialize(out[0]) == "<a>1 2 3</a>"
+
+    def test_attribute_from_expression(self, ctx):
+        out = evaluate('for $a in doc("t.xml")//a return <r id="{$a/@id}"/>', ctx)
+        assert [e.attrs["id"] for e in out] == ["1", "2"]
+
+    def test_content_copies_nodes(self, ctx):
+        out = evaluate('<wrap>{ doc("t.xml")//c }</wrap>', ctx)
+        assert serialize(out[0]) == '<wrap><c note="x">hey</c></wrap>'
+        # the original tree is untouched
+        assert len(evaluate('doc("t.xml")//c', ctx)) == 1
+
+    def test_computed_element_and_attribute(self):
+        out = evaluate('element note { attribute lang {"en"}, "hi" }')
+        assert serialize(out[0]) == '<note lang="en">hi</note>'
+
+    def test_computed_element_dynamic_name(self, ctx):
+        out = evaluate('for $c in doc("t.xml")//c return element {name($c)} {"v"}', ctx)
+        assert out[0].tag == "c"
+
+    def test_attribute_wildcard_copy(self, ctx):
+        out = evaluate('for $c in doc("t.xml")//c return <d>{ $c/@* }</d>', ctx)
+        assert out[0].attrs == {"note": "x"}
+
+    def test_text_constructor(self):
+        out = evaluate('text { "plain" }')
+        assert out[0].text == "plain"
+
+    def test_nested_constructor_structure(self):
+        out = evaluate("<a><b>{ 1 + 1 }</b></a>")
+        assert serialize(out[0]) == "<a><b>2</b></a>"
+
+
+class TestUserFunctions:
+    def test_recursion(self):
+        out = evaluate(
+            "define function fact($n as xs:integer) as xs:integer"
+            " { if ($n <= 1) then 1 else $n * fact($n - 1) }"
+            " fact(5)"
+        )
+        assert out == [120]
+
+    def test_sequence_parameter(self):
+        out = evaluate(
+            "define function total($xs as xs:integer*) { sum($xs) } total((1, 2, 3))"
+        )
+        assert out == [6]
+
+    def test_wrong_arity(self):
+        with pytest.raises(XQueryTypeError):
+            evaluate("define function f($x) { $x } f(1, 2)")
+
+    def test_functions_compose(self):
+        out = evaluate(
+            "define function inc($x) { $x + 1 }"
+            "define function twice($x) { inc(inc($x)) }"
+            "twice(40)"
+        )
+        assert out == [42]
+
+
+class TestTemporalValues:
+    def test_datetime_plus_duration(self, ctx):
+        out = evaluate(
+            'xs:dateTime("2003-10-23T12:23:34") + xdt:dayTimeDuration("PT1M")', ctx
+        )
+        assert str(out[0]) == "2003-10-23T12:24:34"
+
+    def test_datetime_difference(self, ctx):
+        out = evaluate(
+            'xs:dateTime("2003-01-02T00:00:00") - xs:dateTime("2003-01-01T00:00:00")', ctx
+        )
+        assert out[0] == XSDuration.parse("P1D")
+
+    def test_now_constant(self, ctx):
+        assert evaluate("now", ctx, xcql=True) == [ctx.now]
+        assert evaluate("current-dateTime()", ctx) == [ctx.now]
+
+    def test_now_arithmetic(self, ctx):
+        out = evaluate("now - PT1H", ctx, xcql=True)
+        assert str(out[0]) == "2003-12-14T23:00:00"
+
+    def test_duration_literal(self, ctx):
+        assert evaluate("PT1M", ctx, xcql=True) == [XSDuration.parse("PT1M")]
+
+    def test_datetime_literal(self, ctx):
+        assert evaluate("2003-11-01", ctx, xcql=True) == [XSDateTime.parse("2003-11-01")]
+
+    def test_interval_comparisons(self, ctx):
+        assert evaluate(
+            "xs:dateTime(\"2003-01-01\") before xs:dateTime(\"2003-01-02\")", ctx, xcql=True
+        ) == [True]
+        assert evaluate(
+            "xs:dateTime(\"2003-01-02\") after xs:dateTime(\"2003-01-01\")", ctx, xcql=True
+        ) == [True]
+
+    def test_cast(self, ctx):
+        assert evaluate('"5" cast as xs:integer', ctx) == [5]
+        assert evaluate('"2003-01-01" cast as xs:dateTime', ctx) == [
+            XSDateTime.parse("2003-01-01")
+        ]
+
+
+class TestInstanceOf:
+    @pytest.mark.parametrize(
+        "query, expected",
+        [
+            ("1 instance of xs:integer", True),
+            ("1.5 instance of xs:integer", False),
+            ("1.5 instance of xs:decimal", True),
+            ('"a" instance of xs:string', True),
+            ("(1, 2) instance of xs:integer*", True),
+            ("(1, 2) instance of xs:integer", False),
+            ("() instance of xs:integer?", True),
+            ("() instance of xs:integer*", True),
+            ("() instance of xs:integer+", False),
+            ("true() instance of xs:boolean", True),
+            ("1 instance of xs:boolean", False),
+            ("<a/> instance of element()", True),
+            ("<a/> instance of node()", True),
+            ("<a/> instance of xs:anyAtomicType", False),
+            ("(1, <a/>) instance of item()*", True),
+        ],
+    )
+    def test_checks(self, query, expected):
+        assert evaluate(query) == [expected]
+
+    def test_node_kinds(self, ctx):
+        assert evaluate('doc("t.xml")//b[1]/text() instance of text()', ctx) == [True]
+        assert evaluate('doc("t.xml")//a[1]/@id instance of attribute()', ctx) == [True]
+        assert evaluate('doc("t.xml") instance of document-node()', ctx) == [True]
+
+    def test_temporal_types(self, ctx):
+        assert evaluate(
+            'xs:duration("PT1M") instance of xs:dayTimeDuration', ctx
+        ) == [True]
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(XQueryTypeError):
+            evaluate("1 instance of xs:mystery")

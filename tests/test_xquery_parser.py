@@ -1,0 +1,334 @@
+"""Tests for the XQuery/XCQL lexer and parser."""
+
+import pytest
+
+from repro.xquery import parse, parse_expression, parse_xcql, to_source
+from repro.xquery.errors import XQuerySyntaxError
+from repro.xquery.lexer import EOF, Lexer
+from repro.xquery import xast
+
+
+def lex_all(source: str):
+    lexer = Lexer(source)
+    tokens = []
+    while True:
+        token = lexer.next_token()
+        if token.kind == EOF:
+            return tokens
+        tokens.append(token)
+
+
+class TestLexer:
+    def test_names_numbers_strings(self):
+        kinds = [t.kind for t in lex_all('count 42 3.14 1e3 "hi"')]
+        assert kinds == ["NAME", "INTEGER", "DECIMAL", "DOUBLE", "STRING"]
+
+    def test_prefixed_name(self):
+        tokens = lex_all("xs:dateTime")
+        assert [t.value for t in tokens] == ["xs:dateTime"]
+
+    def test_assign_not_eaten_by_name(self):
+        values = [t.value for t in lex_all("x := 1")]
+        assert values == ["x", ":=", "1"]
+
+    def test_projection_symbols(self):
+        values = [t.value for t in lex_all("e?[1] f#[2]")]
+        assert "?[" in values and "#[" in values
+
+    def test_string_escapes(self):
+        tokens = lex_all('"say ""hi"" &amp; bye"')
+        assert tokens[0].value == 'say "hi" & bye'
+
+    def test_nested_comments_skipped(self):
+        values = [t.value for t in lex_all("1 (: outer (: inner :) :) 2")]
+        assert values == ["1", "2"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XQuerySyntaxError):
+            lex_all("1 (: open")
+
+    def test_unterminated_string(self):
+        with pytest.raises(XQuerySyntaxError):
+            lex_all('"open')
+
+    def test_position_tracking(self):
+        lexer = Lexer("a\n  b")
+        lexer.next_token()
+        token = lexer.next_token()
+        assert (token.line, token.column) == (2, 3)
+
+
+class TestExpressionParsing:
+    def test_precedence(self):
+        tree = parse_expression("1 + 2 * 3")
+        assert isinstance(tree, xast.BinOp) and tree.op == "+"
+        assert isinstance(tree.right, xast.BinOp) and tree.right.op == "*"
+
+    def test_comparison_lower_than_arith(self):
+        tree = parse_expression("1 + 1 = 2")
+        assert tree.op == "="
+
+    def test_and_or(self):
+        tree = parse_expression("1 = 1 or 2 = 2 and 3 = 3")
+        assert tree.op == "or"
+        assert tree.right.op == "and"
+
+    def test_range(self):
+        tree = parse_expression("1 to 5")
+        assert tree.op == "to"
+
+    def test_sequence(self):
+        tree = parse_expression("(1, 2, 3)")
+        assert isinstance(tree, xast.SequenceExpr)
+        assert len(tree.items) == 3
+
+    def test_empty_sequence(self):
+        tree = parse_expression("()")
+        assert isinstance(tree, xast.SequenceExpr) and tree.items == []
+
+    def test_if(self):
+        tree = parse_expression('if (1 = 1) then "a" else "b"')
+        assert isinstance(tree, xast.IfExpr)
+
+    def test_quantified(self):
+        tree = parse_expression("some $x in (1,2) satisfies $x = 2")
+        assert isinstance(tree, xast.Quantified) and tree.kind == "some"
+
+    def test_unary_minus(self):
+        tree = parse_expression("-1")
+        assert isinstance(tree, xast.UnaryOp)
+
+    def test_cast(self):
+        tree = parse_expression('"5" cast as xs:integer')
+        assert isinstance(tree, xast.CastExpr)
+
+    def test_value_comparison(self):
+        tree = parse_expression("$a eq $b")
+        assert tree.op == "eq"
+
+
+class TestPathParsing:
+    def test_relative_path(self):
+        tree = parse_expression("a/b/c")
+        assert isinstance(tree, xast.PathExpr)
+        assert tree.base is None
+        assert [s.test for s in tree.steps] == ["a", "b", "c"]
+
+    def test_descendant(self):
+        tree = parse_expression("$d//item")
+        assert tree.steps[0].axis == "descendant-or-self"
+
+    def test_attribute_step(self):
+        tree = parse_expression("$a/@id")
+        assert tree.steps[0].axis == "attribute"
+
+    def test_wildcards(self):
+        tree = parse_expression("$a/*/@*")
+        assert tree.steps[0].test == "*"
+        assert tree.steps[1].axis == "attribute"
+        assert tree.steps[1].test == "*"
+
+    def test_kind_tests(self):
+        tree = parse_expression("$a/text()")
+        assert tree.steps[0].test == "text()"
+
+    def test_predicates_attach_to_step(self):
+        tree = parse_expression('$a/b[c = "1"][2]')
+        assert len(tree.steps[0].predicates) == 2
+
+    def test_predicate_on_primary_is_filter(self):
+        tree = parse_expression("$a[1]")
+        assert isinstance(tree, xast.Filter)
+
+    def test_context_and_parent(self):
+        tree = parse_expression("./..")
+        assert tree.steps[0].axis == "self"
+        assert tree.steps[1].axis == "parent"
+
+    def test_function_call_base(self):
+        tree = parse_expression('doc("x")/a')
+        assert isinstance(tree.base, xast.FunctionCall)
+
+    def test_union(self):
+        tree = parse_expression("$a/b | $a/c")
+        assert tree.op == "|"
+
+
+class TestFLWORParsing:
+    def test_clause_shapes(self):
+        module = parse(
+            'for $x at $i in (1,2) let $y := $x + 1 where $y > 1 '
+            "order by $y descending return $y"
+        )
+        flwor = module.body
+        kinds = [type(c).__name__ for c in flwor.clauses]
+        assert kinds == ["ForClause", "LetClause", "WhereClause", "OrderByClause"]
+        assert flwor.clauses[0].position_var == "i"
+        assert flwor.clauses[3].specs[0].descending
+
+    def test_multiple_for_bindings_with_comma(self):
+        flwor = parse_expression("for $a in (1), $b in (2) return $a + $b")
+        assert len(flwor.clauses) == 2
+
+    def test_paper_style_bindings_without_comma(self):
+        # The paper writes multi-variable for clauses without commas.
+        flwor = parse_expression(
+            'for $v in a\n $r in b\n $t in c\n return $v'
+        )
+        assert len(flwor.clauses) == 3
+
+    def test_function_definition(self):
+        module = parse(
+            "define function double($x as xs:integer) as xs:integer { $x * 2 } double(2)"
+        )
+        assert len(module.functions) == 1
+        assert module.functions[0].params[0].type_name == "xs:integer"
+
+    def test_declare_function_synonym(self):
+        module = parse("declare function f() as element()* { () } f()")
+        assert module.functions[0].return_type == "element()*"
+
+
+class TestConstructorParsing:
+    def test_direct_element(self):
+        tree = parse_expression('<a x="1">text</a>')
+        assert isinstance(tree, xast.DirectElement)
+        assert tree.attributes[0].parts == ["1"]
+        assert tree.content == ["text"]
+
+    def test_enclosed_expressions(self):
+        tree = parse_expression('<a id="{$x}">{ $y }</a>')
+        assert isinstance(tree.attributes[0].parts[0], xast.VarRef)
+        assert isinstance(tree.content[0], xast.VarRef)
+
+    def test_unquoted_brace_attribute(self):
+        # The paper writes <account id={$a/@id}> without quotes.
+        tree = parse_expression("<account id={$a/@id}>{ $a }</account>")
+        assert isinstance(tree.attributes[0].parts[0], xast.PathExpr)
+
+    def test_nested_elements(self):
+        tree = parse_expression("<a><b>{1}</b><c/></a>")
+        assert isinstance(tree.content[0], xast.DirectElement)
+        assert isinstance(tree.content[1], xast.DirectElement)
+
+    def test_brace_escapes(self):
+        tree = parse_expression("<a>{{literal}}</a>")
+        assert tree.content == ["{literal}"]
+
+    def test_boundary_whitespace_stripped(self):
+        tree = parse_expression("<a>\n  <b/>\n</a>")
+        assert all(not isinstance(part, str) for part in tree.content)
+
+    def test_computed_constructors(self):
+        element = parse_expression("element {name($e)} { $e/@* }")
+        assert isinstance(element, xast.ComputedElement)
+        attribute = parse_expression("attribute id { $a }")
+        assert isinstance(attribute, xast.ComputedAttribute)
+        text = parse_expression("text { 1 }")
+        assert isinstance(text, xast.ComputedText)
+
+    def test_less_than_still_works(self):
+        tree = parse_expression("$a < $b")
+        assert tree.op == "<"
+
+
+class TestXCQLParsing:
+    def test_interval_projection(self):
+        tree = parse_expression("$a/transaction?[2003-11-01,2003-12-01]", xcql=True)
+        assert isinstance(tree, xast.IntervalProjection)
+        assert isinstance(tree.begin, xast.DateTimeLiteral)
+
+    def test_point_projection_expands(self):
+        tree = parse_expression("$a/creditLimit?[now]", xcql=True)
+        assert isinstance(tree.begin, xast.NowConstant)
+        assert isinstance(tree.end, xast.NowConstant)
+
+    def test_spaced_projection(self):
+        tree = parse_expression("$a ? [now]", xcql=True)
+        assert isinstance(tree, xast.IntervalProjection)
+
+    def test_now_minus_duration(self):
+        tree = parse_expression("$a?[now-PT1H, now]", xcql=True)
+        assert isinstance(tree.begin, xast.BinOp)
+        assert isinstance(tree.begin.right, xast.DurationLiteral)
+
+    def test_duration_literals(self):
+        tree = parse_expression("vtFrom($s) + PT1M", xcql=True)
+        assert isinstance(tree.right, xast.DurationLiteral)
+
+    def test_version_projection(self):
+        tree = parse_expression("$t#[1, 10]", xcql=True)
+        assert isinstance(tree, xast.VersionProjection)
+
+    def test_version_last(self):
+        tree = parse_expression("$t#[last]", xcql=True)
+        assert isinstance(tree.begin, xast.FunctionCall)
+        assert tree.begin.name == "last"
+
+    def test_version_last_minus(self):
+        tree = parse_expression("$t#[last - 1, last]", xcql=True)
+        assert tree.begin.op == "-"
+
+    def test_interval_comparison(self):
+        tree = parse_expression("$a before $b", xcql=True)
+        assert tree.op == "before"
+
+    def test_projection_then_steps(self):
+        tree = parse_expression("$a/transaction?[now]/amount", xcql=True)
+        assert isinstance(tree, xast.PathExpr)
+        assert isinstance(tree.base, xast.IntervalProjection)
+
+    def test_xcql_disabled_by_default(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_expression("$a?[now]")
+
+    def test_start_constant(self):
+        tree = parse_expression("$a?[start, now]", xcql=True)
+        assert isinstance(tree.begin, xast.StartConstant)
+
+    def test_stream_accessor_is_plain_call(self):
+        module = parse_xcql('stream("credit")//account')
+        assert isinstance(module.body.base, xast.FunctionCall)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "for $x in",
+            "1 +",
+            "(1, 2",
+            "<a>",
+            "<a></b>",
+            "if (1) then 2",
+            "$",
+            "define function f { 1 } 2",
+            "1 2",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(XQuerySyntaxError):
+            parse(bad)
+
+
+ROUND_TRIP_QUERIES = [
+    "1 + 2 * 3",
+    'for $x in (1, 2) where $x > 1 return $x',
+    "some $x in (1, 2) satisfies $x = 2",
+    '$a/b[c = "1"]/@id',
+    'if ($x) then "a" else "b"',
+    "count($a) + sum($b)",
+    '<a x="1">{ $y }</a>',
+    "element foo { $x }",
+    "$a/transaction?[now, now]/amount",
+    "$t#[1, 10]",
+]
+
+
+class TestSourceRoundTrip:
+    @pytest.mark.parametrize("query", ROUND_TRIP_QUERIES)
+    def test_to_source_reparses_equal(self, query):
+        first = parse(query, xcql=True)
+        rendered = to_source(first)
+        second = parse(rendered, xcql=True)
+        assert to_source(second) == rendered
