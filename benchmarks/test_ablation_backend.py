@@ -1,0 +1,146 @@
+"""Ablation A8: closure-compiled plans vs. the tree-walking interpreter.
+
+The paper ran its queries on Qizx/Open, a compiling engine; our baseline
+evaluator is a tree-walking AST interpreter (the biggest single setup
+difference, see A7).  `repro.xquery.compiler` closes part of that gap by
+lowering translated queries to nested Python closures — constant folding,
+pre-resolved step chains over the lazy per-element tag index, literal
+comparison specialization, pre-bound FLWOR stages.
+
+This ablation measures the compiled backend against the interpreter on
+the Figure 4 cells.  The acceptance bar: >= 2x on Q1/Q2/Q5 under QaC+ on
+the indexed + memoized store, where evaluation — not hole resolution —
+dominates and the backend choice is actually visible.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.figure4 import _QUERY_TIME
+from repro.core import Strategy
+from repro.dom.nodes import Node
+from repro.dom.serializer import serialize
+from repro.xmark import PAPER_QUERIES
+
+from .conftest import bench_scale
+
+QUERIES = ("Q1", "Q2", "Q5")
+BACKENDS = ("compiled", "interpreted")
+
+
+def _normalized(seq: list) -> list:
+    return [serialize(i) if isinstance(i, Node) else i for i in seq]
+
+
+def _best_times(
+    engine, plans: list, batch: int = 15, reps: int = 8
+) -> list[float]:
+    """Best-of-reps batched wall time per execution for each plan.
+
+    The plans are timed in *interleaved* batches so CPU frequency drift
+    and scheduler noise hit all of them equally — ratios stay stable
+    even when absolute times wobble.
+    """
+    for plan in plans:
+        engine.execute(plan, now=_QUERY_TIME)  # warm caches
+    best = [float("inf")] * len(plans)
+    for _ in range(reps):
+        for i, plan in enumerate(plans):
+            started = time.perf_counter()
+            for _ in range(batch):
+                engine.execute(plan, now=_QUERY_TIME)
+            best[i] = min(best[i], (time.perf_counter() - started) / batch)
+    return best
+
+
+@pytest.mark.parametrize("strategy", (Strategy.QAC_PLUS, Strategy.QAC, Strategy.CAQ),
+                         ids=lambda s: s.value)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_results_agree(engineered_workload, query_name, strategy):
+    """Both backends must produce byte-identical Figure 4 answers."""
+    engine = engineered_workload.engine
+    results = []
+    for backend in BACKENDS:
+        compiled = engine.compile(
+            PAPER_QUERIES[query_name], strategy, backend=backend, use_cache=False
+        )
+        results.append(_normalized(engine.execute(compiled, now=_QUERY_TIME)))
+    assert results[0] == results[1]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_backend_cell(benchmark, engineered_workload, query_name, backend):
+    """One pytest-benchmark cell per (query, backend) under QaC+."""
+    engine = engineered_workload.engine
+    compiled = engine.compile(
+        PAPER_QUERIES[query_name], Strategy.QAC_PLUS, backend=backend,
+        use_cache=False,
+    )
+
+    def run():
+        return engine.execute(compiled, now=_QUERY_TIME)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["result_count"] = len(result)
+    benchmark.extra_info["scale"] = engineered_workload.scale
+
+
+def test_backend_speedup(benchmark, engineered_workload):
+    """The headline: compiled plans >= 2x the interpreter on Q1/Q2/Q5."""
+
+    def measure() -> dict:
+        engine = engineered_workload.engine
+        timings: dict[str, dict[str, float]] = {}
+        for query_name in QUERIES:
+            plans = [
+                engine.compile(
+                    PAPER_QUERIES[query_name], Strategy.QAC_PLUS,
+                    backend=backend, use_cache=False,
+                )
+                for backend in BACKENDS
+            ]
+            times = _best_times(engine, plans)
+            timings[query_name] = dict(zip(BACKENDS, times))
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for query_name, row in timings.items():
+        speedup = row["interpreted"] / row["compiled"]
+        benchmark.extra_info[query_name] = round(speedup, 2)
+        assert row["compiled"] < row["interpreted"], (
+            f"{query_name}: compiled slower than interpreted ({row})"
+        )
+        if bench_scale() >= 0.01:
+            # The acceptance bar holds from the medium document up; at
+            # f = 0.0 (a few KB) fixed per-call costs dominate both.
+            assert speedup >= 2.0, (
+                f"{query_name}: compiled only {speedup:.2f}x faster ({row})"
+            )
+
+
+def test_plan_reuse_amortizes_compilation(engineered_workload):
+    """Plan-cache hits make repeated execution cheaper than recompiling."""
+    engine = engineered_workload.engine
+    source = PAPER_QUERIES["Q5"]
+    engine.clear_plan_cache()
+
+    started = time.perf_counter()
+    for _ in range(20):
+        engine.execute(source, strategy=Strategy.QAC_PLUS, now=_QUERY_TIME)
+    cached = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(20):
+        compiled = engine.compile(
+            source, Strategy.QAC_PLUS, use_cache=False
+        )
+        engine.execute(compiled, now=_QUERY_TIME)
+    uncached = time.perf_counter() - started
+
+    info = engine.plan_cache_info()
+    assert info["hits"] >= 19
+    assert cached < uncached

@@ -17,8 +17,9 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional, Union
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Union
 
 from repro.dom.nodes import Document, Element
 from repro.fragments.assemble import temporalize
@@ -28,6 +29,7 @@ from repro.fragments.tagstructure import TagStructure
 from repro.temporal.chrono import XSDateTime
 from repro.core.translator import Strategy, TranslationError, Translator
 from repro.xquery import xast
+from repro.xquery.compiler import compile_module
 from repro.xquery.errors import XQueryDynamicError
 from repro.xquery.evaluator import Context, Evaluator
 from repro.xquery.parser import parse
@@ -39,13 +41,21 @@ __all__ = ["XCQLEngine", "CompiledQuery", "Strategy"]
 
 @dataclass
 class CompiledQuery:
-    """An XCQL query translated for one execution strategy."""
+    """An XCQL query translated for one execution strategy.
+
+    ``backend`` records how the query executes: ``"compiled"`` carries an
+    executable closure ``plan(ctx) -> list`` lowered from the translated
+    AST (zero per-node dispatch at run time); ``"interpreted"`` walks the
+    AST through :class:`~repro.xquery.evaluator.Evaluator` on every run.
+    """
 
     source: str
     strategy: Strategy
     original: xast.Module
     translated: xast.Module
     hoisted_calls: int = 0  # get_fillers folds applied by the optimizer
+    backend: str = "interpreted"
+    plan: Optional[Callable] = field(default=None, repr=False, compare=False)
 
     @property
     def translated_source(self) -> str:
@@ -54,13 +64,32 @@ class CompiledQuery:
 
 
 class XCQLEngine:
-    """Compiles and runs XCQL queries over registered fragment streams."""
+    """Compiles and runs XCQL queries over registered fragment streams.
 
-    def __init__(self, default_now: Optional[XSDateTime] = None):
+    ``default_backend`` selects how queries execute (``"compiled"``, the
+    closure-compilation backend, or ``"interpreted"``, the AST walker) and
+    ``plan_cache_size`` bounds the LRU plan cache that makes repeated
+    ``execute(source)`` calls — and every continuous-query re-evaluation —
+    skip parse/translate/lower entirely.
+    """
+
+    def __init__(
+        self,
+        default_now: Optional[XSDateTime] = None,
+        default_backend: str = "compiled",
+        plan_cache_size: int = 128,
+    ):
+        if default_backend not in ("compiled", "interpreted"):
+            raise ValueError("default_backend must be 'compiled' or 'interpreted'")
         self.stores: dict[str, FragmentStore] = {}
         self.tag_structures: dict[str, TagStructure] = {}
         self.default_now = default_now or XSDateTime(2000, 1, 1)
+        self.default_backend = default_backend
         self._extra_functions: dict = {}
+        self._plan_cache: OrderedDict[tuple, CompiledQuery] = OrderedDict()
+        self._plan_cache_size = max(0, int(plan_cache_size))
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
 
     # -- stream registry ----------------------------------------------------------
 
@@ -75,6 +104,8 @@ class XCQLEngine:
             store = FragmentStore(tag_structure)
         self.stores[name] = store
         self.tag_structures[name] = tag_structure
+        # Translation is schema-directed: cached plans may be stale now.
+        self.clear_plan_cache()
         return store
 
     def feed(self, name: str, fillers: Union[Filler, Iterable[Filler]]) -> int:
@@ -108,21 +139,71 @@ class XCQLEngine:
         source: str,
         strategy: Strategy = Strategy.QAC,
         optimize: bool = False,
+        backend: Optional[str] = None,
+        use_cache: bool = True,
     ) -> CompiledQuery:
         """Parse an XCQL query and translate it for ``strategy``.
 
         ``optimize=True`` additionally applies the §8-style rewriting that
         folds repeated ``get_fillers`` calls into ``let`` bindings.
+
+        ``backend`` selects the execution backend (``"compiled"`` lowers
+        the translated AST into a closure plan; ``"interpreted"`` keeps
+        the tree walker); ``None`` uses the engine's ``default_backend``.
+        Compilations are memoized in an LRU plan cache keyed on
+        ``(source, strategy, optimize, backend)`` — pass
+        ``use_cache=False`` to force a fresh parse+translate.
         """
         from repro.core.optimizer import hoist_common_fillers
 
+        backend = self._resolve_backend(backend)
+        key = (source, strategy, optimize, backend)
+        if use_cache and self._plan_cache_size:
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                self._plan_cache.move_to_end(key)
+                self._plan_cache_hits += 1
+                return cached
+            self._plan_cache_misses += 1
         module = parse(source, xcql=True)
         translator = Translator(self.tag_structures, strategy)
         translated = translator.translate_module(module)
         hoisted = 0
         if optimize:
             translated, hoisted = hoist_common_fillers(translated)
-        return CompiledQuery(source, strategy, module, translated, hoisted)
+        plan = compile_module(translated) if backend == "compiled" else None
+        compiled = CompiledQuery(
+            source, strategy, module, translated, hoisted, backend, plan
+        )
+        if use_cache and self._plan_cache_size:
+            self._plan_cache[key] = compiled
+            while len(self._plan_cache) > self._plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return compiled
+
+    def _resolve_backend(self, backend: Optional[str]) -> str:
+        if backend is None:
+            return self.default_backend
+        if backend not in ("compiled", "interpreted"):
+            raise ValueError("backend must be 'compiled' or 'interpreted'")
+        return backend
+
+    # -- plan-cache control ----------------------------------------------------------
+
+    def clear_plan_cache(self) -> None:
+        """Drop all cached plans (and reset the hit/miss counters)."""
+        self._plan_cache.clear()
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
+
+    def plan_cache_info(self) -> dict[str, int]:
+        """LRU plan-cache statistics: hits, misses, size, maxsize."""
+        return {
+            "hits": self._plan_cache_hits,
+            "misses": self._plan_cache_misses,
+            "size": len(self._plan_cache),
+            "maxsize": self._plan_cache_size,
+        }
 
     def translate_source(self, source: str, strategy: Strategy = Strategy.QAC) -> str:
         """The translated XQuery text for a query (paper §6.1 style)."""
@@ -188,19 +269,25 @@ class XCQLEngine:
         strategy: Strategy = Strategy.QAC,
         now: Optional[XSDateTime] = None,
         variables: Optional[dict[str, list]] = None,
+        backend: Optional[str] = None,
     ) -> list:
         """Run a query against the current fragment state.
 
-        ``query`` may be XCQL text (compiled on the fly) or a
-        :class:`CompiledQuery`.  ``now`` fixes the evaluation instant for
-        the XCQL ``now`` constant; continuous queries re-execute with a
-        moving ``now``.
+        ``query`` may be XCQL text (compiled on the fly, through the plan
+        cache — repeated executions of the same source never re-parse or
+        re-translate) or a :class:`CompiledQuery`.  ``now`` fixes the
+        evaluation instant for the XCQL ``now`` constant; continuous
+        queries re-execute with a moving ``now``.  ``backend`` only
+        applies when ``query`` is source text; a :class:`CompiledQuery`
+        already carries its backend.
         """
         if isinstance(query, str):
-            compiled = self.compile(query, strategy)
+            compiled = self.compile(query, strategy, backend=backend)
         else:
             compiled = query
         context = self.build_context(now=now, variables=variables)
+        if compiled.plan is not None:
+            return compiled.plan(context)
         return Evaluator(context).evaluate_module(compiled.translated)
 
     def execute_on_view(
@@ -208,6 +295,7 @@ class XCQLEngine:
         source: str,
         now: Optional[XSDateTime] = None,
         variables: Optional[dict[str, list]] = None,
+        backend: Optional[str] = None,
     ) -> list:
         """Run untranslated XCQL directly on materialized temporal views.
 
@@ -215,9 +303,28 @@ class XCQLEngine:
         the fully materialized temporal view of stream ``x``.  Used to
         cross-validate the fragment-level strategies.
         """
-        module = parse(source, xcql=True)
+        backend = self._resolve_backend(backend)
+        key = (source, "view", False, backend)
+        compiled = self._plan_cache.get(key) if self._plan_cache_size else None
+        if compiled is not None:
+            self._plan_cache.move_to_end(key)
+            self._plan_cache_hits += 1
+        else:
+            if self._plan_cache_size:
+                self._plan_cache_misses += 1
+            module = parse(source, xcql=True)
+            plan = compile_module(module) if backend == "compiled" else None
+            compiled = CompiledQuery(
+                source, Strategy.CAQ, module, module, 0, backend, plan
+            )
+            if self._plan_cache_size:
+                self._plan_cache[key] = compiled
+                while len(self._plan_cache) > self._plan_cache_size:
+                    self._plan_cache.popitem(last=False)
         context = self.build_context(now=now, variables=variables)
-        return Evaluator(context).evaluate_module(module)
+        if compiled.plan is not None:
+            return compiled.plan(context)
+        return Evaluator(context).evaluate_module(compiled.translated)
 
     # -- context assembly -----------------------------------------------------------------
 

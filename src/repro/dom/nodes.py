@@ -26,6 +26,9 @@ __all__ = [
 
 _tree_ids = itertools.count(1)
 
+# Shared empty result for named-child lookups; never mutated.
+_NO_ELEMENTS: list = []
+
 
 class Node:
     """Base class for all tree nodes."""
@@ -63,6 +66,17 @@ class Node:
         """The XPath string value (concatenated descendant text)."""
         raise NotImplementedError
 
+    def children_named(self, tag: str) -> list["Element"]:
+        """Direct child elements with this tag (leaves have none).
+
+        Containers answer from a lazily built per-node tag index that is
+        dropped on any child-list mutation, so repeated named-child steps
+        (the hottest operation in compiled query plans) cost one dict
+        lookup instead of a scan.  Callers must treat the result as
+        read-only; it is shared between calls.
+        """
+        return _NO_ELEMENTS
+
     # -- document order ----------------------------------------------------------
 
     def _order(self) -> tuple[int, int]:
@@ -76,17 +90,28 @@ class Node:
 class _Container(Node):
     """A node that owns an ordered list of children."""
 
-    __slots__ = ("_children", "_tree_id", "_dirty")
+    __slots__ = ("_children", "_tree_id", "_dirty", "_tag_index")
 
     def __init__(self) -> None:
         super().__init__()
         self._children: list[Node] = []
         self._tree_id = next(_tree_ids)
         self._dirty = True
+        self._tag_index: Optional[dict[str, list["Element"]]] = None
 
     @property
     def children(self) -> list[Node]:
         return self._children
+
+    def children_named(self, tag: str) -> list["Element"]:
+        index = self._tag_index
+        if index is None:
+            index = {}
+            for child in self._children:
+                if isinstance(child, Element):
+                    index.setdefault(child.tag, []).append(child)
+            self._tag_index = index
+        return index.get(tag, _NO_ELEMENTS)
 
     def append(self, node: Node) -> Node:
         """Attach ``node`` as the last child and return it."""
@@ -94,6 +119,7 @@ class _Container(Node):
             node.parent.remove(node)
         node.parent = self
         self._children.append(node)
+        self._tag_index = None
         self._mark_dirty()
         return node
 
@@ -103,6 +129,7 @@ class _Container(Node):
             node.parent.remove(node)
         node.parent = self
         self._children.insert(index, node)
+        self._tag_index = None
         self._mark_dirty()
         return node
 
@@ -110,6 +137,7 @@ class _Container(Node):
         """Detach a direct child."""
         self._children.remove(node)
         node.parent = None
+        self._tag_index = None
         self._mark_dirty()
 
     def extend(self, nodes: Iterable[Node]) -> None:

@@ -24,6 +24,7 @@ get_fillers as a join — the index is the hash-join side), and
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterable, Optional
 
 from repro.dom.nodes import Document, Element
@@ -51,6 +52,10 @@ class FragmentStore:
         self._by_tsid: dict[int, list[int]] = {}
         self._seen: set[tuple[int, str]] = set()
         self._version_cache: dict[int, list[Element]] = {}
+        self._wrapper_cache: dict[int, Element] = {}
+        # Per-bucket epoch keys, kept aligned with _by_id: append() inserts
+        # with bisect instead of re-sorting the whole bucket per ingest.
+        self._sort_keys: dict[int, list[float]] = {}
 
     # -- ingest ---------------------------------------------------------------
 
@@ -72,13 +77,22 @@ class FragmentStore:
         else:
             self._seen.add(key)
         self._fillers.append(filler)
-        bucket = self._by_id.setdefault(filler.filler_id, [])
-        bucket.append(filler)
-        bucket.sort(key=lambda f: f.valid_time.to_epoch_seconds())
+        filler_id = filler.filler_id
+        bucket = self._by_id.setdefault(filler_id, [])
+        keys = self._sort_keys.setdefault(filler_id, [])
+        # O(log n) insertion on a memoized epoch key instead of a full
+        # O(n log n) re-sort per ingest.  bisect_right keeps arrival order
+        # among equal timestamps, matching the stable sort it replaces.
+        epoch = filler.valid_time.to_epoch_seconds()
+        index = bisect_right(keys, epoch)
+        keys.insert(index, epoch)
+        bucket.insert(index, filler)
         tsid_bucket = self._by_tsid.setdefault(filler.tsid, [])
-        if filler.filler_id not in tsid_bucket:
-            tsid_bucket.append(filler.filler_id)
-        self._version_cache.pop(filler.filler_id, None)
+        if filler_id not in tsid_bucket:
+            tsid_bucket.append(filler_id)
+        # Invalidate only the caches of the affected filler id.
+        self._version_cache.pop(filler_id, None)
+        self._wrapper_cache.pop(filler_id, None)
         return True
 
     def extend(self, fillers: Iterable[Filler]) -> int:
@@ -92,6 +106,8 @@ class FragmentStore:
         self._by_tsid.clear()
         self._seen.clear()
         self._version_cache.clear()
+        self._wrapper_cache.clear()
+        self._sort_keys.clear()
 
     # -- raw lookup ----------------------------------------------------------------
 
@@ -139,10 +155,24 @@ class FragmentStore:
 
         The wrapper lets callers apply a path projection to pick the child
         they want (a context fragment may have holes for different tags).
+
+        With caching on, the assembled wrapper is memoized per filler id —
+        a standing query re-evaluated every tick then skips the per-call
+        deep copy of every version.  (Sharing one wrapper across calls
+        matches the sharing the optimizer's ``let``-hoisted plans already
+        exhibit.)  If a caller adopted the cached wrapper into a
+        constructed tree, a fresh one is built instead.
         """
-        wrapper = Element("filler", {"id": str(int(filler_id))})
+        filler_id = int(filler_id)
+        if self.use_cache:
+            cached = self._wrapper_cache.get(filler_id)
+            if cached is not None and cached.parent is None:
+                return cached
+        wrapper = Element("filler", {"id": str(filler_id)})
         for version in self.versions_of(filler_id):
             wrapper.append(version.copy())
+        if self.use_cache:
+            self._wrapper_cache[filler_id] = wrapper
         return wrapper
 
     def get_fillers_list(self, filler_ids: Iterable[int]) -> list[Element]:
@@ -267,10 +297,15 @@ class FragmentStore:
                     self._seen.discard((filler.filler_id, str(filler.valid_time)))
             if surviving:
                 self._by_id[filler_id] = surviving
+                self._sort_keys[filler_id] = [
+                    f.valid_time.to_epoch_seconds() for f in surviving
+                ]
             else:
                 del self._by_id[filler_id]
+                self._sort_keys.pop(filler_id, None)
             kept.extend(surviving)
             self._version_cache.pop(filler_id, None)
+            self._wrapper_cache.pop(filler_id, None)
         self._fillers = kept
         self._by_tsid.clear()
         for filler in kept:

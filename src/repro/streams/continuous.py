@@ -35,6 +35,7 @@ class ContinuousQuery:
         source: str,
         strategy: Strategy = Strategy.QAC,
         emit: str = "delta",
+        backend: Optional[str] = None,
     ):
         if emit not in ("delta", "full"):
             raise ValueError("emit must be 'delta' or 'full'")
@@ -42,7 +43,10 @@ class ContinuousQuery:
         self.source = source
         self.strategy = strategy
         self.emit = emit
-        self.compiled: CompiledQuery = engine.compile(source, strategy)
+        # Compiles through the engine's plan cache: with the default
+        # "compiled" backend every re-evaluation runs the closure plan —
+        # no parse, translate, or AST dispatch per tick.
+        self.compiled: CompiledQuery = engine.compile(source, strategy, backend=backend)
         self.subscribers: list[Callable[[list], None]] = []
         self.evaluations = 0
         self.emitted_total = 0

@@ -13,7 +13,11 @@ core of that idea at query granularity:
 - queries that mention ``now`` (sliding windows) are *time-sensitive* and
   also re-evaluate when the clock has advanced, even without arrivals.
 
-The saved evaluations are counted, which ablation A3b measures.
+Re-evaluations run each query's cached :class:`CompiledQuery` — with the
+default ``"compiled"`` backend that is a closure plan (see
+:mod:`repro.xquery.compiler`), so a poll tick pays zero parse/translate
+and zero AST dispatch.  The saved evaluations are counted, which ablation
+A3b measures.
 """
 
 from __future__ import annotations

@@ -18,6 +18,7 @@ Typical use::
     )
 """
 
+from repro.xquery.compiler import CompiledPlan, compile_expr, compile_module
 from repro.xquery.errors import (
     XQueryDynamicError,
     XQueryError,
@@ -36,6 +37,9 @@ __all__ = [
     "Context",
     "Evaluator",
     "evaluate",
+    "CompiledPlan",
+    "compile_module",
+    "compile_expr",
     "Module",
     "to_source",
     "XQueryError",

@@ -27,6 +27,7 @@ from repro.dom.nodes import (
     Node,
     ProcessingInstruction,
     Text,
+    document_order_key,
     sort_document_order,
 )
 from repro.temporal.chrono import ChronoError, XSDateTime, XSDuration
@@ -37,6 +38,8 @@ from repro.xquery.errors import (
     XQueryNameError,
     XQueryTypeError,
 )
+from repro.xquery.functions import Builtin, default_functions
+from repro.xquery.temporal_functions import element_lifespan
 from repro.xquery.xdm import (
     atomize,
     effective_boolean_value,
@@ -46,7 +49,14 @@ from repro.xquery.xdm import (
     value_compare,
 )
 
-__all__ = ["Context", "Evaluator", "evaluate", "UserFunction"]
+__all__ = [
+    "Context",
+    "Evaluator",
+    "evaluate",
+    "UserFunction",
+    "eval_arithmetic",
+    "eval_interval_comparison",
+]
 
 
 class UserFunction:
@@ -82,8 +92,6 @@ class Context:
         streams: Optional[Callable[[str], list]] = None,
         hole_resolver: Optional[Callable[[object], list]] = None,
     ):
-        from repro.xquery.functions import default_functions
-
         self.variables: dict[str, list] = dict(variables) if variables else {}
         self.functions = dict(default_functions())
         if functions:
@@ -134,8 +142,6 @@ class Context:
         ``fn(ctx, args)`` receives the context and a list of argument
         sequences and returns a sequence.
         """
-        from repro.xquery.functions import Builtin
-
         lo, hi = arity if arity else (0, 99)
         self.functions[name] = Builtin(name, lo, hi, fn)
 
@@ -332,8 +338,6 @@ class Evaluator:
         if op in ("<<", ">>"):
             if not left or not right:
                 return []
-            from repro.dom.nodes import document_order_key
-
             a = _single(left, "node comparison")
             b = _single(right, "node comparison")
             if not isinstance(a, Node) or not isinstance(b, Node):
@@ -357,7 +361,7 @@ class Evaluator:
             right_ids = {id(node) for node in right}
             return sort_document_order([n for n in left if id(n) not in right_ids])
         if op in ("+", "-", "*", "div", "idiv", "mod"):
-            return self._eval_arithmetic(op, left, right, ctx)
+            return eval_arithmetic(op, left, right, ctx)
         if op in (
             "before",
             "after",
@@ -370,63 +374,8 @@ class Evaluator:
             "finishes",
             "iequals",
         ):
-            return self._eval_interval_comparison(op, left, right, ctx)
+            return eval_interval_comparison(op, left, right, ctx)
         raise XQueryDynamicError(f"unknown operator {op!r}")
-
-    def _eval_arithmetic(self, op: str, left: list, right: list, ctx: Context) -> list:
-        if not left or not right:
-            return []
-        lhs = atomize(_single(left, "arithmetic"))
-        rhs = atomize(_single(right, "arithmetic"))
-        lhs = _temporal_cast(lhs, ctx)
-        rhs = _temporal_cast(rhs, ctx)
-
-        if isinstance(lhs, XSDateTime) or isinstance(rhs, XSDateTime):
-            return [_datetime_arithmetic(op, lhs, rhs)]
-        if isinstance(lhs, XSDuration) or isinstance(rhs, XSDuration):
-            return [_duration_arithmetic(op, lhs, rhs)]
-
-        a = to_number(lhs)
-        b = to_number(rhs)
-        if op == "+":
-            return [a + b]
-        if op == "-":
-            return [a - b]
-        if op == "*":
-            return [a * b]
-        if op == "div":
-            if b == 0:
-                raise XQueryDynamicError("division by zero")
-            result = a / b
-            return [result]
-        if op == "idiv":
-            if b == 0:
-                raise XQueryDynamicError("integer division by zero")
-            return [int(a // b)]
-        if op == "mod":
-            if b == 0:
-                raise XQueryDynamicError("modulo by zero")
-            return [a - b * int(a / b) if isinstance(a, int) and isinstance(b, int) else a % b]
-        raise XQueryDynamicError(f"unknown arithmetic operator {op!r}")
-
-    def _eval_interval_comparison(self, op: str, left: list, right: list, ctx: Context) -> list:
-        a = _to_interval(left, ctx)
-        b = _to_interval(right, ctx)
-        if a is None or b is None:
-            return [False]
-        relation = {
-            "before": a.before,
-            "after": a.after,
-            "meets": a.meets,
-            "met-by": a.met_by,
-            "overlaps": a.overlaps,
-            "during": a.during,
-            "icontains": a.contains,
-            "istarts": a.starts,
-            "finishes": a.finishes,
-            "iequals": a.equals,
-        }[op]
-        return [relation(b)]
 
     def _eval_unary(self, expr: xast.UnaryOp, ctx: Context) -> list:
         seq = self.eval(expr.operand, ctx)
@@ -511,8 +460,6 @@ class Evaluator:
         return self._call_function(expr.name, args, ctx)
 
     def _call_function(self, name: str, args: list[list], ctx: Context) -> list:
-        from repro.xquery.functions import Builtin
-
         lookup = name[3:] if name.startswith("fn:") else name
         fn = ctx.functions.get(lookup)
         if fn is None:
@@ -606,6 +553,65 @@ def _single(seq: list, what: str) -> object:
     return seq[0]
 
 
+def eval_arithmetic(op: str, left: list, right: list, ctx: Context) -> list:
+    """Shared arithmetic semantics (interpreter and compiled backend)."""
+    if not left or not right:
+        return []
+    lhs = atomize(_single(left, "arithmetic"))
+    rhs = atomize(_single(right, "arithmetic"))
+    lhs = _temporal_cast(lhs, ctx)
+    rhs = _temporal_cast(rhs, ctx)
+
+    if isinstance(lhs, XSDateTime) or isinstance(rhs, XSDateTime):
+        return [_datetime_arithmetic(op, lhs, rhs)]
+    if isinstance(lhs, XSDuration) or isinstance(rhs, XSDuration):
+        return [_duration_arithmetic(op, lhs, rhs)]
+
+    a = to_number(lhs)
+    b = to_number(rhs)
+    if op == "+":
+        return [a + b]
+    if op == "-":
+        return [a - b]
+    if op == "*":
+        return [a * b]
+    if op == "div":
+        if b == 0:
+            raise XQueryDynamicError("division by zero")
+        result = a / b
+        return [result]
+    if op == "idiv":
+        if b == 0:
+            raise XQueryDynamicError("integer division by zero")
+        return [int(a // b)]
+    if op == "mod":
+        if b == 0:
+            raise XQueryDynamicError("modulo by zero")
+        return [a - b * int(a / b) if isinstance(a, int) and isinstance(b, int) else a % b]
+    raise XQueryDynamicError(f"unknown arithmetic operator {op!r}")
+
+
+def eval_interval_comparison(op: str, left: list, right: list, ctx: Context) -> list:
+    """Shared XCQL interval-relation semantics (both backends)."""
+    a = _to_interval(left, ctx)
+    b = _to_interval(right, ctx)
+    if a is None or b is None:
+        return [False]
+    relation = {
+        "before": a.before,
+        "after": a.after,
+        "meets": a.meets,
+        "met-by": a.met_by,
+        "overlaps": a.overlaps,
+        "during": a.during,
+        "icontains": a.contains,
+        "istarts": a.starts,
+        "finishes": a.finishes,
+        "iequals": a.equals,
+    }[op]
+    return [relation(b)]
+
+
 def _temporal_cast(value: object, ctx: Context) -> object:
     """Give strings that look temporal their temporal type for arithmetic."""
     if value is NOW:
@@ -679,8 +685,6 @@ def _to_interval(seq: list, ctx: Context) -> Optional[TimeInterval]:
     Accepts interval values, elements (their lifespan), and single time
     points (the point interval).
     """
-    from repro.xquery.temporal_functions import element_lifespan
-
     if not seq:
         return None
     item = seq[0]
