@@ -56,6 +56,7 @@ class CompiledQuery:
     hoisted_calls: int = 0  # get_fillers folds applied by the optimizer
     backend: str = "interpreted"
     plan: Optional[Callable] = field(default=None, repr=False, compare=False)
+    merge_joins: int = 0  # interval joins lowered to sort-merge plans
 
     @property
     def translated_source(self) -> str:
@@ -78,6 +79,8 @@ class XCQLEngine:
         default_now: Optional[XSDateTime] = None,
         default_backend: str = "compiled",
         plan_cache_size: int = 128,
+        use_temporal_index: bool = True,
+        merge_joins: bool = True,
     ):
         if default_backend not in ("compiled", "interpreted"):
             raise ValueError("default_backend must be 'compiled' or 'interpreted'")
@@ -85,6 +88,9 @@ class XCQLEngine:
         self.tag_structures: dict[str, TagStructure] = {}
         self.default_now = default_now or XSDateTime(2000, 1, 1)
         self.default_backend = default_backend
+        self.use_temporal_index = use_temporal_index
+        self.merge_joins = merge_joins
+        self.temporal_index = _TemporalIndexHook(self)
         self._extra_functions: dict = {}
         self._plan_cache: OrderedDict[tuple, CompiledQuery] = OrderedDict()
         self._plan_cache_size = max(0, int(plan_cache_size))
@@ -102,6 +108,12 @@ class XCQLEngine:
         """Register a stream and return its fragment store."""
         if store is None:
             store = FragmentStore(tag_structure)
+        elif store.tag_structure is not None:
+            # Re-registering a schema-annotated store under a (possibly
+            # updated) Tag Structure must refresh its annotation caches and
+            # endpoint indexes.  A store built without a tag structure keeps
+            # its type-agnostic annotation semantics.
+            store.set_tag_structure(tag_structure)
         self.stores[name] = store
         self.tag_structures[name] = tag_structure
         # Translation is schema-directed: cached plans may be stale now.
@@ -141,6 +153,7 @@ class XCQLEngine:
         optimize: bool = False,
         backend: Optional[str] = None,
         use_cache: bool = True,
+        merge_joins: Optional[bool] = None,
     ) -> CompiledQuery:
         """Parse an XCQL query and translate it for ``strategy``.
 
@@ -150,14 +163,19 @@ class XCQLEngine:
         ``backend`` selects the execution backend (``"compiled"`` lowers
         the translated AST into a closure plan; ``"interpreted"`` keeps
         the tree walker); ``None`` uses the engine's ``default_backend``.
-        Compilations are memoized in an LRU plan cache keyed on
-        ``(source, strategy, optimize, backend)`` — pass
+        ``merge_joins`` overrides the engine-level knob that lowers
+        interval-comparison joins to sort-merge plans (compiled backend
+        only).  Compilations are memoized in an LRU plan cache keyed on
+        ``(source, strategy, optimize, backend, merge_joins)`` — pass
         ``use_cache=False`` to force a fresh parse+translate.
         """
-        from repro.core.optimizer import hoist_common_fillers
+        from repro.core.optimizer import hoist_common_fillers, lower_interval_joins
 
         backend = self._resolve_backend(backend)
-        key = (source, strategy, optimize, backend)
+        if merge_joins is None:
+            merge_joins = self.merge_joins
+        merge_joins = bool(merge_joins) and backend == "compiled"
+        key = (source, strategy, optimize, backend, merge_joins)
         if use_cache and self._plan_cache_size:
             cached = self._plan_cache.get(key)
             if cached is not None:
@@ -171,9 +189,13 @@ class XCQLEngine:
         hoisted = 0
         if optimize:
             translated, hoisted = hoist_common_fillers(translated)
+        lowered = 0
+        if merge_joins:
+            translated, lowered = lower_interval_joins(translated)
         plan = compile_module(translated) if backend == "compiled" else None
         compiled = CompiledQuery(
-            source, strategy, module, translated, hoisted, backend, plan
+            source, strategy, module, translated, hoisted, backend, plan,
+            merge_joins=lowered,
         )
         if use_cache and self._plan_cache_size:
             self._plan_cache[key] = compiled
@@ -340,6 +362,11 @@ class XCQLEngine:
             streams=self._view_of_stream,
             hole_resolver=self._resolve_hole,
         )
+        if self.use_temporal_index:
+            # Compiled plans consult this hook to bisect version windows
+            # instead of scanning; the interpreter ignores it (it stays the
+            # differential reference for the scan semantics).
+            context.temporal_index = self.temporal_index
         context.register_function("get_fillers", self._fn_get_fillers, (1, 2))
         context.register_function("get_fillers_list", self._fn_get_fillers, (1, 2))
         context.register_function("get_fillers_by_tsid", self._fn_get_fillers_by_tsid, (2, 2))
@@ -449,6 +476,61 @@ class XCQLEngine:
             if versions:
                 return versions
         return []
+
+
+class _TemporalIndexHook:
+    """The engine-side façade the compiled backend queries for windows.
+
+    Wraps every registered store's endpoint index behind the two lookups
+    the projection fast paths need.  Both return ``None`` whenever the
+    index cannot answer exactly (unknown id, snapshot tags, stale wrapper,
+    ``use_index=False``), which sends the caller down the scan path — the
+    hook can narrow work, never change results.  ``hits``/``misses`` are
+    observability counters for tests and benchmarks.
+    """
+
+    def __init__(self, engine: "XCQLEngine"):
+        self._engine = engine
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def hole_window(self, hole_id, begin_epoch: float, end_epoch: float):
+        """Resolve a hole id to ``(versions, lo, hi)`` via the index.
+
+        Mirrors :meth:`XCQLEngine._resolve_hole`: the first store that
+        knows the id answers.  Returns ``None`` to fall back to the scan
+        path (which also surfaces the original error for malformed ids).
+        """
+        try:
+            target = int(hole_id)
+        except (TypeError, ValueError):
+            self.misses += 1
+            return None
+        for store in self._engine.stores.values():
+            versions = store.versions_of(target)
+            if versions:
+                window = store.versions_in_window(target, begin_epoch, end_epoch)
+                if window is None:
+                    break
+                self.hits += 1
+                lo, hi = window
+                return versions, lo, hi
+        self.misses += 1
+        return None
+
+    def wrapper_window(self, element: Element, begin_epoch: float, end_epoch: float):
+        """The surviving ``[lo, hi)`` slice of a live filler wrapper."""
+        for store in self._engine.stores.values():
+            window = store.wrapper_window(element, begin_epoch, end_epoch)
+            if window is not None:
+                self.hits += 1
+                return window
+        self.misses += 1
+        return None
 
 
 class _AnyArity:

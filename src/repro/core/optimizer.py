@@ -28,7 +28,7 @@ from typing import Callable
 
 from repro.xquery import xast
 
-__all__ = ["hoist_common_fillers", "count_calls"]
+__all__ = ["hoist_common_fillers", "lower_interval_joins", "count_calls"]
 
 _HOISTED_SUFFIX = "__fillers"
 
@@ -125,6 +125,130 @@ def _is_hole_fillers_call(node: object, var: str) -> bool:
         return False
     shape = [(step.axis, step.test, len(step.predicates)) for step in path.steps]
     return shape == [("child", "hole", 0), ("attribute", "id", 0)]
+
+
+# ---------------------------------------------------------------------------
+# Interval-join lowering
+# ---------------------------------------------------------------------------
+
+_INTERVAL_JOIN_OPS = frozenset((
+    "before", "after", "meets", "met-by", "overlaps",
+    "during", "icontains", "istarts", "finishes", "iequals",
+))
+
+# Constructor nodes create fresh trees per evaluation; lowering would
+# evaluate the inner for-source once instead of once per outer tuple, so
+# identity-sensitive sources are left as nested loops.
+_CONSTRUCTOR_TYPES = (
+    xast.DirectElement,
+    xast.ComputedElement,
+    xast.ComputedAttribute,
+    xast.ComputedText,
+)
+
+
+def lower_interval_joins(module: xast.Module) -> tuple[xast.Module, int]:
+    """Annotate coincidence joins for the compiled sort-merge path.
+
+    Recognizes ``for $x in X for $y in Y where <$x op $y> [and rest] ...``
+    where ``op`` is an interval comparison, the two ``for`` clauses are
+    adjacent, carry no position variables, and ``Y`` neither references
+    ``$x`` nor constructs nodes.  The FLWOR is replaced by an
+    :class:`~repro.xquery.xast.IntervalJoinFLWOR` carrying the original
+    clauses untouched plus the join metadata; returns (module, count).
+    """
+    lowered = [0]
+    body = _lower(module.body, lowered)
+    functions = [
+        xast.FunctionDef(f.name, f.params, f.return_type, _lower(f.body, lowered))
+        for f in module.functions
+    ]
+    return xast.Module(functions, body), lowered[0]
+
+
+def _lower(node: object, lowered: list[int]) -> object:
+    node = _map_children(node, lambda child: _lower(child, lowered))
+    if type(node) is xast.FLWOR:
+        node = _lower_one_flwor(node, lowered)
+    return node
+
+
+def _lower_one_flwor(flwor: xast.FLWOR, lowered: list[int]) -> xast.FLWOR:
+    clauses = flwor.clauses
+    if any(isinstance(c, xast.OrderByClause) for c in clauses):
+        # order-by forces the materialized pipeline; keep nested loops.
+        return flwor
+    for index in range(len(clauses) - 2):
+        outer, inner, where = clauses[index], clauses[index + 1], clauses[index + 2]
+        if not (
+            isinstance(outer, xast.ForClause)
+            and isinstance(inner, xast.ForClause)
+            and isinstance(where, xast.WhereClause)
+            and outer.position_var is None
+            and inner.position_var is None
+            and outer.var != inner.var
+        ):
+            continue
+        join, residual = _split_join_conjunct(where.expr, outer.var, inner.var)
+        if join is None:
+            continue
+        if _references_var(inner.expr, outer.var):
+            continue
+        if _contains_constructor(inner.expr):
+            continue
+        lowered[0] += 1
+        return xast.IntervalJoinFLWOR(
+            clauses=clauses,
+            return_expr=flwor.return_expr,
+            join_index=index,
+            join_op=join.op,
+            outer_on_left=(join.left.name == outer.var),
+            residual=residual,
+        )
+    return flwor
+
+
+def _split_join_conjunct(expr: xast.Expr, outer_var: str, inner_var: str):
+    """Peel the leftmost interval-join conjunct off an ``and`` left spine.
+
+    Returns ``(join, residual)`` with ``residual`` ordered exactly as the
+    remaining conjuncts would evaluate under short-circuit ``and``, or
+    ``(None, None)`` when the leftmost conjunct is not a join between the
+    two variables.
+    """
+    if _is_join_binop(expr, outer_var, inner_var):
+        return expr, None
+    if isinstance(expr, xast.BinOp) and expr.op == "and":
+        join, rest = _split_join_conjunct(expr.left, outer_var, inner_var)
+        if join is not None:
+            if rest is None:
+                return join, expr.right
+            return join, xast.BinOp("and", rest, expr.right)
+    return None, None
+
+
+def _is_join_binop(expr: object, outer_var: str, inner_var: str) -> bool:
+    return (
+        isinstance(expr, xast.BinOp)
+        and expr.op in _INTERVAL_JOIN_OPS
+        and isinstance(expr.left, xast.VarRef)
+        and isinstance(expr.right, xast.VarRef)
+        and {expr.left.name, expr.right.name} == {outer_var, inner_var}
+    )
+
+
+def _references_var(node: object, name: str) -> bool:
+    # Conservative: any VarRef with the name counts, even if an inner
+    # binding shadows it.
+    if isinstance(node, xast.VarRef) and node.name == name:
+        return True
+    return any(_references_var(child, name) for child in _children(node))
+
+
+def _contains_constructor(node: object) -> bool:
+    if isinstance(node, _CONSTRUCTOR_TYPES):
+        return True
+    return any(_contains_constructor(child) for child in _children(node))
 
 
 # ---------------------------------------------------------------------------

@@ -200,15 +200,23 @@ class Document(_Container):
         return f"<Document root={root.tag if root else None!r}>"
 
 
+_LIFESPAN_ATTRS = frozenset(("vtFrom", "vtTo", "validTime"))
+
+
 class Element(_Container):
     """An element with a tag name, ordered attributes and children."""
 
-    __slots__ = ("tag", "attrs")
+    __slots__ = ("tag", "attrs", "_lifespan")
 
     def __init__(self, tag: str, attrs: Optional[dict[str, str]] = None):
         super().__init__()
         self.tag = tag
         self.attrs: dict[str, str] = dict(attrs) if attrs else {}
+        # Memoized parsed lifespan (a TimeInterval, False for "no temporal
+        # attributes", or None when not yet computed).  Owned by
+        # repro.xquery.temporal_functions; dropped whenever a temporal
+        # attribute is (re)assigned through set().
+        self._lifespan = None
 
     # -- attribute helpers --------------------------------------------------------
 
@@ -219,6 +227,8 @@ class Element(_Container):
     def set(self, name: str, value: str) -> None:
         """Set an attribute."""
         self.attrs[name] = str(value)
+        if self._lifespan is not None and name in _LIFESPAN_ATTRS:
+            self._lifespan = None
 
     def attribute_nodes(self) -> list["Attr"]:
         """Attributes wrapped as nodes (for ``@name`` path steps)."""

@@ -24,7 +24,7 @@ get_fillers as a join — the index is the hash-join side), and
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right, insort
 from typing import Iterable, Optional
 
 from repro.dom.nodes import Document, Element
@@ -33,6 +33,13 @@ from repro.fragments.tagstructure import TagStructure, TagType
 from repro.temporal.chrono import XSDateTime
 
 __all__ = ["FragmentStore"]
+
+# Distinguishes "endpoint index not built yet" from a memoized None
+# ("this fragment cannot be endpoint-indexed").
+_UNBUILT = object()
+
+# Shared empty endpoint list; never mutated.
+_NO_ENDPOINTS: list[float] = []
 
 
 class FragmentStore:
@@ -56,6 +63,16 @@ class FragmentStore:
         # Per-bucket epoch keys, kept aligned with _by_id: append() inserts
         # with bisect instead of re-sorting the whole bucket per ingest.
         self._sort_keys: dict[int, list[float]] = {}
+        # Temporal endpoint index: per filler id a (froms, tos, open_last)
+        # triple of sorted lifespan endpoints derived from _sort_keys, built
+        # lazily and invalidated per filler id like the version cache.
+        self._endpoint_cache: dict[int, Optional[tuple[list[float], list[float], bool]]] = {}
+        # Per-tsid sorted validTime epochs of every filler of the tsid,
+        # maintained incrementally on ingest (rebuilt on prune).
+        self._tsid_endpoints: dict[int, list[float]] = {}
+        # Cache-invalidation events (one per distinct filler id touched);
+        # extend() batches to one per id per call.
+        self.invalidations = 0
 
     # -- ingest ---------------------------------------------------------------
 
@@ -67,6 +84,13 @@ class FragmentStore:
         timestamp (shared event holes, bursty sources) are all kept.
         Payloads are only compared on an (id, validTime) collision.
         """
+        if not self._ingest(filler):
+            return False
+        self._invalidate(filler.filler_id)
+        return True
+
+    def _ingest(self, filler: Filler) -> bool:
+        """Index one filler without touching the derived caches."""
         key = (filler.filler_id, str(filler.valid_time))
         if key in self._seen:
             signature = filler.to_xml()
@@ -90,14 +114,32 @@ class FragmentStore:
         tsid_bucket = self._by_tsid.setdefault(filler.tsid, [])
         if filler_id not in tsid_bucket:
             tsid_bucket.append(filler_id)
-        # Invalidate only the caches of the affected filler id.
-        self._version_cache.pop(filler_id, None)
-        self._wrapper_cache.pop(filler_id, None)
+        insort(self._tsid_endpoints.setdefault(filler.tsid, []), epoch)
         return True
 
+    def _invalidate(self, filler_id: int) -> None:
+        """Drop every derived structure of one filler id (one event)."""
+        self._version_cache.pop(filler_id, None)
+        self._wrapper_cache.pop(filler_id, None)
+        self._endpoint_cache.pop(filler_id, None)
+        self.invalidations += 1
+
     def extend(self, fillers: Iterable[Filler]) -> int:
-        """Ingest many fillers; returns how many were new."""
-        return sum(1 for filler in fillers if self.append(filler))
+        """Ingest many fillers; returns how many were new.
+
+        Cache invalidation is batched: one event per *distinct* filler id
+        per call, not one per filler — a burst of N versions of the same
+        fragment rebuilds its annotations once, not N times.
+        """
+        touched: set[int] = set()
+        added = 0
+        for filler in fillers:
+            if self._ingest(filler):
+                touched.add(filler.filler_id)
+                added += 1
+        for filler_id in touched:
+            self._invalidate(filler_id)
+        return added
 
     def clear(self) -> None:
         """Drop all fragments."""
@@ -108,6 +150,23 @@ class FragmentStore:
         self._version_cache.clear()
         self._wrapper_cache.clear()
         self._sort_keys.clear()
+        self._endpoint_cache.clear()
+        self._tsid_endpoints.clear()
+
+    def set_tag_structure(self, tag_structure: Optional[TagStructure]) -> None:
+        """Swap the Tag Structure and drop every derived annotation.
+
+        Annotated versions, cached wrappers and the endpoint index all
+        depend on per-tsid tag *types*; registering a store under a new
+        schema must not serve annotations derived under the old one.
+        """
+        if tag_structure is self.tag_structure:
+            return
+        self.tag_structure = tag_structure
+        self._version_cache.clear()
+        self._wrapper_cache.clear()
+        self._endpoint_cache.clear()
+        self.invalidations += 1
 
     # -- raw lookup ----------------------------------------------------------------
 
@@ -234,6 +293,105 @@ class FragmentStore:
         tag = self.tag_structure.get(tsid)
         return tag.type if tag is not None else TagType.TEMPORAL
 
+    # -- temporal endpoint index ------------------------------------------------------
+
+    def endpoint_index(
+        self, filler_id: int
+    ) -> Optional[tuple[list[float], list[float], bool]]:
+        """Sorted lifespan endpoints of a fragment's versions, or ``None``.
+
+        Returns ``(froms, tos, open_last)`` where ``froms[i]``/``tos[i]``
+        are the epoch endpoints of version ``i``'s ``[vtFrom, vtTo)``
+        lifespan.  ``froms`` *is* the memoized ingest sort key; for
+        temporal fragments ``tos`` is ``froms`` shifted by one and the last
+        version is open-ended (``open_last``), for events ``tos is froms``.
+        ``None`` means the fragment cannot be endpoint-indexed (indexing
+        disabled, unknown id, snapshot type, or a mixed-tsid bucket) and
+        callers must scan.
+        """
+        if not self.use_index:
+            return None
+        entry = self._endpoint_cache.get(filler_id, _UNBUILT)
+        if entry is not _UNBUILT:
+            return entry
+        bucket = self._by_id.get(filler_id)
+        entry = None
+        if bucket:
+            tsid = bucket[0].tsid
+            tag_type = self._type_of(tsid)
+            if tag_type is not TagType.SNAPSHOT and all(
+                f.tsid == tsid for f in bucket
+            ):
+                froms = self._sort_keys[filler_id]
+                if tag_type is TagType.EVENT:
+                    entry = (froms, froms, False)
+                else:
+                    entry = (froms, froms[1:], True)
+        self._endpoint_cache[filler_id] = entry
+        return entry
+
+    def versions_in_window(
+        self, filler_id: int, begin_epoch: float, end_epoch: float
+    ) -> Optional[tuple[int, int]]:
+        """Candidate version positions ``[lo, hi)`` for a projection window.
+
+        The range is a *superset* of the versions an interval projection
+        ``?[begin, end]`` keeps: a version survives only if its ``vtFrom``
+        is at most ``end`` (right bisect over froms) and its ``vtTo``
+        reaches ``begin`` (left bisect over tos; the trailing open-ended
+        version is a candidate whenever its ``vtFrom`` qualifies).  Callers
+        re-apply the exact half-open predicate per candidate, so boundary
+        ties and float rounding can only widen the window, never lose an
+        answer.  ``None`` when the fragment is not endpoint-indexed.
+        """
+        entry = self.endpoint_index(filler_id)
+        if entry is None:
+            return None
+        froms, tos, _open_last = entry
+        hi = bisect_right(froms, end_epoch)
+        lo = bisect_left(tos, begin_epoch)
+        if lo > hi:
+            lo = hi
+        return (lo, hi)
+
+    def wrapper_window(
+        self, element: Element, begin_epoch: float, end_epoch: float
+    ) -> Optional[tuple[int, int]]:
+        """`versions_in_window` for a cached ``<filler>`` wrapper element.
+
+        Serves only wrappers this store memoized itself (identity check):
+        their children align 1:1 with the endpoint index.  Copied or
+        hand-built wrappers get ``None`` and fall back to the scan path.
+        """
+        try:
+            filler_id = int(element.attrs["id"])
+        except (KeyError, ValueError):
+            return None
+        if self._wrapper_cache.get(filler_id) is not element:
+            return None
+        window = self.versions_in_window(filler_id, begin_epoch, end_epoch)
+        if window is None:
+            return None
+        if len(element.children) != len(self._sort_keys.get(filler_id, ())):
+            return None
+        return window
+
+    def tsid_endpoints(self, tsid: int) -> list[float]:
+        """Sorted validTime epochs of every filler of a tsid (read-only)."""
+        return self._tsid_endpoints.get(int(tsid), _NO_ENDPOINTS)
+
+    def tsid_endpoint_count(
+        self,
+        tsid: int,
+        begin_epoch: Optional[float] = None,
+        end_epoch: Optional[float] = None,
+    ) -> int:
+        """Endpoints of a tsid falling inside ``[begin, end]`` (bisected)."""
+        endpoints = self._tsid_endpoints.get(int(tsid), _NO_ENDPOINTS)
+        lo = 0 if begin_epoch is None else bisect_left(endpoints, begin_epoch)
+        hi = len(endpoints) if end_epoch is None else bisect_right(endpoints, end_epoch)
+        return max(hi - lo, 0)
+
     # -- integrity -------------------------------------------------------------------------
 
     def dangling_holes(self) -> list[tuple[int, int]]:
@@ -304,14 +462,19 @@ class FragmentStore:
                 del self._by_id[filler_id]
                 self._sort_keys.pop(filler_id, None)
             kept.extend(surviving)
-            self._version_cache.pop(filler_id, None)
-            self._wrapper_cache.pop(filler_id, None)
+            self._invalidate(filler_id)
         self._fillers = kept
         self._by_tsid.clear()
+        self._tsid_endpoints.clear()
         for filler in kept:
             bucket = self._by_tsid.setdefault(filler.tsid, [])
             if filler.filler_id not in bucket:
                 bucket.append(filler.filler_id)
+            self._tsid_endpoints.setdefault(filler.tsid, []).append(
+                filler.valid_time.to_epoch_seconds()
+            )
+        for endpoints in self._tsid_endpoints.values():
+            endpoints.sort()
         return dropped
 
     # -- hooks & export -------------------------------------------------------------------

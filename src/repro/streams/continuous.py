@@ -49,6 +49,7 @@ class ContinuousQuery:
         self.compiled: CompiledQuery = engine.compile(source, strategy, backend=backend)
         self.subscribers: list[Callable[[list], None]] = []
         self.evaluations = 0
+        self.skips = 0  # polls a scheduler decided not to re-evaluate
         self.emitted_total = 0
         self._seen: set[str] = set()
         self.last_result: list = []
@@ -84,6 +85,19 @@ class ContinuousQuery:
         """Forget emission history (delta mode starts over)."""
         self._seen.clear()
         self.emitted_total = 0
+
+    def stats(self) -> dict[str, int]:
+        """This query's lifetime counters.
+
+        ``skips`` counts scheduler polls that decided the answer could not
+        have changed (no dependent arrivals, clock irrelevant); a query
+        evaluated directly never accrues skips.
+        """
+        return {
+            "evaluations": self.evaluations,
+            "skips": self.skips,
+            "emitted": self.emitted_total,
+        }
 
     def __repr__(self) -> str:
         return (

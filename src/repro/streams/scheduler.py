@@ -160,6 +160,7 @@ class QueryScheduler:
                 entry.evaluations += 1
             else:
                 entry.skips += 1
+                entry.query.skips += 1
                 emitted[entry.query] = []
             entry.last_now = now
         self._arrivals.clear()
@@ -185,6 +186,22 @@ class QueryScheduler:
     def total_skips(self) -> int:
         return sum(entry.skips for entry in self._entries)
 
-    def stats(self) -> dict[str, int]:
-        """Counters for reporting."""
-        return {"evaluations": self.total_evaluations, "skips": self.total_skips}
+    def stats(self) -> dict:
+        """Counters for reporting: totals plus a per-query breakdown.
+
+        Each ``queries`` entry identifies the query by its XCQL source and
+        reports how often the scheduler ran vs. skipped it — the ablation
+        A3b denominator, now attributable per standing query.
+        """
+        return {
+            "evaluations": self.total_evaluations,
+            "skips": self.total_skips,
+            "queries": [
+                {
+                    "source": entry.query.source,
+                    "evaluations": entry.evaluations,
+                    "skips": entry.skips,
+                }
+                for entry in self._entries
+            ],
+        }

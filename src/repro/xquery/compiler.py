@@ -33,6 +33,7 @@ are shared with the evaluator rather than duplicated.
 from __future__ import annotations
 
 import operator
+from bisect import bisect_left, bisect_right
 from typing import Callable, Optional
 
 from repro.dom.nodes import (
@@ -44,7 +45,7 @@ from repro.dom.nodes import (
     sort_document_order,
 )
 from repro.temporal.chrono import ChronoError, XSDateTime, XSDuration
-from repro.temporal.interval import START
+from repro.temporal.interval import START, TimeInterval
 from repro.xquery import xast
 from repro.xquery.errors import (
     XQueryDynamicError,
@@ -58,10 +59,17 @@ from repro.xquery.evaluator import (
     _cast_value,
     _matches_sequence_type,
     _single,
+    _to_interval,
     eval_arithmetic,
     eval_interval_comparison,
 )
 from repro.xquery.functions import Builtin
+from repro.xquery.temporal_functions import (
+    fn_interval_projection,
+    fn_interval_projection_indexed,
+    fn_version_projection,
+    fn_version_projection_indexed,
+)
 from repro.xquery.xdm import (
     atomize,
     effective_boolean_value,
@@ -316,12 +324,7 @@ def _streaming_flwor(
 
     drive = terminal
     for clause in reversed(clauses):
-        if isinstance(clause, xast.ForClause):
-            drive = _stream_for(clause, scope, drive)
-        elif isinstance(clause, xast.LetClause):
-            drive = _stream_let(clause, scope, drive)
-        elif isinstance(clause, xast.WhereClause):
-            drive = _stream_where(clause, scope, drive)
+        drive = _stream_clause(clause, scope, drive)
 
     final = drive
 
@@ -333,6 +336,16 @@ def _streaming_flwor(
         return out
 
     return run
+
+
+def _stream_clause(clause, scope: _ModuleScope, drive):
+    if isinstance(clause, xast.ForClause):
+        return _stream_for(clause, scope, drive)
+    if isinstance(clause, xast.LetClause):
+        return _stream_let(clause, scope, drive)
+    if isinstance(clause, xast.WhereClause):
+        return _stream_where(clause, scope, drive)
+    return drive
 
 
 def _stream_for(clause: xast.ForClause, scope: _ModuleScope, rest):
@@ -388,6 +401,186 @@ def _stream_where(clause: xast.WhereClause, scope: _ModuleScope, rest):
     def drive(ctx: Context, out: list) -> None:
         if effective_boolean_value(condition(ctx)):
             rest(ctx, out)
+
+    return drive
+
+
+# -- sort-merge coincidence joins -------------------------------------------
+
+# Unbound relation methods keyed by the interval-comparison operator,
+# mirroring eval_interval_comparison's bound-method table.
+_JOIN_RELATIONS = {
+    "before": TimeInterval.before,
+    "after": TimeInterval.after,
+    "meets": TimeInterval.meets,
+    "met-by": TimeInterval.met_by,
+    "overlaps": TimeInterval.overlaps,
+    "during": TimeInterval.during,
+    "icontains": TimeInterval.contains,
+    "istarts": TimeInterval.starts,
+    "finishes": TimeInterval.finishes,
+    "iequals": TimeInterval.equals,
+}
+
+
+def _c_interval_join_flwor(expr: xast.IntervalJoinFLWOR, scope: _ModuleScope) -> Plan:
+    """Compile an optimizer-annotated coincidence join as a sort-merge.
+
+    The annotated triple (outer ``for``, inner ``for``, ``where``) is
+    replaced by one join driver inside the ordinary streaming pipeline;
+    all surrounding clauses compile exactly as in a plain FLWOR.
+    """
+    clauses = expr.clauses
+    j = expr.join_index
+    if (
+        any(isinstance(c, xast.OrderByClause) for c in clauses)
+        or j + 2 >= len(clauses)
+        or not isinstance(clauses[j], xast.ForClause)
+        or not isinstance(clauses[j + 1], xast.ForClause)
+        or not isinstance(clauses[j + 2], xast.WhereClause)
+        or expr.join_op not in _JOIN_RELATIONS
+    ):
+        return _c_flwor(expr, scope)
+
+    return_expr = _compile(expr.return_expr, scope)
+
+    def terminal(ctx: Context, out: list) -> None:
+        out.extend(return_expr(ctx))
+
+    drive = terminal
+    for clause in reversed(clauses[j + 3:]):
+        drive = _stream_clause(clause, scope, drive)
+    drive = _stream_interval_join(clauses[j], clauses[j + 1], expr, scope, drive)
+    for clause in reversed(clauses[:j]):
+        drive = _stream_clause(clause, scope, drive)
+
+    final = drive
+
+    def run(ctx: Context) -> list:
+        scratch = ctx._clone()
+        scratch.variables = dict(ctx.variables)
+        out: list = []
+        final(scratch, out)
+        return out
+
+    return run
+
+
+def _stream_interval_join(
+    outer_clause: xast.ForClause,
+    inner_clause: xast.ForClause,
+    node: xast.IntervalJoinFLWOR,
+    scope: _ModuleScope,
+    rest,
+):
+    """The sort-merge join driver.
+
+    Pair order, pair results and error surfacing are identical to the
+    nested loop it replaces:
+
+    - the *first* outer tuple does a literal inner scan in the nested
+      loop's per-pair coercion order (so a bad interval raises at exactly
+      the pair the interpreter would raise at), caching every inner
+      interval on the way;
+    - every later outer tuple coerces once, narrows the inner side to a
+      candidate window by bisection over the begin-/end-sorted endpoint
+      arrays (a superset of the matches), re-applies the exact relation
+      per candidate, and emits matches in original inner order.
+
+    Per outer tuple this is O(log n + candidates) instead of O(n) relation
+    evaluations — the coincidence-join product collapses to a plane sweep.
+    """
+    outer_source = _compile(outer_clause.expr, scope)
+    inner_source = _compile(inner_clause.expr, scope)
+    outer_var = outer_clause.var
+    inner_var = inner_clause.var
+    outer_on_left = node.outer_on_left
+    op = node.join_op
+    relation = _JOIN_RELATIONS[op]
+    residual = (
+        _compile(node.residual, scope) if node.residual is not None else None
+    )
+
+    def emit(ctx: Context, out: list) -> None:
+        if residual is None or effective_boolean_value(residual(ctx)):
+            rest(ctx, out)
+
+    def drive(ctx: Context, out: list) -> None:
+        outer_items = outer_source(ctx)
+        if not outer_items:
+            return
+        inner_items = inner_source(ctx)
+        if not inner_items:
+            # The nested loop evaluates no predicate (and coerces
+            # nothing) when either side is empty.
+            return
+        variables = ctx.variables
+
+        # Pass 1: first outer tuple, literal scan, caching inner intervals.
+        first = outer_items[0]
+        variables[outer_var] = [first]
+        inner_intervals: list = []
+        first_interval = None
+        first_coerced = False
+        for item in inner_items:
+            variables[inner_var] = [item]
+            if outer_on_left and not first_coerced:
+                first_interval = _to_interval([first], ctx)
+                first_coerced = True
+            b = _to_interval([item], ctx)
+            inner_intervals.append(b)
+            if not first_coerced:
+                first_interval = _to_interval([first], ctx)
+                first_coerced = True
+            if (
+                relation(first_interval, b)
+                if outer_on_left
+                else relation(b, first_interval)
+            ):
+                emit(ctx, out)
+
+        # Sorted endpoint views over the (now fully coerced) inner side.
+        n = len(inner_items)
+        order_by_begin = sorted(
+            range(n), key=lambda k: inner_intervals[k].begin
+        )
+        order_by_end = sorted(range(n), key=lambda k: inner_intervals[k].end)
+        begin_keys = [inner_intervals[k].begin for k in order_by_begin]
+        end_keys = [inner_intervals[k].end for k in order_by_end]
+
+        for item in outer_items[1:]:
+            variables[outer_var] = [item]
+            q = _to_interval([item], ctx)
+            # Candidate pool: a bisected superset of the true matches.
+            if op in ("before", "after"):
+                inner_is_later = (op == "before") == outer_on_left
+                if inner_is_later:
+                    # outer before inner / inner after outer: the inner
+                    # interval begins at or after the outer end.
+                    pool = order_by_begin[bisect_left(begin_keys, q.end):]
+                else:
+                    # outer after inner / inner before outer: the inner
+                    # interval ends at or before the outer begin.
+                    pool = order_by_end[:bisect_right(end_keys, q.begin)]
+            else:
+                # Every other relation implies a shared instant:
+                # inner.begin <= outer.end and inner.end >= outer.begin.
+                p = bisect_right(begin_keys, q.end)
+                s = bisect_left(end_keys, q.begin)
+                pool = order_by_begin[:p] if p <= n - s else order_by_end[s:]
+            matched = [
+                k
+                for k in pool
+                if (
+                    relation(q, inner_intervals[k])
+                    if outer_on_left
+                    else relation(inner_intervals[k], q)
+                )
+            ]
+            matched.sort()
+            for k in matched:
+                variables[inner_var] = [inner_items[k]]
+                emit(ctx, out)
 
     return drive
 
@@ -1235,7 +1428,15 @@ def _c_interval_projection(expr: xast.IntervalProjection, scope: _ModuleScope) -
     call = _runtime_call("interval_projection", scope)
 
     def run(ctx: Context) -> list:
-        return call(ctx, [base(ctx), begin(ctx), end(ctx)])
+        args = [base(ctx), begin(ctx), end(ctx)]
+        if ctx.temporal_index is not None:
+            # Route through the endpoint index — but only when the builtin
+            # has not been overridden, so custom registrations (and their
+            # error behaviour) keep winning over the fast path.
+            fn = ctx.functions.get("interval_projection")
+            if isinstance(fn, Builtin) and fn.fn is fn_interval_projection:
+                return fn_interval_projection_indexed(ctx, args)
+        return call(ctx, args)
 
     return run
 
@@ -1253,6 +1454,10 @@ def _c_version_projection(expr: xast.VersionProjection, scope: _ModuleScope) -> 
         focused = ctx.focus(ctx.item, ctx.position, len(base))
         begin = begin_fn(focused)
         end = end_fn(focused)
+        if ctx.temporal_index is not None:
+            fn = ctx.functions.get("version_projection")
+            if isinstance(fn, Builtin) and fn.fn is fn_version_projection:
+                return fn_version_projection_indexed(ctx, [base, begin, end])
         return call(ctx, [base, begin, end])
 
     return run
@@ -1474,6 +1679,7 @@ _COMPILERS: dict = {
     xast.SequenceExpr: _c_sequence,
     xast.IfExpr: _c_if,
     xast.FLWOR: _c_flwor,
+    xast.IntervalJoinFLWOR: _c_interval_join_flwor,
     xast.Quantified: _c_quantified,
     xast.BinOp: _c_binop,
     xast.UnaryOp: _c_unary,

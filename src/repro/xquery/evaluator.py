@@ -78,6 +78,7 @@ class Context:
         "documents",
         "streams",
         "hole_resolver",
+        "temporal_index",
         "item",
         "position",
         "size",
@@ -100,6 +101,10 @@ class Context:
         self.documents: dict[str, Document] = dict(documents) if documents else {}
         self.streams = streams
         self.hole_resolver = hole_resolver
+        # Temporal endpoint index hook (see repro.core.engine); only the
+        # compiled backend consults it — the interpreter keeps scan
+        # semantics as the differential reference.
+        self.temporal_index = None
         self.item: object = None
         self.position = 0
         self.size = 0
@@ -129,6 +134,7 @@ class Context:
         child.documents = self.documents
         child.streams = self.streams
         child.hole_resolver = self.hole_resolver
+        child.temporal_index = self.temporal_index
         child.item = self.item
         child.position = self.position
         child.size = self.size
@@ -821,6 +827,10 @@ Evaluator._DISPATCH = {
     xast.SequenceExpr: Evaluator._eval_sequence,
     xast.IfExpr: Evaluator._eval_if,
     xast.FLWOR: Evaluator._eval_flwor,
+    # The interpreter deliberately ignores the join annotations and keeps
+    # nested-loop semantics: it is the differential reference for the
+    # compiled sort-merge join.
+    xast.IntervalJoinFLWOR: Evaluator._eval_flwor,
     xast.Quantified: Evaluator._eval_quantified,
     xast.BinOp: Evaluator._eval_binop,
     xast.UnaryOp: Evaluator._eval_unary,

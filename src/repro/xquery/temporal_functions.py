@@ -45,6 +45,8 @@ __all__ = [
     "fn_vt_to",
     "fn_interval_projection",
     "fn_version_projection",
+    "fn_interval_projection_indexed",
+    "fn_version_projection_indexed",
     "interval_project_nodes",
     "version_project_nodes",
 ]
@@ -64,15 +66,36 @@ def parse_vt(text: str):
     return XSDateTime.parse(stripped)
 
 
+def _attr_lifespan(element: Element):
+    """The element's own (attribute-declared) lifespan, memoized on the node.
+
+    Returns a symbolic :class:`TimeInterval` for elements carrying
+    ``vtFrom``/``vtTo`` or ``validTime`` attributes, and ``False`` for
+    elements with no temporal attributes of their own.  The memo lives in
+    ``Element._lifespan`` and is dropped by ``Element.set()`` whenever a
+    temporal attribute is reassigned, so it can never go stale.
+    """
+    memo = element._lifespan
+    if memo is None:
+        vt_from = element.attrs.get(_VT_FROM)
+        if vt_from is not None:
+            vt_to = element.attrs.get(_VT_TO)
+            memo = TimeInterval(parse_vt(vt_from), parse_vt(vt_to) if vt_to else NOW)
+        else:
+            valid_time = element.attrs.get(_VALID_TIME)
+            if valid_time is not None:
+                memo = TimeInterval.point(parse_vt(valid_time))
+            else:
+                memo = False
+        element._lifespan = memo
+    return memo
+
+
 def element_lifespan(element: Element, ctx) -> TimeInterval:
     """The (possibly symbolic) lifespan of an element, per paper §2."""
-    vt_from = element.attrs.get(_VT_FROM)
-    vt_to = element.attrs.get(_VT_TO)
-    if vt_from is not None:
-        return TimeInterval(parse_vt(vt_from), parse_vt(vt_to) if vt_to else NOW)
-    valid_time = element.attrs.get(_VALID_TIME)
-    if valid_time is not None:
-        return TimeInterval.point(parse_vt(valid_time))
+    span = _attr_lifespan(element)
+    if span is not False:
+        return span
     children = element.child_elements()
     if not children:
         return TimeInterval.always()
@@ -135,17 +158,83 @@ def fn_version_projection(ctx, args):
     return version_project_nodes(base, begin, end, ctx)
 
 
-def interval_project_nodes(nodes: list, begin: XSDateTime, end: XSDateTime, ctx) -> list:
-    """Apply temporal slicing to a node sequence (paper's projection loop)."""
+def fn_interval_projection_indexed(ctx, args):
+    """``interval_projection`` routed through the temporal endpoint index.
+
+    Semantically identical to :func:`fn_interval_projection`; index-backed
+    version sequences are narrowed to candidate windows by bisection before
+    the exact per-version predicate runs.  Used by the compiled backend when
+    the context carries a ``temporal_index``.
+    """
+    index = ctx.temporal_index
+    if index is None:
+        return fn_interval_projection(ctx, args)
+    begin = resolve_point(_point_from_arg(args[1], ctx, START), ctx.now)
+    end = resolve_point(_point_from_arg(args[2], ctx, NOW), ctx.now)
+    return interval_project_nodes(args[0], begin, end, ctx, index)
+
+
+def fn_version_projection_indexed(ctx, args):
+    """``version_projection`` with positional slicing instead of a scan."""
+    base = args[0]
+    begin = int(to_number(args[1][0])) if args[1] else 1
+    end = int(to_number(args[2][0])) if args[2] else len(base)
+    return version_project_nodes(base, begin, end, ctx, ctx.temporal_index)
+
+
+def interval_project_nodes(
+    nodes: list, begin: XSDateTime, end: XSDateTime, ctx, index=None
+) -> list:
+    """Apply temporal slicing to a node sequence (paper's projection loop).
+
+    With ``index`` (a temporal index hook, see ``repro.core.engine``) runs of
+    nodes that are exactly the children of a store-cached filler wrapper are
+    narrowed to the bisected candidate window; every surviving candidate
+    still goes through the exact :func:`_project_one` predicate, so the
+    result is identical to the scan path.
+    """
     if begin > end:
         raise XQueryTypeError(f"interval projection with begin > end: [{begin}, {end}]")
+    if index is not None:
+        return _project_indexed(nodes, begin, end, ctx, index)
     out: list = []
     for node in nodes:
         out.extend(_project_one(node, begin, end, ctx))
     return out
 
 
-def _project_one(node: object, begin: XSDateTime, end: XSDateTime, ctx) -> list:
+def _project_indexed(nodes: list, begin, end, ctx, index) -> list:
+    begin_epoch = begin.to_epoch_seconds()
+    end_epoch = end.to_epoch_seconds()
+    out: list = []
+    i = 0
+    n = len(nodes)
+    while i < n:
+        node = nodes[i]
+        if isinstance(node, Element):
+            parent = node.parent
+            if isinstance(parent, Element) and parent.tag == "filler":
+                siblings = parent.children
+                m = len(siblings)
+                # Identity check: the next m input nodes are exactly this
+                # wrapper's children, in order (C-speed list comparison).
+                if m and siblings[0] is node and i + m <= n and nodes[i:i + m] == siblings:
+                    window = index.wrapper_window(parent, begin_epoch, end_epoch)
+                    if window is not None:
+                        lo, hi = window
+                        for k in range(lo, hi):
+                            out.extend(_project_one(siblings[k], begin, end, ctx, index))
+                    else:
+                        for k in range(m):
+                            out.extend(_project_one(siblings[k], begin, end, ctx, index))
+                    i += m
+                    continue
+        out.extend(_project_one(node, begin, end, ctx, index))
+        i += 1
+    return out
+
+
+def _project_one(node: object, begin: XSDateTime, end: XSDateTime, ctx, index=None) -> list:
     if isinstance(node, Text):
         return [Text(node.text)]
     if isinstance(node, (Comment, ProcessingInstruction, Attr)):
@@ -161,31 +250,36 @@ def _project_one(node: object, begin: XSDateTime, end: XSDateTime, ctx) -> list:
             # Without a fragment store the hole stays in place (it will
             # simply not match any query path).
             return [node.copy()]
-        resolved = resolver(node.attrs.get("id"))
-        out: list = []
+        hole_id = node.attrs.get("id")
+        if index is not None:
+            window = index.hole_window(
+                hole_id, begin.to_epoch_seconds(), end.to_epoch_seconds()
+            )
+            if window is not None:
+                versions, lo, hi = window
+                out = []
+                for k in range(lo, hi):
+                    out.extend(_project_one(versions[k], begin, end, ctx, index))
+                return out
+        resolved = resolver(hole_id)
+        out = []
         for version in resolved:
-            out.extend(_project_one(version, begin, end, ctx))
+            out.extend(_project_one(version, begin, end, ctx, index))
         return out
 
-    vt_from_attr = node.attrs.get(_VT_FROM)
-    valid_time_attr = node.attrs.get(_VALID_TIME)
-    if vt_from_attr is None and valid_time_attr is None:
+    span = _attr_lifespan(node)
+    if span is False:
         # Snapshot element: no temporal dimension of its own; recurse.
         clone = Element(node.tag, dict(node.attrs))
         for child in node.children:
-            for projected in _project_one(child, begin, end, ctx):
+            for projected in _project_one(child, begin, end, ctx, index):
                 if isinstance(projected, Node):
                     clone.append(projected)
         return [clone]
 
-    if vt_from_attr is not None:
-        vt_from = resolve_point(parse_vt(vt_from_attr), ctx.now)
-        vt_to_attr = node.attrs.get(_VT_TO)
-        vt_to = resolve_point(parse_vt(vt_to_attr) if vt_to_attr else NOW, ctx.now)
-        open_ended = vt_to_attr is None or vt_to_attr.strip() == "now"
-    else:
-        vt_from = vt_to = resolve_point(parse_vt(valid_time_attr), ctx.now)
-        open_ended = False
+    vt_from = resolve_point(span.begin, ctx.now)
+    vt_to = resolve_point(span.end, ctx.now)
+    open_ended = span.end is NOW
 
     # A superseded version's lifespan is half-open at vtTo ([from, to)):
     # at the update instant exactly one version is current.  Events and
@@ -202,20 +296,29 @@ def _project_one(node: object, begin: XSDateTime, end: XSDateTime, ctx) -> list:
     clone.set(_VT_FROM, str(clipped_from))
     clone.set(_VT_TO, str(clipped_to))
     for child in node.children:
-        for projected in _project_one(child, begin, end, ctx):
+        for projected in _project_one(child, begin, end, ctx, index):
             if isinstance(projected, Node):
                 clone.append(projected)
     return [clone]
 
 
-def version_project_nodes(nodes: list, begin: int, end: int, ctx) -> list:
+def version_project_nodes(nodes: list, begin: int, end: int, ctx, index=None) -> list:
     """Select versions ``begin..end`` (1-based) and slice their content."""
     if begin > end:
         raise XQueryTypeError(f"version projection with begin > end: [{begin}, {end}]")
+    if index is not None:
+        # Positional selection commutes with slicing: take the window
+        # directly instead of scanning and testing every position.
+        lo = 1 if begin < 1 else begin
+        selected = nodes[lo - 1:end] if end >= lo else []
+    else:
+        selected = [
+            node
+            for position, node in enumerate(nodes, start=1)
+            if begin <= position <= end
+        ]
     out: list = []
-    for position, node in enumerate(nodes, start=1):
-        if position < begin or position > end:
-            continue
+    for node in selected:
         if not isinstance(node, Element):
             out.append(node)
             continue
@@ -225,7 +328,7 @@ def version_project_nodes(nodes: list, begin: int, end: int, ctx) -> list:
             if isinstance(child, Text):
                 clone.append(Text(child.text))
                 continue
-            for projected in _project_one(child, span.begin, span.end, ctx):
+            for projected in _project_one(child, span.begin, span.end, ctx, index):
                 if isinstance(projected, Node):
                     clone.append(projected)
         out.append(clone)

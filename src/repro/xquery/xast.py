@@ -29,6 +29,7 @@ __all__ = [
     "OrderSpec",
     "OrderByClause",
     "FLWOR",
+    "IntervalJoinFLWOR",
     "Quantified",
     "BinOp",
     "UnaryOp",
@@ -166,6 +167,31 @@ class FLWOR(Expr):
 
     clauses: list[Clause]
     return_expr: Expr
+
+
+@dataclass
+class IntervalJoinFLWOR(FLWOR):
+    """A FLWOR whose leading clauses form an interval-comparison join.
+
+    Produced by ``repro.core.optimizer.lower_interval_joins`` when two
+    adjacent independent ``for`` clauses feed a ``where`` whose leftmost
+    conjunct is an interval comparison between exactly their variables.
+    ``clauses``/``return_expr`` stay byte-identical to the original FLWOR,
+    so every consumer that treats this as a plain FLWOR (the interpreter,
+    ``to_source``, dependency analysis) keeps nested-loop semantics; only
+    the compiled backend reads the annotations and emits a sort-merge join.
+
+    ``join_index`` is the position of the outer ``for`` clause (the inner
+    one is at ``join_index + 1``, the ``where`` at ``join_index + 2``);
+    ``outer_on_left`` records which side of the comparison the outer
+    variable appears on; ``residual`` is the where expression minus the
+    join conjunct (``None`` when the join was the whole predicate).
+    """
+
+    join_index: int = 0
+    join_op: str = "overlaps"
+    outer_on_left: bool = True
+    residual: Optional[Expr] = None
 
 
 @dataclass

@@ -212,9 +212,16 @@ class TestScheduler:
 
     def test_stats(self, scheduled_rig):
         _clock, _server, client, scheduler = scheduled_rig
-        client.register_query(
-            'count(stream("credit")//transaction)', strategy=Strategy.QAC_PLUS
-        )
+        source = 'count(stream("credit")//transaction)'
+        query = client.register_query(source, strategy=Strategy.QAC_PLUS)
         client.poll()
         client.poll()
-        assert scheduler.stats() == {"evaluations": 1, "skips": 1}
+        stats = scheduler.stats()
+        assert stats["evaluations"] == 1
+        assert stats["skips"] == 1
+        assert stats["queries"] == [
+            {"source": source, "evaluations": 1, "skips": 1}
+        ]
+        # The scheduler mirrors its skip decisions onto the query itself.
+        assert query.stats()["evaluations"] == 1
+        assert query.stats()["skips"] == 1
