@@ -36,7 +36,27 @@ from repro.xquery.parser import parse
 from repro.xquery.xast import to_source
 from repro.xquery.xdm import atomize_sequence
 
-__all__ = ["XCQLEngine", "CompiledQuery", "Strategy"]
+__all__ = ["XCQLEngine", "CompiledQuery", "DeltaPlan", "Strategy"]
+
+
+@dataclass
+class DeltaPlan:
+    """The incremental half of a delta-safe compiled query.
+
+    ``plan(ctx, wrappers)`` runs the rewritten module over just-arrived
+    filler wrappers; ``stream`` plus either ``tsid`` (QaC+-style driving
+    source) or ``filler_id`` (literal ``get_fillers``) identify which
+    arrivals concern the query.  ``binds_versions`` is the analysis fact
+    the runtime guard needs: whether the driving ``for`` binds version
+    elements (safe to delta an existing event fragment) or whole wrappers
+    (only brand-new fragment ids may be delta'd).
+    """
+
+    stream: str
+    tsid: Optional[int]
+    filler_id: Optional[int]
+    binds_versions: bool
+    plan: Callable = field(repr=False, compare=False, default=None)
 
 
 @dataclass
@@ -57,6 +77,13 @@ class CompiledQuery:
     backend: str = "interpreted"
     plan: Optional[Callable] = field(default=None, repr=False, compare=False)
     merge_joins: int = 0  # interval joins lowered to sort-merge plans
+    # Incremental-evaluation state, populated lazily by
+    # :meth:`XCQLEngine.prepare_delta` (shared through the plan cache —
+    # delta safety is a property of the translated plan, not the query
+    # instance).  ``delta_reason`` records why a plan is full-only.
+    delta_plan: Optional[DeltaPlan] = field(default=None, repr=False, compare=False)
+    delta_reason: Optional[str] = field(default=None, repr=False, compare=False)
+    delta_prepared: bool = field(default=False, repr=False, compare=False)
 
     @property
     def translated_source(self) -> str:
@@ -92,6 +119,7 @@ class XCQLEngine:
         self.merge_joins = merge_joins
         self.temporal_index = _TemporalIndexHook(self)
         self._extra_functions: dict = {}
+        self._arrival_listeners: list[Callable[[str, int], None]] = []
         self._plan_cache: OrderedDict[tuple, CompiledQuery] = OrderedDict()
         self._plan_cache_size = max(0, int(plan_cache_size))
         self._plan_cache_hits = 0
@@ -121,11 +149,34 @@ class XCQLEngine:
         return store
 
     def feed(self, name: str, fillers: Union[Filler, Iterable[Filler]]) -> int:
-        """Ingest filler(s) into a stream; returns how many were new."""
+        """Ingest filler(s) into a stream; returns how many were new.
+
+        Every accepted filler is announced to registered arrival listeners
+        as one ``(stream, tsid)`` notification per distinct tsid in the
+        batch — the hook :meth:`QueryScheduler.watch_engine` uses, so
+        callers no longer plumb ``notify_arrival`` by hand.
+        """
         store = self._store(name)
+        before = store.seq
         if isinstance(fillers, Filler):
-            return store.extend([fillers])
-        return store.extend(fillers)
+            fillers = [fillers]
+        added = store.extend(fillers)
+        if added and self._arrival_listeners:
+            tsids = {filler.tsid for filler in store.fillers_since(before)}
+            for listener in list(self._arrival_listeners):
+                for tsid in sorted(tsids):
+                    listener(name, tsid)
+        return added
+
+    def add_arrival_listener(self, listener: Callable[[str, int], None]) -> None:
+        """Call ``listener(stream, tsid)`` whenever :meth:`feed` accepts fillers."""
+        if listener not in self._arrival_listeners:
+            self._arrival_listeners.append(listener)
+
+    def remove_arrival_listener(self, listener: Callable[[str, int], None]) -> None:
+        """Detach a listener registered with :meth:`add_arrival_listener`."""
+        if listener in self._arrival_listeners:
+            self._arrival_listeners.remove(listener)
 
     def _store(self, name: str) -> FragmentStore:
         store = self.stores.get(name)
@@ -255,6 +306,8 @@ class XCQLEngine:
             ),
             "time_sensitive": dependencies.time_sensitive,
             "hoisted_calls": compiled.hoisted_calls,
+            "delta_safe": self.prepare_delta(compiled) is not None,
+            "delta_reason": compiled.delta_reason,
         }
 
     def check(self, source: str) -> list:
@@ -311,6 +364,55 @@ class XCQLEngine:
         if compiled.plan is not None:
             return compiled.plan(context)
         return Evaluator(context).evaluate_module(compiled.translated)
+
+    # -- incremental (delta) evaluation ---------------------------------------------------
+
+    def prepare_delta(self, compiled: CompiledQuery) -> Optional[DeltaPlan]:
+        """The query's delta plan, or ``None`` when it must run full-scan.
+
+        Runs the static monotonicity analysis once per compiled plan and
+        memoizes the verdict on the :class:`CompiledQuery` (which the plan
+        cache shares across continuous queries of the same source).  The
+        interpreted backend never gets a delta plan — it stays the
+        full-scan differential reference.
+        """
+        if compiled.delta_prepared:
+            return compiled.delta_plan
+        compiled.delta_prepared = True
+        if compiled.backend != "compiled" or compiled.plan is None:
+            compiled.delta_reason = "interpreted backend stays full-scan"
+            return None
+        from repro.core.optimizer import DELTA_VAR, analyze_delta
+        from repro.xquery.compiler import compile_delta_plan
+
+        analysis = analyze_delta(compiled.translated)
+        if not analysis.safe:
+            compiled.delta_reason = analysis.reason
+            return None
+        compiled.delta_plan = DeltaPlan(
+            stream=analysis.stream,
+            tsid=analysis.tsid,
+            filler_id=analysis.filler_id,
+            binds_versions=analysis.binds_versions,
+            plan=compile_delta_plan(analysis.module, DELTA_VAR),
+        )
+        return compiled.delta_plan
+
+    def execute_delta(
+        self,
+        delta: DeltaPlan,
+        wrappers: list,
+        now: Optional[XSDateTime] = None,
+        variables: Optional[dict[str, list]] = None,
+    ) -> list:
+        """Run a delta plan over just-arrived filler wrappers.
+
+        Returns the result tuples the new fillers contribute; callers
+        union them with their retained state (see
+        :class:`~repro.streams.continuous.ContinuousQuery`).
+        """
+        context = self.build_context(now=now, variables=variables)
+        return delta.plan(context, wrappers)
 
     def execute_on_view(
         self,

@@ -24,11 +24,18 @@ expression depends only on the variable it follows.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.xquery import xast
 
-__all__ = ["hoist_common_fillers", "lower_interval_joins", "count_calls"]
+__all__ = [
+    "hoist_common_fillers",
+    "lower_interval_joins",
+    "count_calls",
+    "analyze_delta",
+    "DeltaAnalysis",
+    "DELTA_VAR",
+]
 
 _HOISTED_SUFFIX = "__fillers"
 
@@ -249,6 +256,264 @@ def _contains_constructor(node: object) -> bool:
     if isinstance(node, _CONSTRUCTOR_TYPES):
         return True
     return any(_contains_constructor(child) for child in _children(node))
+
+
+# ---------------------------------------------------------------------------
+# Delta-safety analysis (incremental continuous-query evaluation)
+# ---------------------------------------------------------------------------
+
+# The variable the delta driver binds the just-arrived filler wrappers to.
+DELTA_VAR = "__delta_fillers__"
+
+# Calls that read stream state.  A delta-safe plan has exactly one — the
+# driving source — so every other expression is a pure function of the one
+# tuple it sees, and appending tuples can never change earlier answers.
+_STREAM_FNS = frozenset((
+    "get_fillers", "get_fillers_list", "get_fillers_by_tsid",
+    "materialized_view", "stream", "doc", "document",
+))
+
+# Evaluation-time-dependent calls: answers move with the clock even
+# without arrivals, so previously emitted tuples can become stale
+# (retraction), which a monotone union of retained + new cannot express.
+_TIME_FNS = frozenset((
+    "currentDateTime", "current-dateTime", "current-time", "current-date",
+))
+
+# Calls that escape the per-tuple scope (dynamic focus or tree root) or
+# abort evaluation: banned anywhere in a delta-safe plan.
+_SCOPE_FNS = frozenset(("position", "last", "root", "error"))
+
+# Pure per-tuple builtins.  Aggregates (sum/count/...) are deliberately
+# included: with a single stream access their argument can only be a
+# tuple-local sequence, so they are monotone ("no aggregation" in the
+# delta-safety sense means no aggregation over the *driving* sequence,
+# which is structurally impossible here).  Same for ``not``/``empty``.
+_PURE_FNS = frozenset((
+    "count", "empty", "exists", "not", "boolean", "true", "false",
+    "distinct-values", "reverse", "subsequence", "index-of", "exactly-one",
+    "zero-or-one", "insert-before", "remove", "sum", "avg", "max", "min",
+    "string", "concat", "contains", "starts-with", "ends-with", "substring",
+    "substring-before", "substring-after", "string-length",
+    "normalize-space", "upper-case", "lower-case", "string-join",
+    "translate", "matches", "replace", "tokenize", "number", "abs",
+    "round", "floor", "ceiling", "name", "local-name", "data", "deep-equal",
+))
+
+# Axes that stay inside the subtree of the node they start from (plus the
+# node's own attributes).  parent/ancestor/sibling axes can cross from one
+# version into its wrapper — i.e. into the *set* of versions, which grows —
+# and are banned wholesale.
+_DOWNWARD_AXES = frozenset((
+    "child", "descendant", "descendant-or-self", "self", "attribute",
+))
+
+# Boolean-shaped binary operators: a predicate rooted in one of these is a
+# filter, never a positional (numeric) predicate.
+_BOOLEAN_BINOPS = frozenset((
+    "=", "!=", "<", "<=", ">", ">=",
+    "eq", "ne", "lt", "le", "gt", "ge",
+    "and", "or", "is", "<<", ">>",
+    "before", "after", "meets", "met-by", "overlaps",
+    "during", "icontains", "istarts", "finishes", "iequals",
+))
+
+_BOOLEAN_FNS = frozenset((
+    "not", "empty", "exists", "boolean", "true", "false", "contains",
+    "starts-with", "ends-with", "matches", "deep-equal",
+))
+
+
+@dataclasses.dataclass
+class DeltaAnalysis:
+    """Verdict of :func:`analyze_delta` over one translated module.
+
+    ``safe`` means re-evaluating the plan over only newly arrived filler
+    wrappers and appending to the retained result reproduces a full
+    re-evaluation (as a multiset; arrival order inside existing fragments
+    may permute document order).  ``module`` is the rewritten plan with
+    the driving stream access replaced by ``$__delta_fillers__``;
+    ``binds_versions`` records whether the driving ``for`` steps *into*
+    the wrappers (binding version elements) rather than binding the
+    wrappers themselves — the runtime guard needs the distinction when an
+    existing fragment id receives another version.
+    """
+
+    safe: bool
+    reason: str = ""
+    stream: Optional[str] = None
+    tsid: Optional[int] = None
+    filler_id: Optional[int] = None
+    binds_versions: bool = False
+    module: Optional[xast.Module] = None
+
+
+def analyze_delta(module: xast.Module) -> DeltaAnalysis:
+    """Classify a translated plan as delta-safe or full-only.
+
+    Delta-safe plans are monotone FLWORs driven by a single literal-argument
+    ``get_fillers``/``get_fillers_by_tsid`` source: every clause downstream
+    of the driving ``for`` is a pure function of the individual tuple, so
+    the answer over ``old ∪ new`` fillers is the answer over ``old`` plus
+    the answer over ``new``.  Anything that lets one tuple observe the
+    others — ordering, positional access, parent/sibling axes, a second
+    stream access, ``now``-dependence, temporal projections (they resolve
+    holes, i.e. other fragments) — forces full re-evaluation.
+    """
+    unsafe = DeltaAnalysis(False)
+
+    body = module.body
+    if type(body) is not xast.FLWOR:
+        return dataclasses.replace(unsafe, reason="body is not a simple FLWOR")
+    if not body.clauses or not isinstance(body.clauses[0], xast.ForClause):
+        return dataclasses.replace(unsafe, reason="plan does not start with a for clause")
+    driver = body.clauses[0]
+    if driver.position_var is not None:
+        return dataclasses.replace(unsafe, reason="driving for clause is positional")
+
+    expr = driver.expr
+    if isinstance(expr, xast.PathExpr) and expr.base is not None:
+        call, steps = expr.base, list(expr.steps)
+    else:
+        call, steps = expr, []
+    if not (isinstance(call, xast.FunctionCall) and call.name in _STREAM_FNS):
+        return dataclasses.replace(unsafe, reason="driving source is not a stream access")
+
+    stream = tsid = filler_id = None
+    if call.name == "get_fillers_by_tsid" and len(call.args) == 2:
+        stream = _literal_str(call.args[0])
+        tsid = _literal_int(call.args[1])
+        if stream is None or tsid is None:
+            return dataclasses.replace(
+                unsafe, reason="get_fillers_by_tsid arguments are not literals"
+            )
+    elif call.name in ("get_fillers", "get_fillers_list") and len(call.args) == 2:
+        stream = _literal_str(call.args[0])
+        filler_id = _literal_int(call.args[1])
+        if stream is None or filler_id is None:
+            return dataclasses.replace(
+                unsafe, reason="get_fillers target is data-dependent (hole chain)"
+            )
+    else:
+        return dataclasses.replace(
+            unsafe, reason=f"driving source {call.name}() is not delta-indexable"
+        )
+
+    for step in steps:
+        if step.axis not in _DOWNWARD_AXES:
+            return dataclasses.replace(
+                unsafe, reason=f"driving path uses the {step.axis} axis"
+            )
+        for predicate in step.predicates:
+            if not _boolean_shaped(predicate):
+                return dataclasses.replace(
+                    unsafe,
+                    reason="driving path has a positional (numeric) predicate",
+                )
+    binds_versions = any(step.axis != "attribute" for step in steps)
+
+    defined = {definition.name for definition in module.functions}
+    problem: list[str] = []
+
+    def visit(node: object) -> None:
+        if problem:
+            return
+        if isinstance(node, xast.NowConstant):
+            problem.append("plan depends on `now` (results can be retracted)")
+        elif isinstance(node, xast.OrderByClause):
+            problem.append("order by imposes a global ordering")
+        elif isinstance(node, (xast.IntervalProjection, xast.VersionProjection)):
+            problem.append("temporal projections resolve holes / version positions")
+        elif isinstance(node, xast.ForClause) and node.position_var is not None:
+            problem.append("positional for binding")
+        elif isinstance(node, xast.Step) and node.axis not in _DOWNWARD_AXES:
+            problem.append(f"{node.axis} axis escapes the tuple subtree")
+        elif isinstance(node, xast.VarRef) and node.name == DELTA_VAR:
+            problem.append(f"plan already references ${DELTA_VAR}")
+        elif isinstance(node, xast.FunctionCall):
+            name = node.name
+            if name in _STREAM_FNS and node is not call:
+                problem.append("plan reads stream state in more than one place")
+            elif name in _TIME_FNS:
+                problem.append("plan depends on the evaluation clock")
+            elif name in _SCOPE_FNS:
+                problem.append(f"{name}() escapes the per-tuple scope")
+            elif (
+                name not in _PURE_FNS
+                and name not in _STREAM_FNS
+                and name not in defined
+                and not name.startswith("xs:")
+            ):
+                problem.append(f"cannot prove {name}() is a pure per-tuple function")
+        if problem:
+            return
+        for child in _children(node):
+            visit(child)
+
+    visit(body)
+    for definition in module.functions:
+        visit(definition.body)
+    if problem:
+        return dataclasses.replace(unsafe, reason=problem[0])
+
+    rewritten = _bind_delta_source(module, body, call)
+    return DeltaAnalysis(
+        True,
+        stream=stream,
+        tsid=tsid,
+        filler_id=filler_id,
+        binds_versions=binds_versions,
+        module=rewritten,
+    )
+
+
+def _bind_delta_source(
+    module: xast.Module, flwor: xast.FLWOR, call: xast.FunctionCall
+) -> xast.Module:
+    """The delta plan: the driving stream access becomes ``$__delta_fillers__``."""
+    driver = flwor.clauses[0]
+    rebound = xast.ForClause(
+        driver.var,
+        _substitute(driver.expr, call, xast.VarRef(DELTA_VAR)),
+        driver.position_var,
+    )
+    body = xast.FLWOR([rebound] + list(flwor.clauses[1:]), flwor.return_expr)
+    return xast.Module(module.functions, body)
+
+
+def _boolean_shaped(expr: object) -> bool:
+    """True when a predicate filters rather than selects by position.
+
+    Numeric predicates (``[2]``, ``[last()-1]``) select by position among
+    their focus sequence — over the driving path that focus is the growing
+    wrapper/version set, so they are not monotone.  The check is
+    conservative: anything not provably boolean counts as positional.
+    """
+    if isinstance(expr, xast.BinOp):
+        return expr.op in _BOOLEAN_BINOPS
+    if isinstance(expr, (xast.Quantified, xast.PathExpr, xast.Filter)):
+        return True
+    if isinstance(expr, xast.FunctionCall):
+        return expr.name in _BOOLEAN_FNS
+    if isinstance(expr, xast.Literal):
+        return isinstance(expr.value, (bool, str))
+    return False
+
+
+def _literal_str(node: object) -> Optional[str]:
+    if isinstance(node, xast.Literal) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _literal_int(node: object) -> Optional[int]:
+    if (
+        isinstance(node, xast.Literal)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    ):
+        return node.value
+    return None
 
 
 # ---------------------------------------------------------------------------

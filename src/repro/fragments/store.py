@@ -73,6 +73,19 @@ class FragmentStore:
         # Cache-invalidation events (one per distinct filler id touched);
         # extend() batches to one per id per call.
         self.invalidations = 0
+        # Watermark state for incremental (delta) consumers: every accepted
+        # filler gets the next value of a monotonically increasing sequence
+        # number.  The arrival log keeps fillers in acceptance order so
+        # fillers_since(seq) is an O(1) slice; _arrival_base is the seq
+        # value "before" the first log entry (the log restarts, but seq
+        # never does).  mutation_epoch counts history rewrites — events
+        # after which a delta consumer's retained state is unsound and it
+        # must fall back to a full evaluation.
+        self._seq = 0
+        self._arrival_log: list[Filler] = []
+        self._arrival_base = 0
+        self._mutation_epoch = 0
+        self._tsid_watermark: dict[int, int] = {}
 
     # -- ingest ---------------------------------------------------------------
 
@@ -115,6 +128,9 @@ class FragmentStore:
         if filler_id not in tsid_bucket:
             tsid_bucket.append(filler_id)
         insort(self._tsid_endpoints.setdefault(filler.tsid, []), epoch)
+        self._seq += 1
+        self._arrival_log.append(filler)
+        self._tsid_watermark[filler.tsid] = self._seq
         return True
 
     def _invalidate(self, filler_id: int) -> None:
@@ -152,6 +168,10 @@ class FragmentStore:
         self._sort_keys.clear()
         self._endpoint_cache.clear()
         self._tsid_endpoints.clear()
+        self._arrival_log.clear()
+        self._arrival_base = self._seq
+        self._tsid_watermark.clear()
+        self._mutation_epoch += 1
 
     def set_tag_structure(self, tag_structure: Optional[TagStructure]) -> None:
         """Swap the Tag Structure and drop every derived annotation.
@@ -167,6 +187,9 @@ class FragmentStore:
         self._wrapper_cache.clear()
         self._endpoint_cache.clear()
         self.invalidations += 1
+        # Annotations derived under the old schema differ from the new
+        # ones, so retained delta state is stale.
+        self._mutation_epoch += 1
 
     # -- raw lookup ----------------------------------------------------------------
 
@@ -392,6 +415,83 @@ class FragmentStore:
         hi = len(endpoints) if end_epoch is None else bisect_right(endpoints, end_epoch)
         return max(hi - lo, 0)
 
+    # -- watermarks (incremental consumers) ------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last accepted filler (0 when empty).
+
+        Strictly monotone across the store's lifetime: duplicates do not
+        advance it, and neither ``clear`` nor ``prune_before`` rewinds it.
+        A consumer that records ``seq`` after an evaluation can later ask
+        :meth:`fillers_since` for exactly the fillers it has not seen.
+        """
+        return self._seq
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Counts history rewrites (``prune_before``, ``clear``, schema swap).
+
+        Append-only growth never bumps the epoch.  A delta consumer whose
+        recorded epoch differs from the current one must discard retained
+        state and re-evaluate from scratch: fillers it incorporated may
+        have been dropped or re-annotated.
+        """
+        return self._mutation_epoch
+
+    def fillers_since(self, seq: int, tsid: Optional[int] = None) -> list[Filler]:
+        """Fillers accepted after watermark ``seq``, in acceptance order.
+
+        ``tsid`` restricts the answer to one tag.  Watermarks older than
+        the arrival log (the log restarts on ``clear``/``prune_before``)
+        return the whole log — callers detect that case through
+        :attr:`mutation_epoch` and resynchronize.
+        """
+        start = max(0, int(seq) - self._arrival_base)
+        tail = self._arrival_log[start:]
+        if tsid is None:
+            return tail
+        tsid = int(tsid)
+        return [filler for filler in tail if filler.tsid == tsid]
+
+    def tsid_watermark(self, tsid: int) -> int:
+        """The seq at which the newest filler of ``tsid`` arrived (0 = never).
+
+        Lets a per-tsid consumer skip :meth:`fillers_since` entirely when
+        ``tsid_watermark(t) <= its recorded seq`` — arrivals on other tags
+        provably cannot concern it.
+        """
+        return self._tsid_watermark.get(int(tsid), 0)
+
+    def tag_type_of(self, tsid: int) -> TagType:
+        """The Tag Structure type governing a tsid (TEMPORAL if unknown)."""
+        return self._type_of(int(tsid))
+
+    def delta_wrappers(self, fillers: list[Filler]) -> list[Element]:
+        """Fresh ``<filler>`` wrappers covering only the given fillers.
+
+        The delta-evaluation access path: group a batch of just-arrived
+        fillers by fragment id (first-arrival order, matching the tsid
+        bucket order a full ``get_fillers_by_tsid`` would produce for new
+        ids), order each group by validTime and annotate it exactly like
+        :meth:`get_fillers` — but build the wrappers from the batch alone,
+        without touching (or populating) the wrapper cache.  Callers are
+        responsible for only passing batches whose delta annotation equals
+        the full one (new fragment ids, or event fragments, whose version
+        lifespans are position-independent).
+        """
+        grouped: dict[int, list[Filler]] = {}
+        for filler in fillers:
+            grouped.setdefault(filler.filler_id, []).append(filler)
+        wrappers: list[Element] = []
+        for filler_id, group in grouped.items():
+            group.sort(key=lambda f: f.valid_time.to_epoch_seconds())
+            wrapper = Element("filler", {"id": str(filler_id)})
+            for version in self._annotate(group):
+                wrapper.append(version)
+            wrappers.append(wrapper)
+        return wrappers
+
     # -- integrity -------------------------------------------------------------------------
 
     def dangling_holes(self) -> list[tuple[int, int]]:
@@ -475,6 +575,12 @@ class FragmentStore:
             )
         for endpoints in self._tsid_endpoints.values():
             endpoints.sort()
+        # Pruning rewrites history: retained delta results may reference
+        # dropped versions, so consumers must resynchronize with a full
+        # evaluation.  The arrival log restarts (seq itself never does).
+        self._arrival_log.clear()
+        self._arrival_base = self._seq
+        self._mutation_epoch += 1
         return dropped
 
     # -- hooks & export -------------------------------------------------------------------

@@ -39,6 +39,10 @@ class StreamClient:
         self.received_fillers = 0
         self.received_bytes = 0
         self._pending = 0
+        if scheduler is not None:
+            # Arrivals fed straight into the engine (bypassing the channel,
+            # e.g. replayed snapshots) notify the scheduler too.
+            scheduler.watch_engine(self.engine)
 
     # -- tuning in -----------------------------------------------------------------
 

@@ -10,6 +10,20 @@ turning the re-evaluations into a continuous *output stream* (paper §10:
 Result identity is the serialized form of each item, so a re-appearing
 answer (same account flagged again with identical content) is emitted only
 once; ``full`` mode re-emits everything each run.
+
+With ``incremental=True`` (the default) delta-safe plans — classified by
+:func:`repro.core.optimizer.analyze_delta` — are not re-run over the whole
+store on every tick.  The query keeps its last result and a store
+watermark ``(seq, mutation_epoch)``; a re-evaluation then runs the
+compiled plan over only the fillers past the watermark and appends their
+tuples to the retained result.  Runtime guards fall back to a full
+re-evaluation whenever the delta could diverge: after ``prune_before`` /
+``clear`` / a Tag Structure swap (the mutation epoch moved), and when a
+non-event fragment id receives another version (the new version closes
+the previous version's ``vtTo``, mutating retained annotations).  The
+incremental answer equals the full one as a multiset; out-of-order
+arrivals into existing fragments may permute document order, which the
+serialized-identity emission dedup absorbs.
 """
 
 from __future__ import annotations
@@ -20,6 +34,7 @@ from repro.core.engine import CompiledQuery, XCQLEngine
 from repro.core.translator import Strategy
 from repro.dom.nodes import Node
 from repro.dom.serializer import serialize
+from repro.fragments.tagstructure import TagType
 from repro.temporal.chrono import XSDateTime
 from repro.xquery.xdm import string_value
 
@@ -27,7 +42,14 @@ __all__ = ["ContinuousQuery"]
 
 
 class ContinuousQuery:
-    """One standing XCQL query over an engine's streams."""
+    """One standing XCQL query over an engine's streams.
+
+    ``incremental`` enables the delta evaluation path for delta-safe
+    plans (full-scan plans are unaffected); ``seen_cap`` bounds the
+    delta-emission dedup memory (``None`` = unbounded): when more than
+    ``seen_cap`` distinct result identities have been emitted, the oldest
+    are forgotten — a forgotten answer that re-appears is emitted again.
+    """
 
     def __init__(
         self,
@@ -36,13 +58,19 @@ class ContinuousQuery:
         strategy: Strategy = Strategy.QAC,
         emit: str = "delta",
         backend: Optional[str] = None,
+        incremental: bool = True,
+        seen_cap: Optional[int] = None,
     ):
         if emit not in ("delta", "full"):
             raise ValueError("emit must be 'delta' or 'full'")
+        if seen_cap is not None and seen_cap < 1:
+            raise ValueError("seen_cap must be a positive integer or None")
         self.engine = engine
         self.source = source
         self.strategy = strategy
         self.emit = emit
+        self.incremental = incremental
+        self.seen_cap = seen_cap
         # Compiles through the engine's plan cache: with the default
         # "compiled" backend every re-evaluation runs the closure plan —
         # no parse, translate, or AST dispatch per tick.
@@ -50,9 +78,19 @@ class ContinuousQuery:
         self.subscribers: list[Callable[[list], None]] = []
         self.evaluations = 0
         self.skips = 0  # polls a scheduler decided not to re-evaluate
+        self.full_runs = 0  # evaluations that re-scanned the whole store
+        self.delta_runs = 0  # evaluations served from the delta path
         self.emitted_total = 0
-        self._seen: set[str] = set()
+        self.seen_evictions = 0
+        self.last_mode: Optional[str] = None  # "full" | "delta" after a run
+        # Insertion-ordered so the cap evicts the oldest identity first.
+        self._seen: dict[str, None] = {}
         self.last_result: list = []
+        # Delta state: the retained result and the store watermark
+        # (seq, mutation_epoch) it is valid for.  None = next run is full.
+        self._retained: list = []
+        self._watermark: Optional[tuple[int, int]] = None
+        self._delta_items: list = []  # the last delta run's new tuples
 
     def subscribe(self, callback: Callable[[list], None]) -> None:
         """Register a sink for emitted results."""
@@ -64,39 +102,140 @@ class ContinuousQuery:
         Returns the emitted items (delta mode: the new ones only).
         """
         self.evaluations += 1
-        result = self.engine.execute(self.compiled, now=now)
+        result = self._evaluate_delta(now) if self.incremental else None
+        if result is None:
+            result = self.engine.execute(self.compiled, now=now)
+            self.full_runs += 1
+            self.last_mode = "full"
+            self._remember(result)
         self.last_result = result
         if self.emit == "full":
             fresh = list(result)
         else:
+            # After a delta run every retained item's identity is already
+            # in _seen (each previous evaluation scanned its full result),
+            # so only the delta items can be fresh — unless a seen_cap may
+            # have evicted identities, in which case the full scan keeps
+            # re-emission semantics identical to the full-evaluation path.
+            candidates = result
+            if self.last_mode == "delta" and self.seen_cap is None:
+                candidates = self._delta_items
             fresh = []
-            for item in result:
+            for item in candidates:
                 key = _identity(item)
                 if key not in self._seen:
-                    self._seen.add(key)
+                    self._seen[key] = None
                     fresh.append(item)
+            if self.seen_cap is not None:
+                while len(self._seen) > self.seen_cap:
+                    self._seen.pop(next(iter(self._seen)))
+                    self.seen_evictions += 1
         if fresh:
             self.emitted_total += len(fresh)
             for subscriber in self.subscribers:
                 subscriber(fresh)
         return fresh
 
+    # -- the delta driver -----------------------------------------------------------
+
+    def _evaluate_delta(self, now: Optional[XSDateTime]) -> Optional[list]:
+        """The incremental answer, or ``None`` to force a full run."""
+        delta = self.engine.prepare_delta(self.compiled)
+        if delta is None:
+            return None
+        store = self.engine.stores.get(delta.stream)
+        if store is None:
+            return None
+        if self._watermark is None:
+            return None  # first evaluation establishes the baseline
+        seq, epoch = self._watermark
+        if store.mutation_epoch != epoch:
+            # prune_before / clear / schema swap rewrote history: retained
+            # tuples may reference dropped or re-annotated versions.
+            self._watermark = None
+            return None
+        fresh = store.fillers_since(seq, tsid=delta.tsid)
+        if delta.filler_id is not None:
+            fresh = [f for f in fresh if f.filler_id == delta.filler_id]
+        if not self._delta_applicable(store, delta, fresh):
+            self._watermark = None
+            return None
+        self.delta_runs += 1
+        self.last_mode = "delta"
+        self._delta_items = []
+        if fresh:
+            wrappers = store.delta_wrappers(fresh)
+            self._delta_items = self.engine.execute_delta(delta, wrappers, now=now)
+            self._retained = self._retained + self._delta_items
+        self._watermark = (store.seq, store.mutation_epoch)
+        return list(self._retained)
+
+    def _delta_applicable(self, store, delta, fresh) -> bool:
+        """Runtime guards the static analysis cannot decide.
+
+        A batch may be incrementally folded in unless some arriving
+        fragment id already had versions *before* the batch and either
+        (a) the plan binds whole wrappers — the retained tuples computed
+        from the old, shorter wrapper are stale — or (b) the fragment is
+        not an event, so the new version closes the previous version's
+        open ``vtTo`` (temporal) or retracts it outright (snapshot),
+        mutating annotations the retained result already incorporates.
+        Event lifespans are position-independent (``vtFrom = vtTo`` = own
+        validTime), so shared event holes — many events reusing one
+        filler id — stay on the delta path.
+        """
+        counts: dict[int, int] = {}
+        for filler in fresh:
+            counts[filler.filler_id] = counts.get(filler.filler_id, 0) + 1
+        for filler in fresh:
+            preexisting = len(store.fillers_of(filler.filler_id)) > counts[filler.filler_id]
+            if not preexisting:
+                continue
+            if not delta.binds_versions:
+                return False
+            if store.tag_type_of(filler.tsid) is not TagType.EVENT:
+                return False
+        return True
+
+    def _remember(self, result: list) -> None:
+        """After a full run, reset the retained state and watermark."""
+        if not self.incremental:
+            return
+        delta = self.engine.prepare_delta(self.compiled)
+        if delta is None:
+            return
+        store = self.engine.stores.get(delta.stream)
+        if store is None:
+            return
+        self._retained = list(result)
+        self._watermark = (store.seq, store.mutation_epoch)
+
     def reset(self) -> None:
         """Forget emission history (delta mode starts over)."""
         self._seen.clear()
         self.emitted_total = 0
+        self.seen_evictions = 0
+        self._retained = []
+        self._watermark = None
 
     def stats(self) -> dict[str, int]:
         """This query's lifetime counters.
 
         ``skips`` counts scheduler polls that decided the answer could not
         have changed (no dependent arrivals, clock irrelevant); a query
-        evaluated directly never accrues skips.
+        evaluated directly never accrues skips.  ``delta_runs`` of the
+        ``evaluations`` were served incrementally (``full_runs`` re-scanned
+        the store); ``seen_size``/``seen_evictions`` report the bounded
+        emission-dedup memory.
         """
         return {
             "evaluations": self.evaluations,
             "skips": self.skips,
+            "full_runs": self.full_runs,
+            "delta_runs": self.delta_runs,
             "emitted": self.emitted_total,
+            "seen_size": len(self._seen),
+            "seen_evictions": self.seen_evictions,
         }
 
     def __repr__(self) -> str:

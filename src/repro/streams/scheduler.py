@@ -126,14 +126,27 @@ class _Entry:
     last_now: Optional[XSDateTime] = None
     evaluations: int = 0
     skips: int = 0
+    full_runs: int = 0   # evaluations that re-scanned the whole store
+    delta_runs: int = 0  # evaluations served by the incremental path
 
 
 class QueryScheduler:
-    """Skips re-evaluation of queries whose inputs did not change."""
+    """Skips re-evaluation of queries whose inputs did not change.
 
-    def __init__(self) -> None:
+    Pass ``engine`` (or call :meth:`watch_engine`) to receive arrival
+    notifications automatically from every :meth:`XCQLEngine.feed` — no
+    hand-plumbed ``notify_arrival`` calls.  Queries the scheduler does run
+    use their own incremental (delta) path when their plan is delta-safe;
+    :meth:`poll` records per query whether the run was a delta, a full
+    re-evaluation, or a skip.
+    """
+
+    def __init__(self, engine=None) -> None:
         self._entries: list[_Entry] = []
         self._arrivals: dict[str, set[int]] = {}
+        self._watched: list = []
+        if engine is not None:
+            self.watch_engine(engine)
 
     # -- registration ---------------------------------------------------------
 
@@ -146,8 +159,24 @@ class QueryScheduler:
     # -- arrival tracking ---------------------------------------------------------
 
     def notify_arrival(self, stream: str, tsid: int) -> None:
-        """Record that a filler with ``tsid`` arrived on ``stream``."""
+        """Record that a filler with ``tsid`` arrived on ``stream``.
+
+        Idempotent per poll window (a set-add), so automatic engine
+        notifications and manual calls may overlap harmlessly.
+        """
         self._arrivals.setdefault(stream, set()).add(int(tsid))
+
+    def watch_engine(self, engine) -> None:
+        """Subscribe to an engine's ingest: ``feed`` implies ``notify_arrival``."""
+        if engine not in self._watched:
+            engine.add_arrival_listener(self.notify_arrival)
+            self._watched.append(engine)
+
+    def unwatch_engine(self, engine) -> None:
+        """Stop receiving arrival notifications from an engine."""
+        if engine in self._watched:
+            engine.remove_arrival_listener(self.notify_arrival)
+            self._watched.remove(engine)
 
     # -- the scheduling decision -----------------------------------------------------
 
@@ -158,6 +187,10 @@ class QueryScheduler:
             if self._should_run(entry, now):
                 emitted[entry.query] = entry.query.evaluate(now)
                 entry.evaluations += 1
+                if entry.query.last_mode == "delta":
+                    entry.delta_runs += 1
+                else:
+                    entry.full_runs += 1
             else:
                 entry.skips += 1
                 entry.query.skips += 1
@@ -186,21 +219,35 @@ class QueryScheduler:
     def total_skips(self) -> int:
         return sum(entry.skips for entry in self._entries)
 
+    @property
+    def total_delta_runs(self) -> int:
+        return sum(entry.delta_runs for entry in self._entries)
+
+    @property
+    def total_full_runs(self) -> int:
+        return sum(entry.full_runs for entry in self._entries)
+
     def stats(self) -> dict:
         """Counters for reporting: totals plus a per-query breakdown.
 
         Each ``queries`` entry identifies the query by its XCQL source and
         reports how often the scheduler ran vs. skipped it — the ablation
-        A3b denominator, now attributable per standing query.
+        A3b denominator, now attributable per standing query — and how the
+        runs split between incremental (``delta_runs``) and full-scan
+        (``full_runs``) evaluations (ablation A10).
         """
         return {
             "evaluations": self.total_evaluations,
             "skips": self.total_skips,
+            "delta_runs": self.total_delta_runs,
+            "full_runs": self.total_full_runs,
             "queries": [
                 {
                     "source": entry.query.source,
                     "evaluations": entry.evaluations,
                     "skips": entry.skips,
+                    "delta_runs": entry.delta_runs,
+                    "full_runs": entry.full_runs,
                 }
                 for entry in self._entries
             ],

@@ -79,7 +79,7 @@ from repro.xquery.xdm import (
     value_compare,
 )
 
-__all__ = ["CompiledPlan", "compile_module", "compile_expr"]
+__all__ = ["CompiledPlan", "compile_module", "compile_expr", "compile_delta_plan"]
 
 Plan = Callable[[Context], list]
 
@@ -157,6 +157,30 @@ def compile_module(module: xast.Module) -> CompiledPlan:
 def compile_expr(expr: xast.Expr) -> Plan:
     """Compile a bare expression (no prolog) into ``(ctx) -> list``."""
     return _compile(expr, _ModuleScope())
+
+
+def compile_delta_plan(module: xast.Module, var: str) -> Callable:
+    """Compile a delta module into ``plan(ctx, wrappers) -> list``.
+
+    ``module`` is a delta-rewritten plan (see
+    :func:`repro.core.optimizer.analyze_delta`) whose driving stream access
+    has been replaced by ``$var``; the returned callable binds the
+    just-arrived filler wrappers to that variable and runs the ordinary
+    compiled plan over them.  Because the closure pipeline is source-
+    agnostic, the delta path reuses every existing stage — steps,
+    predicates, joins, constructors — unchanged; only the driving
+    sequence shrinks from the whole store to the batch.
+    """
+    plan = compile_module(module)
+
+    def run(ctx: Context, wrappers: list) -> list:
+        ctx.variables[var] = list(wrappers)
+        try:
+            return plan(ctx)
+        finally:
+            ctx.variables.pop(var, None)
+
+    return run
 
 
 def _uncompiled(ctx: Context) -> list:  # placeholder body, never survives

@@ -68,6 +68,40 @@ class TestDependencyDerivation:
         assert not deps.touches("credit", {4})
         assert not deps.touches("other", {5})
 
+    def test_user_function_bodies_are_visited(self):
+        engine = make_engine()
+        compiled = engine.compile(
+            'define function txns() { stream("credit")//transaction } '
+            "count(txns())",
+            Strategy.QAC_PLUS,
+        )
+        deps = dependencies_of(compiled)
+        assert ("credit", ALL_TSIDS) in deps.streams
+
+    def test_time_sensitivity_inside_user_function(self):
+        engine = make_engine()
+        compiled = engine.compile(
+            "define function horizon() { now - PT1H } "
+            'count(stream("credit")//transaction?[horizon(), now])',
+            Strategy.QAC_PLUS,
+        )
+        assert dependencies_of(compiled).time_sensitive
+
+    def test_nested_get_fillers_by_tsid_calls(self):
+        # Two tsid accesses nested inside other call expressions: both
+        # must surface as exact (stream, tsid) dependencies.
+        engine = make_engine()
+        compiled = engine.compile(
+            'count(stream("credit")//transaction) + '
+            'count(stream("credit")//creditLimit)',
+            Strategy.QAC_PLUS,
+        )
+        deps = dependencies_of(compiled)
+        assert deps.streams == frozenset({("credit", 5), ("credit", 4)})
+        assert deps.touches("credit", {4})
+        assert deps.touches("credit", {5})
+        assert not deps.touches("credit", {3})
+
 
 @pytest.fixture()
 def scheduled_rig():
@@ -147,6 +181,54 @@ class TestScheduler:
         assert scheduler.total_evaluations == 1
         assert scheduler.total_skips == 1
 
+    def test_direct_engine_feed_notifies_scheduler(self, scheduled_rig):
+        # Regression: ingest that bypasses the channel (engine.feed) used
+        # to require hand-plumbed notify_arrival calls; the client now
+        # subscribes its scheduler to the engine's arrival listeners.
+        clock, server, client, scheduler = scheduled_rig
+        from repro.fragments.model import Filler
+        from repro.temporal import XSDateTime
+
+        query = client.register_query(
+            'count(stream("credit")//transaction)',
+            strategy=Strategy.QAC_PLUS,
+            emit="full",
+        )
+        client.poll()
+        filler = Filler(
+            999, 5, XSDateTime.parse("2003-10-01T01:00:00"), transaction("t9", "7")
+        )
+        client.engine.feed("credit", filler)
+        result = client.poll()
+        assert scheduler.total_evaluations == 2
+        assert result[query] == [1]
+
+    def test_shared_dependency_wakes_both_queries(self, scheduled_rig):
+        clock, server, client, scheduler = scheduled_rig
+        counting = client.register_query(
+            'count(stream("credit")//transaction)',
+            strategy=Strategy.QAC_PLUS,
+            emit="full",
+        )
+        flagging = client.register_query(
+            'for $t in stream("credit")//transaction '
+            "where $t/amount > 4 return $t/amount",
+            strategy=Strategy.QAC_PLUS,
+        )
+        unrelated = client.register_query(
+            'count(stream("credit")//creditLimit)', strategy=Strategy.QAC_PLUS
+        )
+        client.poll()
+        account_hole = server.hole_id(0, "account", "1")
+        server.emit_event(account_hole, transaction("t1", "5"))
+        client.poll()
+        # One arrival on tsid 5: both dependent queries re-ran, the
+        # creditLimit query (tsid 4) was skipped.
+        assert counting.stats()["evaluations"] == 2
+        assert flagging.stats()["evaluations"] == 2
+        assert unrelated.stats()["evaluations"] == 1
+        assert unrelated.stats()["skips"] == 1
+
     def test_time_sensitive_reruns_on_clock_advance(self, scheduled_rig):
         clock, server, client, scheduler = scheduled_rig
         client.register_query(
@@ -220,7 +302,13 @@ class TestScheduler:
         assert stats["evaluations"] == 1
         assert stats["skips"] == 1
         assert stats["queries"] == [
-            {"source": source, "evaluations": 1, "skips": 1}
+            {
+                "source": source,
+                "evaluations": 1,
+                "skips": 1,
+                "delta_runs": 0,
+                "full_runs": 1,
+            }
         ]
         # The scheduler mirrors its skip decisions onto the query itself.
         assert query.stats()["evaluations"] == 1
