@@ -152,7 +152,10 @@ def test_results_agree(workload):
 def test_delta_path_engages_under_scheduler(workload):
     small = IncrementalWorkload(workload.scale, preload=40, ticks=4)
     engine = small.engine()
-    scheduler = QueryScheduler(engine)
+    # Routing off: this ablation pins the *solo* delta path; with the
+    # PR-4 routing index the early non-matching ticks would be skipped
+    # outright (measured by A11) instead of exercising delta runs.
+    scheduler = QueryScheduler(engine, routing=False)
     query = small.standing_query(engine, incremental=True)
     scheduler.add(query)
     scheduler.poll(small.now)  # baseline: full

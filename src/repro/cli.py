@@ -61,6 +61,8 @@ def xmlgen_main(argv: list[str] | None = None) -> int:
 
 def xcql_main(argv: list[str] | None = None) -> int:
     """Run an XCQL query against a saved fragment-store snapshot."""
+    import json
+
     from repro.core import Strategy, XCQLEngine
     from repro.fragments.persist import load_store
     from repro.temporal import XSDateTime
@@ -86,16 +88,39 @@ def xcql_main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the translated XQuery before the results",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine statistics (plan cache, per-stream store and "
+        "delta-memo counters) as JSON after the results",
+    )
+    parser.add_argument(
+        "--replay",
+        type=int,
+        default=None,
+        metavar="N",
+        help="instead of one evaluation, replay the snapshot's fillers "
+        "through a fresh engine in arrival batches of N with the query "
+        "standing under a scheduler, then print engine + scheduler "
+        "statistics (shared/delta/full runs, routing probe/skip counts) "
+        "as JSON — the quick perf-triage view",
+    )
     args = parser.parse_args(argv)
+    if args.replay is not None and args.replay < 1:
+        parser.error("--replay batch size must be a positive integer")
 
     store = load_store(args.store)
     if store.tag_structure is None:
         parser.error("snapshot has no Tag Structure; cannot translate queries")
-    engine = XCQLEngine()
-    engine.register_stream(args.stream, store.tag_structure, store)
     source = args.query if args.query is not None else sys.stdin.read()
     strategy = next(s for s in Strategy if s.value == args.strategy)
     now = XSDateTime.parse(args.now) if args.now else None
+
+    if args.replay is not None:
+        return _replay(args, store, source, strategy, now)
+
+    engine = XCQLEngine()
+    engine.register_stream(args.stream, store.tag_structure, store)
     compiled = engine.compile(source, strategy)
     if args.show_translation:
         print("-- translated query:")
@@ -106,6 +131,63 @@ def xcql_main(argv: list[str] | None = None) -> int:
             print(serialize(item))
         else:
             print(item)
+    if args.stats:
+        print("-- engine stats:")
+        print(json.dumps(engine.stats(), indent=2, default=str))
+    return 0
+
+
+def _replay(args, store, source: str, strategy, now) -> int:
+    """Replay a snapshot's fillers as an arrival stream under a scheduler.
+
+    The snapshot's fillers are fed to a fresh engine in batches of
+    ``args.replay``, with ``source`` as a standing continuous query; each
+    batch is followed by a poll.  Prints the emitted results, then the
+    engine and scheduler statistics as one JSON document — plan cache,
+    delta-memo, shared vs delta vs full runs, and routing probe/skip
+    counts (perf triage for the PR-4 shared evaluation layer).
+    """
+    import json
+
+    from repro.core import XCQLEngine
+    from repro.streams.continuous import ContinuousQuery
+    from repro.streams.scheduler import QueryScheduler
+    from repro.temporal import XSDateTime
+
+    engine = XCQLEngine()
+    engine.register_stream(args.stream, store.tag_structure)
+    scheduler = QueryScheduler(engine)
+    query = ContinuousQuery(engine, source, strategy=strategy)
+    scheduler.add(query)
+    emitted_total = 0
+
+    def count(items: list) -> None:
+        nonlocal emitted_total
+        emitted_total += len(items)
+
+    query.subscribe(count)
+    fillers = store.fillers_since(0)
+    if now is not None:
+        poll_now = now
+    else:
+        # Evaluate "as of" the end of the replayed history.
+        poll_now = max(
+            (f.valid_time for f in fillers),
+            default=XSDateTime.parse("2001-01-01T00:00:00"),
+        )
+    scheduler.poll(poll_now)  # baseline
+    for start in range(0, len(fillers), args.replay):
+        engine.feed(args.stream, fillers[start:start + args.replay])
+        scheduler.poll(poll_now)
+    report = {
+        "fillers_replayed": len(fillers),
+        "batch_size": args.replay,
+        "emitted": emitted_total,
+        "query": query.stats(),
+        "scheduler": scheduler.stats(),
+        "engine": engine.stats(),
+    }
+    print(json.dumps(report, indent=2, default=str))
     return 0
 
 

@@ -36,7 +36,7 @@ from repro.xquery.parser import parse
 from repro.xquery.xast import to_source
 from repro.xquery.xdm import atomize_sequence
 
-__all__ = ["XCQLEngine", "CompiledQuery", "DeltaPlan", "Strategy"]
+__all__ = ["XCQLEngine", "CompiledQuery", "DeltaPlan", "SharedPlan", "Strategy"]
 
 
 @dataclass
@@ -57,6 +57,30 @@ class DeltaPlan:
     filler_id: Optional[int]
     binds_versions: bool
     plan: Callable = field(repr=False, compare=False, default=None)
+
+
+@dataclass
+class SharedPlan:
+    """The shared-evaluation split of a delta-safe compiled query.
+
+    ``prefix(ctx, wrappers)`` evaluates the driving binding path over
+    just-arrived filler wrappers and returns the materialized binding
+    tuples; ``residual(ctx, tuples)`` runs the query's remaining clauses
+    and return body over those tuples.  Queries with equal ``group_key``
+    bind identical tuples from identical arrivals, so a scheduler can run
+    one group member's prefix per tick and feed every member's residual
+    (see :class:`repro.streams.scheduler.QueryScheduler`).  ``routing`` is
+    the extracted dispatch predicate, when the residual has one.
+    """
+
+    stream: str
+    tsid: Optional[int]
+    filler_id: Optional[int]
+    binds_versions: bool
+    group_key: tuple
+    routing: Optional[object] = None
+    prefix: Callable = field(repr=False, compare=False, default=None)
+    residual: Callable = field(repr=False, compare=False, default=None)
 
 
 @dataclass
@@ -84,6 +108,17 @@ class CompiledQuery:
     delta_plan: Optional[DeltaPlan] = field(default=None, repr=False, compare=False)
     delta_reason: Optional[str] = field(default=None, repr=False, compare=False)
     delta_prepared: bool = field(default=False, repr=False, compare=False)
+    # Shared-evaluation state, populated lazily by
+    # :meth:`XCQLEngine.prepare_shared` (shared through the plan cache,
+    # like the delta plan).
+    shared_plan: Optional[SharedPlan] = field(default=None, repr=False, compare=False)
+    shared_reason: Optional[str] = field(default=None, repr=False, compare=False)
+    shared_prepared: bool = field(default=False, repr=False, compare=False)
+    # Memo slot for repro.streams.scheduler.dependencies_of: the derived
+    # dependencies are a property of the translated plan, so re-adding a
+    # query to a scheduler (or registering it for routing) must not
+    # re-walk the AST.
+    dependencies_memo: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def translated_source(self) -> str:
@@ -119,7 +154,8 @@ class XCQLEngine:
         self.merge_joins = merge_joins
         self.temporal_index = _TemporalIndexHook(self)
         self._extra_functions: dict = {}
-        self._arrival_listeners: list[Callable[[str, int], None]] = []
+        # (listener, wants_batch) pairs; see add_arrival_listener.
+        self._arrival_listeners: list[tuple[Callable, bool]] = []
         self._plan_cache: OrderedDict[tuple, CompiledQuery] = OrderedDict()
         self._plan_cache_size = max(0, int(plan_cache_size))
         self._plan_cache_hits = 0
@@ -151,10 +187,13 @@ class XCQLEngine:
     def feed(self, name: str, fillers: Union[Filler, Iterable[Filler]]) -> int:
         """Ingest filler(s) into a stream; returns how many were new.
 
-        Every accepted filler is announced to registered arrival listeners
-        as one ``(stream, tsid)`` notification per distinct tsid in the
-        batch — the hook :meth:`QueryScheduler.watch_engine` uses, so
-        callers no longer plumb ``notify_arrival`` by hand.
+        Accepted fillers are announced to registered arrival listeners
+        *coalesced*: one ``(stream, tsid)`` notification per distinct tsid
+        in the batch, never one per filler — an ``extend()`` of N same-tsid
+        fillers fires one wake.  Listeners that accept a third argument
+        additionally receive the accepted :class:`Filler` batch for that
+        tsid, which the scheduler's predicate routing index probes to wake
+        only the queries whose predicate can match.
         """
         store = self._store(name)
         before = store.seq
@@ -162,21 +201,34 @@ class XCQLEngine:
             fillers = [fillers]
         added = store.extend(fillers)
         if added and self._arrival_listeners:
-            tsids = {filler.tsid for filler in store.fillers_since(before)}
-            for listener in list(self._arrival_listeners):
-                for tsid in sorted(tsids):
-                    listener(name, tsid)
+            batches: dict[int, list[Filler]] = {}
+            for filler in store.fillers_since(before):
+                batches.setdefault(filler.tsid, []).append(filler)
+            for listener, wants_batch in list(self._arrival_listeners):
+                for tsid in sorted(batches):
+                    if wants_batch:
+                        listener(name, tsid, batches[tsid])
+                    else:
+                        listener(name, tsid)
         return added
 
-    def add_arrival_listener(self, listener: Callable[[str, int], None]) -> None:
-        """Call ``listener(stream, tsid)`` whenever :meth:`feed` accepts fillers."""
-        if listener not in self._arrival_listeners:
-            self._arrival_listeners.append(listener)
+    def add_arrival_listener(self, listener: Callable) -> None:
+        """Call ``listener(stream, tsid[, fillers])`` on every accepted feed.
 
-    def remove_arrival_listener(self, listener: Callable[[str, int], None]) -> None:
+        Two-argument listeners keep the PR-3 protocol; listeners whose
+        signature accepts a third positional argument also get the
+        accepted filler batch (see :meth:`feed`).  Registering the same
+        listener twice is a no-op.
+        """
+        if any(existing == listener for existing, _ in self._arrival_listeners):
+            return
+        self._arrival_listeners.append((listener, _accepts_batch(listener)))
+
+    def remove_arrival_listener(self, listener: Callable) -> None:
         """Detach a listener registered with :meth:`add_arrival_listener`."""
-        if listener in self._arrival_listeners:
-            self._arrival_listeners.remove(listener)
+        self._arrival_listeners = [
+            entry for entry in self._arrival_listeners if entry[0] != listener
+        ]
 
     def _store(self, name: str) -> FragmentStore:
         store = self.stores.get(name)
@@ -308,7 +360,38 @@ class XCQLEngine:
             "hoisted_calls": compiled.hoisted_calls,
             "delta_safe": self.prepare_delta(compiled) is not None,
             "delta_reason": compiled.delta_reason,
+            "shared_safe": self.prepare_shared(compiled) is not None,
+            "shared_reason": compiled.shared_reason,
+            "shared_group": (
+                compiled.shared_plan.group_key if compiled.shared_plan else None
+            ),
+            "routing_predicate": (
+                compiled.shared_plan.routing.describe()
+                if compiled.shared_plan and compiled.shared_plan.routing
+                else None
+            ),
         }
+
+    def stats(self) -> dict:
+        """Engine-level counters for perf triage (see ``repro.cli --stats``).
+
+        Covers the plan cache, the temporal endpoint index, and each
+        stream's store: filler/fragment population, sequence number,
+        mutation epoch, and the ``delta_batch`` memo that shared
+        evaluation leans on.
+        """
+        streams = {}
+        for name, store in sorted(self.stores.items()):
+            index = getattr(store, "endpoint_index_info", None)
+            streams[name] = {
+                "fillers": store.filler_count,
+                "fragments": store.fragment_count,
+                "seq": store.seq,
+                "mutation_epoch": store.mutation_epoch,
+                "delta_memo": store.delta_memo_info(),
+                **({"endpoint_index": index()} if callable(index) else {}),
+            }
+        return {"plan_cache": self.plan_cache_info(), "streams": streams}
 
     def check(self, source: str) -> list:
         """Static diagnostics for a query, without executing it.
@@ -413,6 +496,74 @@ class XCQLEngine:
         """
         context = self.build_context(now=now, variables=variables)
         return delta.plan(context, wrappers)
+
+    # -- shared (grouped) evaluation ---------------------------------------------------
+
+    def prepare_shared(self, compiled: CompiledQuery) -> Optional[SharedPlan]:
+        """The query's shared prefix/residual split, or ``None``.
+
+        Builds on :meth:`prepare_delta`: only delta-safe plans can be
+        shared, and the split itself is decided by
+        :func:`repro.core.optimizer.analyze_shared`.  The verdict is
+        memoized on the :class:`CompiledQuery` (shared through the plan
+        cache), so a scheduler re-adding hundreds of same-source queries
+        pays for one analysis.
+        """
+        if compiled.shared_prepared:
+            return compiled.shared_plan
+        compiled.shared_prepared = True
+        if self.prepare_delta(compiled) is None:
+            compiled.shared_reason = compiled.delta_reason
+            return None
+        from repro.core.optimizer import DELTA_VAR, SHARED_VAR, analyze_shared
+        from repro.xquery.compiler import (
+            bind_free_var,
+            compile_delta_plan,
+            compile_expr,
+        )
+
+        analysis = analyze_shared(compiled.translated)
+        if not analysis.safe:
+            compiled.shared_reason = analysis.reason
+            return None
+        delta = analysis.delta
+        compiled.shared_plan = SharedPlan(
+            stream=delta.stream,
+            tsid=delta.tsid,
+            filler_id=delta.filler_id,
+            binds_versions=delta.binds_versions,
+            group_key=analysis.group_key,
+            routing=analysis.routing,
+            prefix=bind_free_var(compile_expr(analysis.prefix_expr), DELTA_VAR),
+            residual=compile_delta_plan(analysis.residual_module, SHARED_VAR),
+        )
+        return compiled.shared_plan
+
+    def execute_shared_prefix(
+        self,
+        shared: SharedPlan,
+        wrappers: list,
+        now: Optional[XSDateTime] = None,
+    ) -> list:
+        """Materialize a group's binding tuples from just-arrived wrappers.
+
+        Shared-safe plans are ``now``-free by construction (delta safety
+        bans clock dependence), so the tuples are valid for every group
+        member regardless of its evaluation instant.
+        """
+        context = self.build_context(now=now)
+        return shared.prefix(context, wrappers)
+
+    def execute_shared_residual(
+        self,
+        shared: SharedPlan,
+        tuples: list,
+        now: Optional[XSDateTime] = None,
+        variables: Optional[dict[str, list]] = None,
+    ) -> list:
+        """Run one member's residual over the group's binding tuples."""
+        context = self.build_context(now=now, variables=variables)
+        return shared.residual(context, tuples)
 
     def execute_on_view(
         self,
@@ -640,6 +791,30 @@ class _AnyArity:
 
     min_arity = 0
     max_arity = 99
+
+
+def _accepts_batch(listener: Callable) -> bool:
+    """Whether an arrival listener takes a third (filler batch) argument.
+
+    Falls back to the two-argument protocol when the signature can't be
+    introspected (builtins, exotic callables).
+    """
+    import inspect
+
+    try:
+        signature = inspect.signature(listener)
+    except (TypeError, ValueError):
+        return False
+    positional = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+        elif parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            return True
+    return positional >= 3
 
 
 def _text(seq: list) -> str:

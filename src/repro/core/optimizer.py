@@ -33,8 +33,12 @@ __all__ = [
     "lower_interval_joins",
     "count_calls",
     "analyze_delta",
+    "analyze_shared",
     "DeltaAnalysis",
+    "SharedAnalysis",
+    "RoutingPredicate",
     "DELTA_VAR",
+    "SHARED_VAR",
 ]
 
 _HOISTED_SUFFIX = "__fillers"
@@ -479,6 +483,251 @@ def _bind_delta_source(
     )
     body = xast.FLWOR([rebound] + list(flwor.clauses[1:]), flwor.return_expr)
     return xast.Module(module.functions, body)
+
+
+# ---------------------------------------------------------------------------
+# Shared multi-query evaluation (prefix/residual split + predicate routing)
+# ---------------------------------------------------------------------------
+
+# The variable a residual plan binds the shared prefix's materialized
+# binding tuples to (see :func:`analyze_shared`).
+SHARED_VAR = "__shared_binding__"
+
+# Comparison operators a routing predicate can encode, normalized to the
+# general-comparison spelling; _FLIPPED_OPS mirrors an operator across a
+# swapped literal (``50 < $t/amount`` routes like ``$t/amount > 50``).
+_ROUTABLE_OPS = {
+    "=": "=", "eq": "=",
+    "!=": "!=", "ne": "!=",
+    "<": "<", "lt": "<",
+    "<=": "<=", "le": "<=",
+    ">": ">", "gt": ">",
+    ">=": ">=", "ge": ">=",
+}
+
+_FLIPPED_OPS = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclasses.dataclass(frozen=True)
+class RoutingPredicate:
+    """A literal-comparable residual predicate, probeable per arriving filler.
+
+    Encodes the leftmost where-conjunct of a shared-safe residual when it
+    has the shape ``$tuple/child-path [op] literal`` (or the literal on the
+    left, operator mirrored): ``tuple_tag`` is the element test the driving
+    path binds, ``path`` the child-element chain below the bound tuple,
+    ``attribute`` a final attribute name (``vtFrom``/``vtTo`` probe the
+    filler's validTime; other attributes probe the payload), ``text_only``
+    marks a final ``text()`` step.  ``value`` is a float for numeric and
+    validTime comparisons, a string otherwise.  The probe is conservative
+    by construction: it may wake a query whose residual then yields
+    nothing, but it only *skips* when no binding tuple from the filler can
+    satisfy the conjunct.
+    """
+
+    tuple_tag: str
+    path: tuple
+    attribute: Optional[str]
+    text_only: bool
+    op: str
+    value: object
+    numeric: bool
+
+    def describe(self) -> str:
+        target = "/".join(self.path) if self.path else "."
+        if self.attribute is not None:
+            target = (target + "/" if self.path else "") + "@" + self.attribute
+        elif self.text_only:
+            target += "/text()"
+        shown = self.value if not isinstance(self.value, str) else f"\"{self.value}\""
+        return f"{self.tuple_tag}[{target} {self.op} {shown}]"
+
+
+@dataclasses.dataclass
+class SharedAnalysis:
+    """Verdict of :func:`analyze_shared` over one translated module.
+
+    A shared-safe plan is a delta-safe plan split into a *shared prefix*
+    (the driving stream access plus its downward-axis binding path over
+    arriving filler wrappers — ``prefix_expr``, referencing
+    ``$__delta_fillers__``) and a *per-query residual* (every remaining
+    clause plus the return body — ``residual_module``, whose driving
+    ``for`` binds ``$__shared_binding__``).  Queries with equal
+    ``group_key`` (stream, tsid, filler id, prefix source) bind identical
+    tuple sequences from the same arrivals, so one prefix evaluation per
+    tick can feed every member's residual.  ``routing`` carries the
+    extracted dispatch predicate, when one exists.
+    """
+
+    safe: bool
+    reason: str = ""
+    delta: Optional[DeltaAnalysis] = None
+    group_key: Optional[tuple] = None
+    prefix_expr: Optional[xast.Expr] = None
+    residual_module: Optional[xast.Module] = None
+    routing: Optional[RoutingPredicate] = None
+
+
+def analyze_shared(
+    module: xast.Module, delta: Optional[DeltaAnalysis] = None
+) -> SharedAnalysis:
+    """Split a delta-safe plan into a shared prefix and a residual.
+
+    The split is purely structural: the delta plan's driving ``for $v in
+    <path over $__delta_fillers__>`` becomes prefix ``<path>`` (evaluated
+    once per group per tick) plus residual ``for $v in $__shared_binding__
+    <rest> return <body>``.  Because the compiled FLWOR pipeline evaluates
+    its driving expression to a materialized sequence before binding,
+    feeding the prefix's tuples through the residual reproduces the solo
+    delta evaluation byte-for-byte.  Plans whose driving path calls
+    user-defined functions are not shared (two queries could define
+    different bodies under one name, breaking group-key equality).
+    """
+    if delta is None:
+        delta = analyze_delta(module)
+    if not delta.safe:
+        return SharedAnalysis(False, delta.reason, delta=delta)
+    body = delta.module.body
+    driver = body.clauses[0]
+    if _references_var(body, SHARED_VAR) or any(
+        _references_var(definition.body, SHARED_VAR)
+        for definition in module.functions
+    ):
+        return SharedAnalysis(
+            False, f"plan already references ${SHARED_VAR}", delta=delta
+        )
+    defined = {definition.name for definition in module.functions}
+    if _calls_any(driver.expr, defined):
+        return SharedAnalysis(
+            False, "driving path calls user-defined functions", delta=delta
+        )
+    prefix_expr = driver.expr
+    residual_body = xast.FLWOR(
+        [xast.ForClause(driver.var, xast.VarRef(SHARED_VAR), None)]
+        + list(body.clauses[1:]),
+        body.return_expr,
+    )
+    residual_module = xast.Module(module.functions, residual_body)
+    group_key = (
+        delta.stream, delta.tsid, delta.filler_id, xast.to_source(prefix_expr)
+    )
+    return SharedAnalysis(
+        True,
+        delta=delta,
+        group_key=group_key,
+        prefix_expr=prefix_expr,
+        residual_module=residual_module,
+        routing=_extract_routing(driver, body.clauses[1:]),
+    )
+
+
+def _calls_any(node: object, names: set) -> bool:
+    if isinstance(node, xast.FunctionCall) and node.name in names:
+        return True
+    return any(_calls_any(child, names) for child in _children(node))
+
+
+def _extract_routing(
+    driver: xast.ForClause, clauses: list
+) -> Optional[RoutingPredicate]:
+    """The dispatch predicate of a residual, if one is extractable.
+
+    Takes the leftmost conjunct of the residual's first ``where`` clause
+    (sound under short-circuit ``and``: if the leftmost conjunct cannot
+    hold for any tuple of a filler, no conjunction over those tuples can)
+    and matches it against the literal-comparison shape.  The driving path
+    must end in an element test so the probe knows which payload elements
+    become binding tuples.
+    """
+    expr = driver.expr
+    steps = expr.steps if isinstance(expr, xast.PathExpr) else []
+    if not steps:
+        return None
+    last = steps[-1]
+    if last.axis not in ("child", "descendant-or-self"):
+        return None
+    if last.test in ("text()", "node()"):
+        return None
+    for clause in clauses:
+        if isinstance(clause, xast.WhereClause):
+            return _match_routing(driver.var, last.test, _leftmost(clause.expr))
+    return None
+
+
+def _leftmost(expr: xast.Expr) -> xast.Expr:
+    while isinstance(expr, xast.BinOp) and expr.op == "and":
+        expr = expr.left
+    return expr
+
+
+def _match_routing(
+    var: str, tuple_tag: str, expr: object
+) -> Optional[RoutingPredicate]:
+    if not (isinstance(expr, xast.BinOp) and expr.op in _ROUTABLE_OPS):
+        return None
+    op = _ROUTABLE_OPS[expr.op]
+    shape = _routing_path(var, expr.left)
+    literal = expr.right
+    if shape is None:
+        shape = _routing_path(var, expr.right)
+        literal = expr.left
+        op = _FLIPPED_OPS[op]
+    if shape is None:
+        return None
+    path, attribute, text_only = shape
+    value, numeric = _routing_literal(literal, attribute)
+    if value is None:
+        return None
+    return RoutingPredicate(tuple_tag, path, attribute, text_only, op, value, numeric)
+
+
+def _routing_path(var: str, expr: object):
+    """``(path, attribute, text_only)`` of a ``$var/child...`` side, or None."""
+    if isinstance(expr, xast.VarRef):
+        return ((), None, False) if expr.name == var else None
+    if not (
+        isinstance(expr, xast.PathExpr)
+        and isinstance(expr.base, xast.VarRef)
+        and expr.base.name == var
+        and expr.steps
+    ):
+        return None
+    names: list[str] = []
+    attribute: Optional[str] = None
+    text_only = False
+    for index, step in enumerate(expr.steps):
+        if step.predicates:
+            return None
+        is_last = index == len(expr.steps) - 1
+        if step.axis == "attribute" and is_last:
+            attribute = step.test
+        elif step.axis == "child" and step.test == "text()" and is_last:
+            text_only = True
+        elif step.axis == "child" and step.test not in ("text()", "node()", "*"):
+            names.append(step.test)
+        else:
+            return None
+    return tuple(names), attribute, text_only
+
+
+def _routing_literal(node: object, attribute: Optional[str]):
+    """``(value, numeric)`` of the comparison literal, or ``(None, False)``."""
+    if isinstance(node, xast.Literal):
+        value = node.value
+        if isinstance(value, bool):
+            return None, False
+        if isinstance(value, (int, float)):
+            return float(value), True
+        if isinstance(value, str):
+            return value, False
+    if isinstance(node, xast.DateTimeLiteral) and attribute in ("vtFrom", "vtTo"):
+        from repro.temporal.chrono import XSDateTime
+
+        try:
+            return XSDateTime.parse(node.text).to_epoch_seconds(), True
+        except Exception:
+            return None, False
+    return None, False
 
 
 def _boolean_shaped(expr: object) -> bool:

@@ -25,6 +25,7 @@ get_fillers as a join — the index is the hash-join side), and
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
+from collections import OrderedDict
 from typing import Iterable, Optional
 
 from repro.dom.nodes import Document, Element
@@ -86,6 +87,13 @@ class FragmentStore:
         self._arrival_base = 0
         self._mutation_epoch = 0
         self._tsid_watermark: dict[int, int] = {}
+        # Delta-batch memo: many standing queries at the same watermark ask
+        # for the same (fillers_since, delta_wrappers) pair within one poll
+        # tick; the key embeds (seq, mutation_epoch) so any append or
+        # history rewrite naturally invalidates stale entries.
+        self._delta_memo: OrderedDict[tuple, tuple] = OrderedDict()
+        self._delta_memo_hits = 0
+        self._delta_memo_misses = 0
 
     # -- ingest ---------------------------------------------------------------
 
@@ -171,6 +179,7 @@ class FragmentStore:
         self._arrival_log.clear()
         self._arrival_base = self._seq
         self._tsid_watermark.clear()
+        self._delta_memo.clear()
         self._mutation_epoch += 1
 
     def set_tag_structure(self, tag_structure: Optional[TagStructure]) -> None:
@@ -186,6 +195,7 @@ class FragmentStore:
         self._version_cache.clear()
         self._wrapper_cache.clear()
         self._endpoint_cache.clear()
+        self._delta_memo.clear()
         self.invalidations += 1
         # Annotations derived under the old schema differ from the new
         # ones, so retained delta state is stale.
@@ -492,6 +502,53 @@ class FragmentStore:
             wrappers.append(wrapper)
         return wrappers
 
+    def delta_batch(
+        self,
+        seq: int,
+        tsid: Optional[int] = None,
+        filler_id: Optional[int] = None,
+    ) -> tuple[list[Filler], list[Element]]:
+        """``(fresh fillers, delta wrappers)`` past watermark ``seq``, memoized.
+
+        Composes :meth:`fillers_since` and :meth:`delta_wrappers` behind a
+        small LRU keyed on ``(seq, tsid, filler_id, store seq, mutation
+        epoch)``.  Within one poll tick every standing query of a shared
+        group sits at the same watermark, so N queries cost one wrapper
+        construction instead of N; the wrappers (and the filler list) are
+        shared read-only across callers.  Any ingest or history rewrite
+        changes the key, so stale entries can never be served.
+        """
+        key = (
+            int(seq),
+            None if tsid is None else int(tsid),
+            None if filler_id is None else int(filler_id),
+            self._seq,
+            self._mutation_epoch,
+        )
+        cached = self._delta_memo.get(key)
+        if cached is not None:
+            self._delta_memo.move_to_end(key)
+            self._delta_memo_hits += 1
+            return cached
+        self._delta_memo_misses += 1
+        fresh = self.fillers_since(seq, tsid=tsid)
+        if filler_id is not None:
+            target = int(filler_id)
+            fresh = [filler for filler in fresh if filler.filler_id == target]
+        wrappers = self.delta_wrappers(fresh) if fresh else []
+        self._delta_memo[key] = (fresh, wrappers)
+        while len(self._delta_memo) > 64:
+            self._delta_memo.popitem(last=False)
+        return fresh, wrappers
+
+    def delta_memo_info(self) -> dict[str, int]:
+        """Delta-batch memo statistics: hits, misses, size."""
+        return {
+            "hits": self._delta_memo_hits,
+            "misses": self._delta_memo_misses,
+            "size": len(self._delta_memo),
+        }
+
     # -- integrity -------------------------------------------------------------------------
 
     def dangling_holes(self) -> list[tuple[int, int]]:
@@ -580,6 +637,7 @@ class FragmentStore:
         # evaluation.  The arrival log restarts (seq itself never does).
         self._arrival_log.clear()
         self._arrival_base = self._seq
+        self._delta_memo.clear()
         self._mutation_epoch += 1
         return dropped
 

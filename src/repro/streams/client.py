@@ -70,7 +70,9 @@ class StreamClient:
                 self.received_bytes += message.wire_size
                 self._pending += 1
                 if self.scheduler is not None:
-                    self.scheduler.notify_arrival(message.stream, filler.tsid)
+                    self.scheduler.notify_arrival(
+                        message.stream, filler.tsid, [filler]
+                    )
 
     # -- continuous queries -----------------------------------------------------------
 

@@ -79,7 +79,8 @@ class ContinuousQuery:
         self.evaluations = 0
         self.skips = 0  # polls a scheduler decided not to re-evaluate
         self.full_runs = 0  # evaluations that re-scanned the whole store
-        self.delta_runs = 0  # evaluations served from the delta path
+        self.delta_runs = 0  # evaluations served from the solo delta path
+        self.shared_runs = 0  # delta evaluations fed from a group's shared scan
         self.emitted_total = 0
         self.seen_evictions = 0
         self.last_mode: Optional[str] = None  # "full" | "delta" after a run
@@ -96,13 +97,26 @@ class ContinuousQuery:
         """Register a sink for emitted results."""
         self.subscribers.append(callback)
 
-    def evaluate(self, now: Optional[XSDateTime] = None) -> list:
+    def evaluate(
+        self,
+        now: Optional[XSDateTime] = None,
+        tuple_source: Optional[Callable[[int], Optional[list]]] = None,
+    ) -> list:
         """Run the query at ``now`` and emit per the emission mode.
 
         Returns the emitted items (delta mode: the new ones only).
+
+        ``tuple_source`` is the scheduler's shared-evaluation hook: called
+        with this query's watermark sequence number, it may return the
+        group's already-materialized binding tuples for the fillers past
+        that watermark (see :class:`repro.streams.scheduler.QueryScheduler`).
+        The query then runs only its residual closure over those tuples
+        instead of its own delta scan.  Returning ``None`` falls back to
+        the solo delta path; every watermark/epoch/applicability guard
+        still runs here, so sharing never changes what gets evaluated.
         """
         self.evaluations += 1
-        result = self._evaluate_delta(now) if self.incremental else None
+        result = self._evaluate_delta(now, tuple_source) if self.incremental else None
         if result is None:
             result = self.engine.execute(self.compiled, now=now)
             self.full_runs += 1
@@ -118,7 +132,7 @@ class ContinuousQuery:
             # have evicted identities, in which case the full scan keeps
             # re-emission semantics identical to the full-evaluation path.
             candidates = result
-            if self.last_mode == "delta" and self.seen_cap is None:
+            if self.last_mode in ("delta", "shared") and self.seen_cap is None:
                 candidates = self._delta_items
             fresh = []
             for item in candidates:
@@ -138,7 +152,11 @@ class ContinuousQuery:
 
     # -- the delta driver -----------------------------------------------------------
 
-    def _evaluate_delta(self, now: Optional[XSDateTime]) -> Optional[list]:
+    def _evaluate_delta(
+        self,
+        now: Optional[XSDateTime],
+        tuple_source: Optional[Callable[[int], Optional[list]]] = None,
+    ) -> Optional[list]:
         """The incremental answer, or ``None`` to force a full run."""
         delta = self.engine.prepare_delta(self.compiled)
         if delta is None:
@@ -154,19 +172,36 @@ class ContinuousQuery:
             # tuples may reference dropped or re-annotated versions.
             self._watermark = None
             return None
-        fresh = store.fillers_since(seq, tsid=delta.tsid)
-        if delta.filler_id is not None:
-            fresh = [f for f in fresh if f.filler_id == delta.filler_id]
+        # Memoized in the store so N same-watermark queries in a shared
+        # group build the wrapper batch once per tick, not N times.
+        fresh, wrappers = store.delta_batch(
+            seq, tsid=delta.tsid, filler_id=delta.filler_id
+        )
         if not self._delta_applicable(store, delta, fresh):
             self._watermark = None
             return None
-        self.delta_runs += 1
-        self.last_mode = "delta"
+        mode = "delta"
         self._delta_items = []
         if fresh:
-            wrappers = store.delta_wrappers(fresh)
-            self._delta_items = self.engine.execute_delta(delta, wrappers, now=now)
+            tuples = tuple_source(seq) if tuple_source is not None else None
+            shared = (
+                self.engine.prepare_shared(self.compiled)
+                if tuples is not None
+                else None
+            )
+            if shared is not None:
+                self._delta_items = self.engine.execute_shared_residual(
+                    shared, tuples, now=now
+                )
+                mode = "shared"
+            else:
+                self._delta_items = self.engine.execute_delta(delta, wrappers, now=now)
             self._retained = self._retained + self._delta_items
+        if mode == "shared":
+            self.shared_runs += 1
+        else:
+            self.delta_runs += 1
+        self.last_mode = mode
         self._watermark = (store.seq, store.mutation_epoch)
         return list(self._retained)
 
@@ -210,6 +245,31 @@ class ContinuousQuery:
         self._retained = list(result)
         self._watermark = (store.seq, store.mutation_epoch)
 
+    def advance_watermark(self, cleared_seq: int) -> None:
+        """Advance past arrivals proven unable to change the answer.
+
+        Called by the scheduler's predicate routing index when every
+        filler up to store sequence ``cleared_seq`` was probed and cannot
+        satisfy this query's leading predicate: the delta over them is
+        empty, the retained result stays valid, and the next wake only
+        processes genuinely new fillers instead of catching up.  No-op
+        when the watermark is unset, the plan is not delta-safe, or the
+        store's history was rewritten since (epoch moved — the next
+        evaluation falls back to a full run regardless).
+        """
+        if self._watermark is None:
+            return
+        delta = self.engine.prepare_delta(self.compiled)
+        if delta is None:
+            return
+        store = self.engine.stores.get(delta.stream)
+        if store is None:
+            return
+        seq, epoch = self._watermark
+        if store.mutation_epoch != epoch or cleared_seq <= seq:
+            return
+        self._watermark = (cleared_seq, epoch)
+
     def reset(self) -> None:
         """Forget emission history (delta mode starts over)."""
         self._seen.clear()
@@ -233,6 +293,7 @@ class ContinuousQuery:
             "skips": self.skips,
             "full_runs": self.full_runs,
             "delta_runs": self.delta_runs,
+            "shared_runs": self.shared_runs,
             "emitted": self.emitted_total,
             "seen_size": len(self._seen),
             "seen_evictions": self.seen_evictions,

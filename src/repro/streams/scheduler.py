@@ -13,22 +13,47 @@ core of that idea at query granularity:
 - queries that mention ``now`` (sliding windows) are *time-sensitive* and
   also re-evaluate when the clock has advanced, even without arrivals.
 
+Two multi-query optimizations sit on top (the many-standing-queries
+regime of paper §2/§7):
+
+- **Shared group evaluation.**  Queries whose plan splits into an equal
+  shared prefix (see :func:`repro.core.optimizer.analyze_shared`) are
+  grouped by ``(engine, stream, tsid, filler id, prefix source)``.  A poll
+  tick materializes each group's binding tuples *once* per distinct
+  watermark and hands them to every member's residual closure, so N
+  same-source queries cost one delta scan plus N cheap residuals instead
+  of N scans.
+- **Predicate routing.**  A query whose residual leads with a
+  literal-comparable conjunct (``$t/amount > 50``) registers in a
+  per-(stream, tsid) dispatch table.  An arriving filler batch is probed
+  against each registered predicate and wakes only the queries whose
+  predicate can match — ``notify_arrival`` becomes an index probe instead
+  of a broadcast.  Probes are conservative (uncertainty wakes), and a
+  skipped query's watermark does not advance, so skipped fillers are
+  simply folded in at its next wake — semantics identical to the
+  dependency-based skips.
+
 Re-evaluations run each query's cached :class:`CompiledQuery` — with the
 default ``"compiled"`` backend that is a closure plan (see
 :mod:`repro.xquery.compiler`), so a poll tick pays zero parse/translate
-and zero AST dispatch.  The saved evaluations are counted, which ablation
-A3b measures.
+and zero AST dispatch.  The saved evaluations are counted, which ablations
+A3b and A11 measure.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
-from repro.core.engine import CompiledQuery
+from repro.core.engine import CompiledQuery, SharedPlan
+from repro.core.optimizer import RoutingPredicate
+from repro.dom.nodes import Element, Text
+from repro.fragments.model import Filler
+from repro.fragments.tagstructure import TagType
 from repro.streams.continuous import ContinuousQuery
 from repro.temporal.chrono import XSDateTime
 from repro.xquery import xast
+from repro.xquery.xdm import string_value
 
 __all__ = ["QueryDependencies", "dependencies_of", "QueryScheduler"]
 
@@ -60,7 +85,15 @@ def dependencies_of(compiled: CompiledQuery) -> QueryDependencies:
     ``get_fillers_by_tsid(stream, tsid)`` depends on one tsid only — but
     the *content* fetched may itself contain holes, so any non-leaf tsid
     also widens to the subtree of tags below it.
+
+    The result is memoized on the :class:`CompiledQuery` (and therefore
+    shared through the engine's plan cache): re-adding the same compiled
+    query to a scheduler — or registering hundreds of clones in a group —
+    walks the AST once.
     """
+    memo = getattr(compiled, "dependencies_memo", None)
+    if memo is not None:
+        return memo
     deps: set[tuple[str, Union[int, str]]] = set()
     time_sensitive = False
 
@@ -86,7 +119,12 @@ def dependencies_of(compiled: CompiledQuery) -> QueryDependencies:
     visit(compiled.translated.body)
     for definition in compiled.translated.functions:
         visit(definition.body)
-    return QueryDependencies(frozenset(deps), time_sensitive)
+    result = QueryDependencies(frozenset(deps), time_sensitive)
+    try:
+        compiled.dependencies_memo = result
+    except AttributeError:
+        pass  # non-CompiledQuery duck types stay unmemoized
+    return result
 
 
 def _literal(node: object):
@@ -123,11 +161,23 @@ def _collect(value: object, out: list) -> None:
 class _Entry:
     query: ContinuousQuery
     dependencies: QueryDependencies
+    shared: Optional[SharedPlan] = None
+    group_key: Optional[tuple] = None  # (id(engine), *SharedPlan.group_key)
+    route_key: Optional[tuple] = None  # (stream, tsid) when routed
+    routing: Optional[RoutingPredicate] = None
+    dirty: bool = False  # routed entries: a probed arrival matched
+    # Store seq through which every probed filler missed: a skip may then
+    # advance the query's watermark past the cleared arrivals (the delta
+    # over them is provably empty), so later wakes don't re-scan them.
+    cleared_seq: Optional[int] = None
     last_now: Optional[XSDateTime] = None
     evaluations: int = 0
     skips: int = 0
-    full_runs: int = 0   # evaluations that re-scanned the whole store
-    delta_runs: int = 0  # evaluations served by the incremental path
+    full_runs: int = 0    # evaluations that re-scanned the whole store
+    delta_runs: int = 0   # evaluations served by the solo incremental path
+    shared_runs: int = 0  # evaluations fed from the group's shared scan
+    routing_wakes: int = 0
+    routing_skips: int = 0
 
 
 class QueryScheduler:
@@ -137,34 +187,144 @@ class QueryScheduler:
     notifications automatically from every :meth:`XCQLEngine.feed` — no
     hand-plumbed ``notify_arrival`` calls.  Queries the scheduler does run
     use their own incremental (delta) path when their plan is delta-safe;
-    :meth:`poll` records per query whether the run was a delta, a full
-    re-evaluation, or a skip.
+    :meth:`poll` records per query whether the run was shared, a solo
+    delta, a full re-evaluation, or a skip.
+
+    ``share_groups`` enables the shared prefix evaluation for groups of ≥2
+    same-prefix queries; ``routing`` enables the predicate routing index.
+    Both default on and both only ever *reduce* work — disabling them
+    restores the PR-3 broadcast/solo behaviour (the A11 baseline arm).
     """
 
-    def __init__(self, engine=None) -> None:
+    def __init__(self, engine=None, share_groups: bool = True,
+                 routing: bool = True) -> None:
         self._entries: list[_Entry] = []
         self._arrivals: dict[str, set[int]] = {}
         self._watched: list = []
+        self.share_groups = share_groups
+        self.routing = routing
+        self._groups: dict[tuple, list[_Entry]] = {}
+        self._routes: dict[tuple[str, int], list[_Entry]] = {}
+        # Per-tick cache of materialized binding tuples, keyed
+        # (group key, member watermark, store seq, store epoch).
+        self._tick_tuples: dict[tuple, list] = {}
+        self._notifications = 0
+        self._routing_probes = 0
+        self._routing_wakes = 0
+        self._routing_skips = 0
+        self._prefix_runs = 0
+        self._prefix_reuses = 0
         if engine is not None:
             self.watch_engine(engine)
 
     # -- registration ---------------------------------------------------------
 
     def add(self, query: ContinuousQuery) -> QueryDependencies:
-        """Track a continuous query; returns its derived dependencies."""
+        """Track a continuous query; returns its derived dependencies.
+
+        Shared-safe queries join their prefix group; those whose residual
+        carries a routable predicate and whose dependencies are exactly
+        one concrete ``(stream, tsid)`` also register in the routing
+        index (broader dependencies keep the broadcast wake — routing a
+        query that can also observe other arrivals would be unsound).
+        """
         dependencies = dependencies_of(query.compiled)
-        self._entries.append(_Entry(query, dependencies))
+        entry = _Entry(query, dependencies)
+        shared = query.engine.prepare_shared(query.compiled)
+        if shared is not None:
+            entry.shared = shared
+            entry.group_key = (id(query.engine),) + shared.group_key
+            self._groups.setdefault(entry.group_key, []).append(entry)
+            if (
+                self.routing
+                and shared.routing is not None
+                and shared.tsid is not None
+                and dependencies.streams == frozenset({(shared.stream, shared.tsid)})
+                and not dependencies.time_sensitive
+            ):
+                entry.routing = shared.routing
+                entry.route_key = (shared.stream, shared.tsid)
+                self._routes.setdefault(entry.route_key, []).append(entry)
+        self._entries.append(entry)
         return dependencies
+
+    def remove(self, query: ContinuousQuery) -> bool:
+        """Stop tracking a query; returns whether it was tracked.
+
+        Group co-members simply shrink their group (a group of one falls
+        back to solo delta evaluation); the routing index forgets the
+        query's predicate.
+        """
+        for entry in self._entries:
+            if entry.query is query:
+                self._entries.remove(entry)
+                if entry.group_key is not None:
+                    members = self._groups.get(entry.group_key, [])
+                    if entry in members:
+                        members.remove(entry)
+                    if not members:
+                        self._groups.pop(entry.group_key, None)
+                if entry.route_key is not None:
+                    routed = self._routes.get(entry.route_key, [])
+                    if entry in routed:
+                        routed.remove(entry)
+                    if not routed:
+                        self._routes.pop(entry.route_key, None)
+                return True
+        return False
 
     # -- arrival tracking ---------------------------------------------------------
 
-    def notify_arrival(self, stream: str, tsid: int) -> None:
-        """Record that a filler with ``tsid`` arrived on ``stream``.
+    def notify_arrival(self, stream: str, tsid: int,
+                       fillers: Optional[list[Filler]] = None) -> None:
+        """Record that filler(s) with ``tsid`` arrived on ``stream``.
 
         Idempotent per poll window (a set-add), so automatic engine
-        notifications and manual calls may overlap harmlessly.
+        notifications and manual calls may overlap harmlessly.  The
+        engine's coalesced ``feed`` wakes pass the accepted ``fillers``
+        batch, which the routing index probes: a routed query is marked
+        dirty only when some filler can satisfy its predicate.  Calls
+        without a batch (the manual two-argument protocol) wake routed
+        queries unconditionally — conservative, never unsound.
         """
+        self._notifications += 1
         self._arrivals.setdefault(stream, set()).add(int(tsid))
+        routed = self._routes.get((stream, int(tsid)))
+        if not routed:
+            return
+        # Entries on one route key often share a predicate *shape* (same
+        # path, different literal — 64 threshold alerts over one tag);
+        # extracted probe values are cached per (filler, shape) so the
+        # content walk happens once per filler, not once per query.
+        value_cache: dict[tuple, Optional[list]] = {}
+        for entry in routed:
+            if entry.dirty:
+                continue
+            if fillers is None:
+                entry.dirty = True
+                continue
+            self._routing_probes += 1
+            store = entry.query.engine.stores.get(stream)
+            tag_type = store.tag_type_of(int(tsid)) if store is not None else None
+            if any(_route_match(entry.routing, filler, tag_type, value_cache)
+                   for filler in fillers):
+                entry.dirty = True
+                entry.routing_wakes += 1
+                self._routing_wakes += 1
+            else:
+                entry.routing_skips += 1
+                self._routing_skips += 1
+                # The probe covered every filler of this (stream, tsid) in
+                # the feed, so the store's current seq is cleared — but
+                # only when the notification provably came from the
+                # entry's own engine (a second watched engine could feed
+                # an identically-named stream whose fillers we never saw).
+                if (
+                    store is not None
+                    and len(self._watched) == 1
+                    and self._watched[0] is entry.query.engine
+                ):
+                    entry.cleared_seq = store.seq
 
     def watch_engine(self, engine) -> None:
         """Subscribe to an engine's ingest: ``feed`` implies ``notify_arrival``."""
@@ -183,11 +343,17 @@ class QueryScheduler:
     def poll(self, now: XSDateTime) -> dict[ContinuousQuery, list]:
         """Re-evaluate exactly the queries whose answer can have changed."""
         emitted: dict[ContinuousQuery, list] = {}
+        self._tick_tuples.clear()
         for entry in self._entries:
             if self._should_run(entry, now):
-                emitted[entry.query] = entry.query.evaluate(now)
+                tuple_source = self._tuple_source_for(entry)
+                emitted[entry.query] = entry.query.evaluate(
+                    now, tuple_source=tuple_source
+                )
                 entry.evaluations += 1
-                if entry.query.last_mode == "delta":
+                if entry.query.last_mode == "shared":
+                    entry.shared_runs += 1
+                elif entry.query.last_mode == "delta":
                     entry.delta_runs += 1
                 else:
                     entry.full_runs += 1
@@ -195,19 +361,65 @@ class QueryScheduler:
                 entry.skips += 1
                 entry.query.skips += 1
                 emitted[entry.query] = []
+                if entry.cleared_seq is not None and not entry.dirty:
+                    entry.query.advance_watermark(entry.cleared_seq)
             entry.last_now = now
+            entry.dirty = False
+            entry.cleared_seq = None
         self._arrivals.clear()
+        self._tick_tuples.clear()
         return emitted
 
     def _should_run(self, entry: _Entry, now: XSDateTime) -> bool:
         if entry.last_now is None:
             return True  # first poll establishes a baseline
+        if entry.route_key is not None:
+            # Routed queries are woken by the index probe alone; their
+            # dependencies are exactly the routed (stream, tsid) and they
+            # are clock-insensitive, so nothing else can change the answer.
+            return entry.dirty
         for stream, tsids in self._arrivals.items():
             if tsids and entry.dependencies.touches(stream, tsids):
                 return True
         if entry.dependencies.time_sensitive and now != entry.last_now:
             return True
         return False
+
+    def _tuple_source_for(self, entry: _Entry) -> Optional[Callable]:
+        """The group's shared-tuple hook for one member, or ``None``.
+
+        Only groups with ≥2 members share (a solo member's prefix run
+        would just re-spell its own delta scan).  The returned closure is
+        keyed by the member's watermark, so members at equal watermarks —
+        the steady state under a scheduler — reuse one prefix evaluation
+        per tick; a member that was skipped for a while simply pays one
+        catch-up prefix run for its older watermark.
+        """
+        if not self.share_groups or entry.shared is None:
+            return None
+        members = self._groups.get(entry.group_key, [])
+        if len(members) < 2:
+            return None
+        shared = entry.shared
+        engine = entry.query.engine
+        store = engine.stores.get(shared.stream)
+        if store is None:
+            return None
+
+        def source(watermark_seq: int) -> Optional[list]:
+            key = (entry.group_key, watermark_seq, store.seq, store.mutation_epoch)
+            if key in self._tick_tuples:
+                self._prefix_reuses += 1
+                return self._tick_tuples[key]
+            _, wrappers = store.delta_batch(
+                watermark_seq, tsid=shared.tsid, filler_id=shared.filler_id
+            )
+            tuples = engine.execute_shared_prefix(shared, wrappers)
+            self._tick_tuples[key] = tuples
+            self._prefix_runs += 1
+            return tuples
+
+        return source
 
     # -- statistics ---------------------------------------------------------------------
 
@@ -227,20 +439,46 @@ class QueryScheduler:
     def total_full_runs(self) -> int:
         return sum(entry.full_runs for entry in self._entries)
 
+    @property
+    def total_shared_runs(self) -> int:
+        return sum(entry.shared_runs for entry in self._entries)
+
     def stats(self) -> dict:
         """Counters for reporting: totals plus a per-query breakdown.
 
         Each ``queries`` entry identifies the query by its XCQL source and
         reports how often the scheduler ran vs. skipped it — the ablation
         A3b denominator, now attributable per standing query — and how the
-        runs split between incremental (``delta_runs``) and full-scan
-        (``full_runs``) evaluations (ablation A10).
+        runs split between shared (``shared_runs``), solo incremental
+        (``delta_runs``) and full-scan (``full_runs``) evaluations
+        (ablations A10/A11).  ``routing`` reports the dispatch index:
+        probes performed, wakes granted, wakes skipped; ``shared_prefix``
+        reports group-scan economy (each reuse is one avoided delta scan);
+        ``groups`` maps each shared group to its member count.
         """
         return {
             "evaluations": self.total_evaluations,
             "skips": self.total_skips,
             "delta_runs": self.total_delta_runs,
             "full_runs": self.total_full_runs,
+            "shared_runs": self.total_shared_runs,
+            "notifications": self._notifications,
+            "routing": {
+                "registered": sum(len(v) for v in self._routes.values()),
+                "probes": self._routing_probes,
+                "wakes": self._routing_wakes,
+                "skips": self._routing_skips,
+            },
+            "shared_prefix": {
+                "runs": self._prefix_runs,
+                "reuses": self._prefix_reuses,
+            },
+            "groups": {
+                " ".join(str(part) for part in key[1:]): len(members)
+                for key, members in sorted(
+                    self._groups.items(), key=lambda item: str(item[0])
+                )
+            },
             "queries": [
                 {
                     "source": entry.query.source,
@@ -248,7 +486,137 @@ class QueryScheduler:
                     "skips": entry.skips,
                     "delta_runs": entry.delta_runs,
                     "full_runs": entry.full_runs,
+                    "shared_runs": entry.shared_runs,
                 }
                 for entry in self._entries
             ],
         }
+
+
+# -- the routing probe ---------------------------------------------------------------
+
+
+def _route_match(pred: RoutingPredicate, filler: Filler,
+                 tag_type: Optional[TagType],
+                 value_cache: Optional[dict] = None) -> bool:
+    """Can this filler produce a binding tuple satisfying ``pred``?
+
+    Conservative: ``True`` (wake) whenever the probe cannot decide.  The
+    candidate set — the content root plus any descendant elements with the
+    bound tag name — is a superset of the tuples the shared prefix will
+    actually bind from this filler (the prefix only navigates downward
+    from filler wrappers), so a ``False`` verdict is sound: no candidate
+    can satisfy the conjunct, the residual's leftmost ``where`` rejects
+    every tuple, and the query's answer cannot change.
+    """
+    values = _filler_values(pred, filler, tag_type, value_cache)
+    if values is None:
+        return True  # cannot decide — wake
+    return any(_probe_compare(value, pred) for value in values)
+
+
+def _filler_values(pred: RoutingPredicate, filler: Filler,
+                   tag_type: Optional[TagType],
+                   value_cache: Optional[dict]) -> Optional[list]:
+    """Every comparable value ``pred``'s left side yields for a filler.
+
+    ``None`` = some candidate is undecidable (wake).  Keyed by the
+    predicate *shape* (not its literal), so same-shape predicates with
+    different thresholds share one content walk per filler.
+    """
+    key = (id(filler), pred.tuple_tag, pred.path, pred.attribute,
+           pred.text_only, pred.numeric)
+    if value_cache is not None and key in value_cache:
+        return value_cache[key]
+    candidates: list[Element] = []
+    root = filler.content
+    if root.tag == pred.tuple_tag:
+        candidates.append(root)
+    candidates.extend(_descendants_with_tag(root, pred.tuple_tag))
+    merged: Optional[list] = []
+    for candidate in candidates:
+        values = _probe_values(pred, candidate, root, filler, tag_type)
+        if values is None:
+            merged = None
+            break
+        merged.extend(values)
+    if value_cache is not None:
+        value_cache[key] = merged
+    return merged
+
+
+def _descendants_with_tag(element: Element, tag: str) -> list[Element]:
+    found: list[Element] = []
+    for child in element.child_elements():
+        if child.tag == tag:
+            found.append(child)
+        found.extend(_descendants_with_tag(child, tag))
+    return found
+
+
+def _probe_values(pred: RoutingPredicate, candidate: Element, root: Element,
+                  filler: Filler, tag_type: Optional[TagType]):
+    """The comparable values ``pred``'s left side yields for a candidate.
+
+    ``None`` means undecidable (wake); an empty list means the operand is
+    an empty sequence — a general comparison over it is false, so the
+    candidate cannot match.
+    """
+    if pred.attribute in ("vtFrom", "vtTo"):
+        # Annotation attributes exist on the wrapper level only: the
+        # arriving version's vtFrom is its own validTime for every tag
+        # type, and its vtTo equals vtFrom for events.  A temporal or
+        # snapshot vtTo depends on *other* versions — undecidable here.
+        if pred.path or candidate is not root:
+            return None
+        if pred.attribute == "vtTo" and tag_type is not TagType.EVENT:
+            return None
+        return [filler.valid_time.to_epoch_seconds()]
+    targets = [candidate]
+    for name in pred.path:
+        targets = [
+            child
+            for element in targets
+            for child in element.child_elements(name)
+        ]
+    values: list = []
+    for element in targets:
+        if pred.attribute is not None:
+            if pred.attribute in element.attrs:
+                values.append(str(element.attrs[pred.attribute]))
+        elif pred.text_only:
+            values.extend(
+                child.text
+                for child in element.children
+                if isinstance(child, Text)
+            )
+        else:
+            values.append(string_value(element))
+    if pred.numeric:
+        numeric: list = []
+        for value in values:
+            try:
+                numeric.append(float(value))
+            except (TypeError, ValueError):
+                return None  # non-numeric operand would raise at runtime — wake
+        return numeric
+    return values
+
+
+def _probe_compare(value, pred: RoutingPredicate) -> bool:
+    try:
+        if pred.op == "=":
+            return value == pred.value
+        if pred.op == "!=":
+            return value != pred.value
+        if pred.op == "<":
+            return value < pred.value
+        if pred.op == "<=":
+            return value <= pred.value
+        if pred.op == ">":
+            return value > pred.value
+        if pred.op == ">=":
+            return value >= pred.value
+    except TypeError:
+        return True  # incomparable — wake
+    return True  # unknown operator — wake

@@ -79,7 +79,13 @@ from repro.xquery.xdm import (
     value_compare,
 )
 
-__all__ = ["CompiledPlan", "compile_module", "compile_expr", "compile_delta_plan"]
+__all__ = [
+    "CompiledPlan",
+    "compile_module",
+    "compile_expr",
+    "compile_delta_plan",
+    "bind_free_var",
+]
 
 Plan = Callable[[Context], list]
 
@@ -170,11 +176,28 @@ def compile_delta_plan(module: xast.Module, var: str) -> Callable:
     agnostic, the delta path reuses every existing stage — steps,
     predicates, joins, constructors — unchanged; only the driving
     sequence shrinks from the whole store to the batch.
-    """
-    plan = compile_module(module)
 
-    def run(ctx: Context, wrappers: list) -> list:
-        ctx.variables[var] = list(wrappers)
+    The same mechanism drives shared multi-query evaluation: a residual
+    module (see :func:`repro.core.optimizer.analyze_shared`) compiles here
+    with ``var`` set to the shared binding variable, so the residual runs
+    against the *materialized tuples* a group's prefix produced instead of
+    re-walking the wrappers per member query.
+    """
+    return bind_free_var(compile_module(module), var)
+
+
+def bind_free_var(plan: Callable, var: str) -> Callable:
+    """Wrap a compiled plan as ``run(ctx, values) -> list``.
+
+    ``values`` is bound to ``$var`` for the duration of the call — the
+    generic "plan with one free variable" adapter behind both the delta
+    driver (wrappers in) and the shared prefix/residual split (prefix:
+    wrappers in, binding tuples out; residual: binding tuples in, result
+    items out).
+    """
+
+    def run(ctx: Context, values: list) -> list:
+        ctx.variables[var] = list(values)
         try:
             return plan(ctx)
         finally:

@@ -109,3 +109,51 @@ class TestCLIs:
         out = capsys.readouterr().out
         assert "get_fillers_by_tsid" in out
         assert "1234" in out and "7777" in out
+
+    def test_xcql_stats_flag(self, credit_store, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "credit.store.xml"
+        save_store(credit_store, path)
+        rc = xcql_main(
+            [
+                "--store", str(path),
+                "--stream", "credit",
+                "--query", 'count(stream("credit")//account)',
+                "--now", "2003-12-15T00:00:00",
+                "--stats",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = out.split("-- engine stats:", 1)[1]
+        stats = json.loads(payload)
+        assert stats["plan_cache"]["size"] >= 1
+        assert "credit" in stats["streams"]
+        assert "delta_memo" in stats["streams"]["credit"]
+
+    def test_xcql_replay_prints_scheduler_stats(self, credit_store, tmp_path,
+                                                capsys):
+        import json
+
+        path = tmp_path / "credit.store.xml"
+        save_store(credit_store, path)
+        rc = xcql_main(
+            [
+                "--store", str(path),
+                "--stream", "credit",
+                "--query",
+                'for $t in stream("credit")//transaction '
+                "where $t/amount > 5 return $t/@id",
+                "--strategy", "QaC+",
+                "--replay", "2",
+            ]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["fillers_replayed"] == len(credit_store.fillers_since(0))
+        assert report["batch_size"] == 2
+        assert report["query"]["evaluations"] >= 1
+        assert "routing" in report["scheduler"]
+        assert "shared_prefix" in report["scheduler"]
+        assert "plan_cache" in report["engine"]

@@ -12,7 +12,10 @@ from repro import (
     XCQLEngine,
 )
 from repro.dom import Element, parse_document
+from repro.fragments.model import Filler
+from repro.streams.continuous import ContinuousQuery
 from repro.streams.scheduler import ALL_TSIDS, QueryScheduler, dependencies_of
+from repro.temporal.chrono import XSDateTime
 
 from tests.conftest import CREDIT_TAG_STRUCTURE_XML
 
@@ -308,8 +311,93 @@ class TestScheduler:
                 "skips": 1,
                 "delta_runs": 0,
                 "full_runs": 1,
+                "shared_runs": 0,
             }
         ]
         # The scheduler mirrors its skip decisions onto the query itself.
         assert query.stats()["evaluations"] == 1
         assert query.stats()["skips"] == 1
+
+
+class TestListenerLifecycle:
+    """watch/unwatch must neither leak listeners nor double-fire wakes."""
+
+    @staticmethod
+    def _txn(filler_id: int, hour: int, amount: int) -> Filler:
+        content = parse_document(
+            f'<transaction id="t{filler_id}"><amount>{amount}</amount>'
+            "</transaction>"
+        ).document_element
+        return Filler(
+            filler_id, 5, XSDateTime.parse(f"2003-10-01T{hour:02d}:00:00"), content
+        )
+
+    def test_watch_twice_registers_once(self):
+        engine = make_engine()
+        scheduler = QueryScheduler(engine)
+        scheduler.watch_engine(engine)  # idempotent
+        assert len(engine._arrival_listeners) == 1
+        engine.feed("credit", [self._txn(10, 1, 5)])
+        assert scheduler.stats()["notifications"] == 1
+
+    def test_unwatch_stops_notifications_and_releases_listener(self):
+        engine = make_engine()
+        scheduler = QueryScheduler(engine)
+        scheduler.unwatch_engine(engine)
+        assert engine._arrival_listeners == []
+        engine.feed("credit", [self._txn(11, 1, 5)])
+        assert scheduler.stats()["notifications"] == 0
+
+    def test_dropped_then_rewatched_fires_exactly_once(self):
+        engine = make_engine()
+        scheduler = QueryScheduler(engine)
+        scheduler.unwatch_engine(engine)
+        scheduler.watch_engine(engine)
+        assert len(engine._arrival_listeners) == 1
+        engine.feed("credit", [self._txn(12, 1, 5)])
+        assert scheduler.stats()["notifications"] == 1
+
+    def test_two_schedulers_fire_independently(self):
+        engine = make_engine()
+        first = QueryScheduler(engine)
+        second = QueryScheduler(engine)
+        engine.feed("credit", [self._txn(13, 1, 5)])
+        assert first.stats()["notifications"] == 1
+        assert second.stats()["notifications"] == 1
+        first.unwatch_engine(engine)
+        engine.feed("credit", [self._txn(14, 2, 5)])
+        assert first.stats()["notifications"] == 1
+        assert second.stats()["notifications"] == 2
+
+    def test_same_tsid_batch_coalesces_to_one_notification(self):
+        engine = make_engine()
+        scheduler = QueryScheduler(engine)
+        engine.feed("credit", [self._txn(20 + i, 1 + i, 5) for i in range(6)])
+        assert scheduler.stats()["notifications"] == 1
+
+    def test_mixed_tsids_fire_one_notification_each(self):
+        engine = make_engine()
+        scheduler = QueryScheduler(engine)
+        limit_content = parse_document("<creditLimit>75</creditLimit>").document_element
+        fillers = [self._txn(30 + i, 1 + i, 5) for i in range(3)]
+        fillers.append(
+            Filler(40, 4, XSDateTime.parse("2003-10-01T05:00:00"), limit_content)
+        )
+        engine.feed("credit", fillers)
+        assert scheduler.stats()["notifications"] == 2
+
+    def test_unwatched_scheduler_skips_without_arrival_signal(self):
+        engine = make_engine()
+        scheduler = QueryScheduler(engine)
+        query = ContinuousQuery(
+            engine, 'count(stream("credit")//transaction)', Strategy.QAC_PLUS
+        )
+        scheduler.add(query)
+        now = XSDateTime.parse("2003-10-01T00:00:00")
+        scheduler.poll(now)
+        scheduler.unwatch_engine(engine)
+        engine.feed("credit", [self._txn(50, 1, 5)])
+        scheduler.poll(now)
+        # The arrival was never seen, so the poll must skip (stale answer
+        # is the documented contract for manual notification wiring).
+        assert query.skips == 1
