@@ -1,7 +1,10 @@
 """Command-line entry points.
 
 - ``repro-figure4`` — regenerate the paper's Figure 4 table;
-- ``repro-xmlgen`` — emit an XMark auction document (our xmlgen clone).
+- ``repro-xmlgen`` — emit an XMark auction document (our xmlgen clone);
+- ``repro-xcql`` — run (``run``) or explain (``explain``) an XCQL query
+  over a fragment-store snapshot;
+- ``repro-lint`` — the repo's source lint (pipeline-bypass imports).
 """
 
 from __future__ import annotations
@@ -13,7 +16,7 @@ from repro.bench.figure4 import format_table, run_figure4
 from repro.dom import serialize
 from repro.xmark import generate_auction_document
 
-__all__ = ["figure4_main", "xmlgen_main", "xcql_main"]
+__all__ = ["figure4_main", "xmlgen_main", "xcql_main", "lint_main"]
 
 
 def figure4_main(argv: list[str] | None = None) -> int:
@@ -60,7 +63,7 @@ def xmlgen_main(argv: list[str] | None = None) -> int:
 
 
 def xcql_main(argv: list[str] | None = None) -> int:
-    """Run an XCQL query against a saved fragment-store snapshot."""
+    """Run or explain an XCQL query against a saved fragment-store snapshot."""
     import json
 
     from repro.core import Strategy, XCQLEngine
@@ -70,6 +73,20 @@ def xcql_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Evaluate an XCQL query over a fragment-store snapshot "
         "(see repro.fragments.persist.save_store)."
+    )
+    parser.add_argument(
+        "command",
+        nargs="?",
+        choices=["run", "explain"],
+        default="run",
+        help="run the query (default) or print its plan summary — the "
+        "translation, dependencies, and the pass-pipeline verdicts — as JSON",
+    )
+    parser.add_argument(
+        "--passes",
+        action="store_true",
+        help="with 'explain': include the per-pass pipeline trace "
+        "(name, fired?, rewrite counts, reasons) and the pipeline fingerprint",
     )
     parser.add_argument("--store", required=True, help="snapshot file (.xml)")
     parser.add_argument(
@@ -108,6 +125,8 @@ def xcql_main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.replay is not None and args.replay < 1:
         parser.error("--replay batch size must be a positive integer")
+    if args.passes and args.command != "explain":
+        parser.error("--passes requires the 'explain' command")
 
     store = load_store(args.store)
     if store.tag_structure is None:
@@ -115,6 +134,19 @@ def xcql_main(argv: list[str] | None = None) -> int:
     source = args.query if args.query is not None else sys.stdin.read()
     strategy = next(s for s in Strategy if s.value == args.strategy)
     now = XSDateTime.parse(args.now) if args.now else None
+
+    if args.command == "explain":
+        engine = XCQLEngine()
+        engine.register_stream(args.stream, store.tag_structure, store)
+        report = engine.explain(source, strategy)
+        if not args.passes:
+            report = {
+                key: value
+                for key, value in report.items()
+                if key not in ("passes", "fingerprint")
+            }
+        print(json.dumps(report, indent=2, default=str))
+        return 0
 
     if args.replay is not None:
         return _replay(args, store, source, strategy, now)
@@ -188,6 +220,35 @@ def _replay(args, store, source: str, strategy, now) -> int:
         "engine": engine.stats(),
     }
     print(json.dumps(report, indent=2, default=str))
+    return 0
+
+
+def lint_main(argv: list[str] | None = None) -> int:
+    """Run the repo's source lint; non-zero exit on findings.
+
+    Currently one rule: ``pipeline-bypass`` — the optimizer's
+    rewrite/analysis entry points may only be imported by
+    :mod:`repro.core.pipeline`, so every compilation path stays
+    traceable through the pass pipeline (see ``repro-xcql explain
+    --passes``).
+    """
+    from repro.core.lint import lint_sources
+
+    parser = argparse.ArgumentParser(
+        description="Lint Python sources for pipeline-bypassing optimizer "
+        "imports (rewrites/analyses must run as pipeline passes)."
+    )
+    parser.add_argument(
+        "paths", nargs="+", help="files or directories to check (e.g. src)"
+    )
+    args = parser.parse_args(argv)
+    diagnostics = lint_sources(args.paths)
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    if diagnostics:
+        print(f"{len(diagnostics)} problem(s) found")
+        return 1
+    print("clean")
     return 0
 
 

@@ -5,12 +5,14 @@
 - :mod:`repro.core.engine` — the :class:`XCQLEngine` facade (stream
   registry, compilation, execution);
 - :mod:`repro.core.projections` — interval and version projection
-  primitives.
+  primitives;
+- :mod:`repro.core.pipeline` — the pass pipeline every compilation runs
+  through (rewrites, analyses, per-pass trace, cache fingerprint).
 """
 
 from repro.core.engine import CompiledQuery, XCQLEngine
-from repro.core.lint import Diagnostic, lint_query
-from repro.core.optimizer import hoist_common_fillers
+from repro.core.lint import Diagnostic, lint_query, lint_sources
+from repro.core.pipeline import PassManager, PlanInfo, hoist_common_fillers
 from repro.core.reference import attach_reference_functions
 from repro.core.translator import Annotation, Strategy, TranslationError, Translator
 
@@ -22,7 +24,10 @@ __all__ = [
     "Annotation",
     "TranslationError",
     "lint_query",
+    "lint_sources",
     "Diagnostic",
+    "PassManager",
+    "PlanInfo",
     "hoist_common_fillers",
     "attach_reference_functions",
 ]

@@ -27,7 +27,14 @@ from repro.fragments.model import Filler
 from repro.fragments.store import FragmentStore
 from repro.fragments.tagstructure import TagStructure
 from repro.temporal.chrono import XSDateTime
-from repro.core.translator import Strategy, TranslationError, Translator
+from repro.core.pipeline import (
+    DELTA_VAR,
+    SHARED_VAR,
+    PassManager,
+    PassOptions,
+    PlanInfo,
+)
+from repro.core.translator import Strategy, TranslationError
 from repro.xquery import xast
 from repro.xquery.compiler import compile_module
 from repro.xquery.errors import XQueryDynamicError
@@ -119,6 +126,10 @@ class CompiledQuery:
     # query to a scheduler (or registering it for routing) must not
     # re-walk the AST.
     dependencies_memo: Optional[object] = field(default=None, repr=False, compare=False)
+    # The pass pipeline's annotations (trace, delta/shared verdicts,
+    # routing predicate) — every engine-compiled plan carries one; see
+    # :class:`repro.core.pipeline.PlanInfo`.
+    info: Optional[PlanInfo] = field(default=None, repr=False, compare=False)
 
     @property
     def translated_source(self) -> str:
@@ -153,6 +164,11 @@ class XCQLEngine:
         self.use_temporal_index = use_temporal_index
         self.merge_joins = merge_joins
         self.temporal_index = _TemporalIndexHook(self)
+        self.pipeline = PassManager()
+        # Bumped on register_stream: translation is schema-directed, so
+        # the epoch participates in every plan-cache key (satellite fix
+        # for cached plans surviving tag-structure changes).
+        self._schema_epoch = 0
         self._extra_functions: dict = {}
         # (listener, wants_batch) pairs; see add_arrival_listener.
         self._arrival_listeners: list[tuple[Callable, bool]] = []
@@ -181,7 +197,12 @@ class XCQLEngine:
         self.stores[name] = store
         self.tag_structures[name] = tag_structure
         # Translation is schema-directed: cached plans may be stale now.
-        self.clear_plan_cache()
+        # Bumping the epoch (part of every cache key) makes them
+        # unreachable even for callers holding a stale reference to the
+        # cache dict; the clear frees them eagerly without resetting the
+        # hit/miss counters.
+        self._schema_epoch += 1
+        self._plan_cache.clear()
         return store
 
     def feed(self, name: str, fillers: Union[Filler, Iterable[Filler]]) -> int:
@@ -268,17 +289,24 @@ class XCQLEngine:
         the tree walker); ``None`` uses the engine's ``default_backend``.
         ``merge_joins`` overrides the engine-level knob that lowers
         interval-comparison joins to sort-merge plans (compiled backend
-        only).  Compilations are memoized in an LRU plan cache keyed on
-        ``(source, strategy, optimize, backend, merge_joins)`` — pass
-        ``use_cache=False`` to force a fresh parse+translate.
-        """
-        from repro.core.optimizer import hoist_common_fillers, lower_interval_joins
+        only).
 
+        All rewriting and analysis runs through ``self.pipeline`` (see
+        :mod:`repro.core.pipeline`): the returned query carries a
+        :class:`~repro.core.pipeline.PlanInfo` with the per-pass trace
+        and the delta/shared/routing verdicts.  Compilations are memoized
+        in an LRU plan cache keyed on ``(source, strategy, optimize,
+        backend, merge_joins, schema epoch, pipeline fingerprint)`` —
+        pass ``use_cache=False`` to force a fresh parse+translate.
+        """
         backend = self._resolve_backend(backend)
         if merge_joins is None:
             merge_joins = self.merge_joins
-        merge_joins = bool(merge_joins) and backend == "compiled"
-        key = (source, strategy, optimize, backend, merge_joins)
+        options = PassOptions.for_compile(strategy, backend, optimize, merge_joins)
+        key = (
+            source, strategy, options.optimize, backend, options.merge_joins,
+            self._schema_epoch, self.pipeline.fingerprint(),
+        )
         if use_cache and self._plan_cache_size:
             cached = self._plan_cache.get(key)
             if cached is not None:
@@ -287,23 +315,25 @@ class XCQLEngine:
                 return cached
             self._plan_cache_misses += 1
         module = parse(source, xcql=True)
-        translator = Translator(self.tag_structures, strategy)
-        translated = translator.translate_module(module)
-        hoisted = 0
-        if optimize:
-            translated, hoisted = hoist_common_fillers(translated)
-        lowered = 0
-        if merge_joins:
-            translated, lowered = lower_interval_joins(translated)
-        plan = compile_module(translated) if backend == "compiled" else None
-        compiled = CompiledQuery(
-            source, strategy, module, translated, hoisted, backend, plan,
-            merge_joins=lowered,
-        )
+        compiled = self._compile_module(source, module, options)
         if use_cache and self._plan_cache_size:
             self._plan_cache[key] = compiled
             while len(self._plan_cache) > self._plan_cache_size:
                 self._plan_cache.popitem(last=False)
+        return compiled
+
+    def _compile_module(
+        self, source: str, module: xast.Module, options: PassOptions
+    ) -> CompiledQuery:
+        """Run the pass pipeline over a parsed module and lower the result."""
+        translated, info = self.pipeline.run(module, options, self)
+        plan = compile_module(translated) if options.backend == "compiled" else None
+        compiled = CompiledQuery(
+            source, options.strategy, module, translated,
+            info.hoisted_calls, options.backend, plan,
+            merge_joins=info.lowered_joins,
+        )
+        compiled.info = info
         return compiled
 
     def _resolve_backend(self, backend: Optional[str]) -> str:
@@ -339,8 +369,10 @@ class XCQLEngine:
 
         Returns a dict with the strategy, the translated XQuery text, the
         statically derived (stream, tsid) dependencies, whether the query
-        is time-sensitive (mentions ``now``), and how many ``get_fillers``
-        calls the optimizer folded.
+        is time-sensitive (mentions ``now``), how many ``get_fillers``
+        calls the pipeline folded, the delta/shared/routing verdicts, and
+        the full per-pass trace (``"passes"``) with the pipeline
+        fingerprint that participates in the plan-cache key.
         """
         from repro.streams.scheduler import dependencies_of
 
@@ -370,6 +402,8 @@ class XCQLEngine:
                 if compiled.shared_plan and compiled.shared_plan.routing
                 else None
             ),
+            "passes": compiled.info.trace_dicts() if compiled.info else [],
+            "fingerprint": compiled.info.fingerprint if compiled.info else None,
         }
 
     def stats(self) -> dict:
@@ -453,25 +487,27 @@ class XCQLEngine:
     def prepare_delta(self, compiled: CompiledQuery) -> Optional[DeltaPlan]:
         """The query's delta plan, or ``None`` when it must run full-scan.
 
-        Runs the static monotonicity analysis once per compiled plan and
-        memoizes the verdict on the :class:`CompiledQuery` (which the plan
-        cache shares across continuous queries of the same source).  The
-        interpreted backend never gets a delta plan — it stays the
-        full-scan differential reference.
+        The monotonicity verdict was computed at compile time by the
+        pipeline's ``delta-safety`` pass and lives on ``compiled.info``;
+        this method only lowers the rewritten delta module into its
+        runtime closure, memoized on the :class:`CompiledQuery` (which
+        the plan cache shares across continuous queries of the same
+        source).  The interpreted backend never gets a delta plan — it
+        stays the full-scan differential reference.
         """
         if compiled.delta_prepared:
             return compiled.delta_plan
         compiled.delta_prepared = True
-        if compiled.backend != "compiled" or compiled.plan is None:
-            compiled.delta_reason = "interpreted backend stays full-scan"
+        info = compiled.info
+        if info is None:
+            compiled.delta_reason = "plan was not compiled through the pass pipeline"
             return None
-        from repro.core.optimizer import DELTA_VAR, analyze_delta
+        if info.delta is None or compiled.plan is None:
+            compiled.delta_reason = info.delta_reason
+            return None
         from repro.xquery.compiler import compile_delta_plan
 
-        analysis = analyze_delta(compiled.translated)
-        if not analysis.safe:
-            compiled.delta_reason = analysis.reason
-            return None
+        analysis = info.delta
         compiled.delta_plan = DeltaPlan(
             stream=analysis.stream,
             tsid=analysis.tsid,
@@ -503,11 +539,12 @@ class XCQLEngine:
         """The query's shared prefix/residual split, or ``None``.
 
         Builds on :meth:`prepare_delta`: only delta-safe plans can be
-        shared, and the split itself is decided by
-        :func:`repro.core.optimizer.analyze_shared`.  The verdict is
-        memoized on the :class:`CompiledQuery` (shared through the plan
-        cache), so a scheduler re-adding hundreds of same-source queries
-        pays for one analysis.
+        shared.  The split itself was decided at compile time by the
+        pipeline's ``shared-split`` pass; this method only lowers the
+        prefix/residual modules into their runtime closures, memoized on
+        the :class:`CompiledQuery` (shared through the plan cache), so a
+        scheduler re-adding hundreds of same-source queries pays for one
+        lowering.
         """
         if compiled.shared_prepared:
             return compiled.shared_plan
@@ -515,16 +552,15 @@ class XCQLEngine:
         if self.prepare_delta(compiled) is None:
             compiled.shared_reason = compiled.delta_reason
             return None
-        from repro.core.optimizer import DELTA_VAR, SHARED_VAR, analyze_shared
         from repro.xquery.compiler import (
             bind_free_var,
             compile_delta_plan,
             compile_expr,
         )
 
-        analysis = analyze_shared(compiled.translated)
-        if not analysis.safe:
-            compiled.shared_reason = analysis.reason
+        analysis = compiled.info.shared
+        if analysis is None:
+            compiled.shared_reason = compiled.info.shared_reason
             return None
         delta = analysis.delta
         compiled.shared_plan = SharedPlan(
@@ -579,7 +615,11 @@ class XCQLEngine:
         cross-validate the fragment-level strategies.
         """
         backend = self._resolve_backend(backend)
-        key = (source, "view", False, backend)
+        options = PassOptions.for_view(backend)
+        key = (
+            source, "view", False, backend,
+            self._schema_epoch, self.pipeline.fingerprint(),
+        )
         compiled = self._plan_cache.get(key) if self._plan_cache_size else None
         if compiled is not None:
             self._plan_cache.move_to_end(key)
@@ -588,10 +628,7 @@ class XCQLEngine:
             if self._plan_cache_size:
                 self._plan_cache_misses += 1
             module = parse(source, xcql=True)
-            plan = compile_module(module) if backend == "compiled" else None
-            compiled = CompiledQuery(
-                source, Strategy.CAQ, module, module, 0, backend, plan
-            )
+            compiled = self._compile_module(source, module, options)
             if self._plan_cache_size:
                 self._plan_cache[key] = compiled
                 while len(self._plan_cache) > self._plan_cache_size:

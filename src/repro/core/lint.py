@@ -16,18 +16,26 @@ schema; this linter reports richer, non-fatal diagnostics before execution:
 - ``unknown-stream`` — ``stream(x)`` names an unregistered stream.
 
 The linter never raises; it returns :class:`Diagnostic` records.
+
+:func:`lint_sources` is the repo's own source-level lint (run in CI as
+``repro-lint src``): it forbids importing the optimizer's rewrite/analysis
+entry points anywhere but the pass pipeline, so every future compilation
+path stays traceable through :mod:`repro.core.pipeline`.
 """
 
 from __future__ import annotations
 
+import ast as _pyast
+import os
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.translator import Strategy, TranslationError, Translator
 from repro.fragments.tagstructure import TagStructure, TagType
 from repro.xquery import xast
 from repro.xquery.parser import parse
 
-__all__ = ["Diagnostic", "lint_query"]
+__all__ = ["Diagnostic", "lint_query", "lint_sources", "PIPELINE_ONLY_NAMES"]
 
 
 @dataclass(frozen=True)
@@ -94,7 +102,7 @@ def _scan(node: object, structures: dict[str, TagStructure], out: list[Diagnosti
                     "order (events coexist; they are not replaced)",
                 )
             )
-    for child in _children(node):
+    for child in xast.children(node):
         _scan(child, structures, out)
 
 
@@ -134,34 +142,71 @@ def _tags_of(expr: object, structures: dict[str, TagStructure]):
     return None
 
 
-def _children(node: object) -> list:
-    import dataclasses
+# ---------------------------------------------------------------------------
+# Source-level lint: the pass pipeline is the only rewrite/analysis door
+# ---------------------------------------------------------------------------
 
-    out: list = []
-    if not dataclasses.is_dataclass(node):
-        return out
-    for field in dataclasses.fields(node):
-        value = getattr(node, field.name)
-        _collect(value, out)
+#: Optimizer entry points that only :mod:`repro.core.pipeline` may import.
+PIPELINE_ONLY_NAMES = frozenset(
+    {"analyze_delta", "analyze_shared", "hoist_common_fillers", "lower_interval_joins"}
+)
+
+#: Modules allowed to import those names (the pipeline itself, and the
+#: optimizer's own module).
+_PIPELINE_EXEMPT = ("core/pipeline.py", "core/optimizer.py")
+
+
+def lint_sources(paths: Iterable[str]) -> list[Diagnostic]:
+    """Check Python sources for pipeline-bypassing optimizer imports.
+
+    Walks the given files/directories and reports a ``pipeline-bypass``
+    diagnostic for every ``from ... optimizer import <entry point>``
+    outside :mod:`repro.core.pipeline` — rewrites and analyses must run
+    through the pass pipeline so their verdicts land on
+    ``CompiledQuery.info`` and their identity lands in the plan-cache
+    fingerprint.  Unparseable files yield ``syntax-error`` diagnostics;
+    the linter never raises.
+    """
+    diagnostics: list[Diagnostic] = []
+    for path in _python_files(paths):
+        normalized = path.replace(os.sep, "/")
+        if normalized.endswith(_PIPELINE_EXEMPT):
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                tree = _pyast.parse(fh.read())
+        except (OSError, SyntaxError, ValueError) as exc:
+            diagnostics.append(Diagnostic("syntax-error", f"{path}: {exc}"))
+            continue
+        for node in _pyast.walk(tree):
+            if not isinstance(node, _pyast.ImportFrom):
+                continue
+            if not (node.module or "").endswith("optimizer"):
+                continue
+            for alias in node.names:
+                if alias.name in PIPELINE_ONLY_NAMES or alias.name == "*":
+                    diagnostics.append(
+                        Diagnostic(
+                            "pipeline-bypass",
+                            f"{path}:{node.lineno}: import {alias.name} "
+                            "from repro.core.pipeline, not the optimizer — "
+                            "rewrites/analyses must run as pipeline passes",
+                        )
+                    )
+    return _dedup(diagnostics)
+
+
+def _python_files(paths: Iterable[str]) -> list[str]:
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.append(path)
     return out
-
-
-def _collect(value: object, out: list) -> None:
-    node_types = (
-        xast.Expr,
-        xast.Step,
-        xast.ForClause,
-        xast.LetClause,
-        xast.WhereClause,
-        xast.OrderByClause,
-        xast.OrderSpec,
-        xast.DirectAttribute,
-    )
-    if isinstance(value, node_types):
-        out.append(value)
-    elif isinstance(value, (list, tuple)):
-        for item in value:
-            _collect(item, out)
 
 
 def _dedup(diagnostics: list[Diagnostic]) -> list[Diagnostic]:

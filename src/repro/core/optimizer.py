@@ -24,7 +24,7 @@ expression depends only on the variable it follows.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.xquery import xast
 
@@ -60,7 +60,7 @@ def count_calls(node: object, name: str) -> int:
     count = 0
     if isinstance(node, xast.FunctionCall) and node.name == name:
         count += 1
-    for child in _children(node):
+    for child in xast.children(node):
         count += count_calls(child, name)
     return count
 
@@ -71,7 +71,7 @@ def count_calls(node: object, name: str) -> int:
 
 
 def _rewrite(node: object, hoisted: list[int]) -> object:
-    node = _map_children(node, lambda child: _rewrite(child, hoisted))
+    node = xast.map_children(node, lambda child: _rewrite(child, hoisted))
     if isinstance(node, xast.FLWOR):
         node = _hoist_in_flwor(node, hoisted)
     return node
@@ -96,8 +96,8 @@ def _hoist_in_flwor(flwor: xast.FLWOR, hoisted: list[int]) -> xast.FLWOR:
             continue  # already hoisted (idempotence)
         replacement = xast.VarRef(alias)
         for later_index in range(index + 1, len(clauses)):
-            clauses[later_index] = _substitute(clauses[later_index], target, replacement)
-        return_expr = _substitute(return_expr, target, replacement)
+            clauses[later_index] = xast.substitute(clauses[later_index], target, replacement)
+        return_expr = xast.substitute(return_expr, target, replacement)
         insertions.append((index + 1, xast.LetClause(alias, target)))
         hoisted[0] += 1
     for offset, (position, let_clause) in enumerate(insertions):
@@ -114,7 +114,7 @@ def _fillers_call_for(var: str, clauses: list, return_expr) -> xast.FunctionCall
             key = xast.to_source(node)
             call, count = candidates.get(key, (node, 0))
             candidates[key] = (call, count + 1)
-        for child in _children(node):
+        for child in xast.children(node):
             scan(child)
 
     for clause in clauses:
@@ -178,7 +178,7 @@ def lower_interval_joins(module: xast.Module) -> tuple[xast.Module, int]:
 
 
 def _lower(node: object, lowered: list[int]) -> object:
-    node = _map_children(node, lambda child: _lower(child, lowered))
+    node = xast.map_children(node, lambda child: _lower(child, lowered))
     if type(node) is xast.FLWOR:
         node = _lower_one_flwor(node, lowered)
     return node
@@ -253,13 +253,13 @@ def _references_var(node: object, name: str) -> bool:
     # binding shadows it.
     if isinstance(node, xast.VarRef) and node.name == name:
         return True
-    return any(_references_var(child, name) for child in _children(node))
+    return any(_references_var(child, name) for child in xast.children(node))
 
 
 def _contains_constructor(node: object) -> bool:
     if isinstance(node, _CONSTRUCTOR_TYPES):
         return True
-    return any(_contains_constructor(child) for child in _children(node))
+    return any(_contains_constructor(child) for child in xast.children(node))
 
 
 # ---------------------------------------------------------------------------
@@ -451,7 +451,7 @@ def analyze_delta(module: xast.Module) -> DeltaAnalysis:
                 problem.append(f"cannot prove {name}() is a pure per-tuple function")
         if problem:
             return
-        for child in _children(node):
+        for child in xast.children(node):
             visit(child)
 
     visit(body)
@@ -478,7 +478,7 @@ def _bind_delta_source(
     driver = flwor.clauses[0]
     rebound = xast.ForClause(
         driver.var,
-        _substitute(driver.expr, call, xast.VarRef(DELTA_VAR)),
+        xast.substitute(driver.expr, call, xast.VarRef(DELTA_VAR)),
         driver.position_var,
     )
     body = xast.FLWOR([rebound] + list(flwor.clauses[1:]), flwor.return_expr)
@@ -624,7 +624,7 @@ def analyze_shared(
 def _calls_any(node: object, names: set) -> bool:
     if isinstance(node, xast.FunctionCall) and node.name in names:
         return True
-    return any(_calls_any(child, names) for child in _children(node))
+    return any(_calls_any(child, names) for child in xast.children(node))
 
 
 def _extract_routing(
@@ -765,73 +765,6 @@ def _literal_int(node: object) -> Optional[int]:
     return None
 
 
-# ---------------------------------------------------------------------------
-# Generic AST plumbing (dataclass-field based)
-# ---------------------------------------------------------------------------
-
-_NODE_TYPES = (
-    xast.Expr,
-    xast.Step,
-    xast.ForClause,
-    xast.LetClause,
-    xast.WhereClause,
-    xast.OrderByClause,
-    xast.OrderSpec,
-    xast.DirectAttribute,
-)
-
-
-def _children(node: object) -> list:
-    out: list = []
-    if not dataclasses.is_dataclass(node):
-        return out
-    for field in dataclasses.fields(node):
-        _collect(getattr(node, field.name), out)
-    return out
-
-
-def _collect(value: object, out: list) -> None:
-    if isinstance(value, _NODE_TYPES):
-        out.append(value)
-    elif isinstance(value, (list, tuple)):
-        for item in value:
-            _collect(item, out)
-
-
-def _map_children(node: object, fn: Callable[[object], object]) -> object:
-    if not dataclasses.is_dataclass(node) or not isinstance(node, _NODE_TYPES):
-        return node
-    changed = False
-    updates = {}
-    for field in dataclasses.fields(node):
-        value = getattr(node, field.name)
-        new_value = _map_value(value, fn)
-        if new_value is not value:
-            changed = True
-        updates[field.name] = new_value
-    if not changed:
-        return node
-    return type(node)(**updates)
-
-
-def _map_value(value: object, fn: Callable[[object], object]) -> object:
-    if isinstance(value, _NODE_TYPES):
-        return fn(value)
-    if isinstance(value, list):
-        mapped = [_map_value(item, fn) for item in value]
-        if all(a is b for a, b in zip(mapped, value)):
-            return value
-        return mapped
-    if isinstance(value, tuple):
-        return tuple(_map_value(item, fn) for item in value)
-    return value
-
-
-def _substitute(node: object, target: xast.Expr, replacement: xast.Expr) -> object:
-    if node == target:
-        return replacement
-
-    def visit(child: object) -> object:
-        return _substitute(child, target, replacement)
-
-    return _map_children(node, visit)
+# The generic AST plumbing (child enumeration, child mapping, subtree
+# substitution) lives in :mod:`repro.xquery.xast` — shared with the static
+# checker, the linter, and the scheduler's dependency analysis.

@@ -11,9 +11,10 @@ Result identity is the serialized form of each item, so a re-appearing
 answer (same account flagged again with identical content) is emitted only
 once; ``full`` mode re-emits everything each run.
 
-With ``incremental=True`` (the default) delta-safe plans — classified by
-:func:`repro.core.optimizer.analyze_delta` — are not re-run over the whole
-store on every tick.  The query keeps its last result and a store
+With ``incremental=True`` (the default) delta-safe plans — classified at
+compile time by the pipeline's ``delta-safety`` pass and read off
+``CompiledQuery.info`` (see :mod:`repro.core.pipeline`) — are not re-run
+over the whole store on every tick.  The query keeps its last result and a store
 watermark ``(seq, mutation_epoch)``; a re-evaluation then runs the
 compiled plan over only the fillers past the watermark and appends their
 tuples to the retained result.  Runtime guards fall back to a full

@@ -17,7 +17,8 @@ Two multi-query optimizations sit on top (the many-standing-queries
 regime of paper §2/§7):
 
 - **Shared group evaluation.**  Queries whose plan splits into an equal
-  shared prefix (see :func:`repro.core.optimizer.analyze_shared`) are
+  shared prefix (the pipeline's ``shared-split`` pass — the verdict is
+  read off ``CompiledQuery.info``; see :mod:`repro.core.pipeline`) are
   grouped by ``(engine, stream, tsid, filler id, prefix source)``.  A poll
   tick materializes each group's binding tuples *once* per distinct
   watermark and hands them to every member's residual closure, so N
@@ -113,7 +114,7 @@ def dependencies_of(compiled: CompiledQuery) -> QueryDependencies:
                     deps.add((stream, tsid))
             elif node.name in ("currentDateTime", "current-dateTime", "current-time"):
                 time_sensitive = True
-        for child in _children(node):
+        for child in xast.children(node):
             visit(child)
 
     visit(compiled.translated.body)
@@ -131,30 +132,6 @@ def _literal(node: object):
     if isinstance(node, xast.Literal):
         return node.value
     return None
-
-
-def _children(node: object) -> list:
-    """Generic AST child enumeration via dataclass fields."""
-    out: list = []
-    if isinstance(node, xast.Step):
-        out.extend(node.predicates)
-        return out
-    for value in getattr(node, "__dict__", {}).values():
-        _collect(value, out)
-    if hasattr(node, "__dataclass_fields__") and not hasattr(node, "__dict__"):
-        for name in node.__dataclass_fields__:
-            _collect(getattr(node, name), out)
-    return out
-
-
-def _collect(value: object, out: list) -> None:
-    if isinstance(value, (xast.Expr, xast.Step, xast.ForClause, xast.LetClause,
-                          xast.WhereClause, xast.OrderByClause, xast.OrderSpec,
-                          xast.DirectAttribute)):
-        out.append(value)
-    elif isinstance(value, (list, tuple)):
-        for item in value:
-            _collect(item, out)
 
 
 @dataclass
@@ -235,14 +212,19 @@ class QueryScheduler:
             entry.shared = shared
             entry.group_key = (id(query.engine),) + shared.group_key
             self._groups.setdefault(entry.group_key, []).append(entry)
+            # The dispatch predicate is a compile-time pipeline
+            # annotation (the routing-predicate pass) carried on
+            # CompiledQuery.info.
+            info = query.compiled.info
+            routing = info.routing if info is not None else shared.routing
             if (
                 self.routing
-                and shared.routing is not None
+                and routing is not None
                 and shared.tsid is not None
                 and dependencies.streams == frozenset({(shared.stream, shared.tsid)})
                 and not dependencies.time_sensitive
             ):
-                entry.routing = shared.routing
+                entry.routing = routing
                 entry.route_key = (shared.stream, shared.tsid)
                 self._routes.setdefault(entry.route_key, []).append(entry)
         self._entries.append(entry)

@@ -14,7 +14,6 @@ continuous queries that will live for a long time.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 
 from repro.xquery import xast
@@ -153,34 +152,5 @@ def _walk(
             inner.add(var)
         _walk(node.satisfies, inner, functions, issues, free)
         return
-    for child in _children(node):
+    for child in xast.children(node):
         _walk(child, scope, functions, issues, free)
-
-
-_NODE_TYPES = (
-    xast.Expr,
-    xast.Step,
-    xast.ForClause,
-    xast.LetClause,
-    xast.WhereClause,
-    xast.OrderByClause,
-    xast.OrderSpec,
-    xast.DirectAttribute,
-)
-
-
-def _children(node: object) -> list:
-    out: list = []
-    if not dataclasses.is_dataclass(node):
-        return out
-    for field in dataclasses.fields(node):
-        _collect(getattr(node, field.name), out)
-    return out
-
-
-def _collect(value: object, out: list) -> None:
-    if isinstance(value, _NODE_TYPES):
-        out.append(value)
-    elif isinstance(value, (list, tuple)):
-        for item in value:
-            _collect(item, out)

@@ -9,8 +9,9 @@ example translations.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Callable, Iterator, Optional, Union
 
 __all__ = [
     "Expr",
@@ -49,6 +50,11 @@ __all__ = [
     "FunctionDef",
     "Module",
     "to_source",
+    "WALKABLE_TYPES",
+    "children",
+    "walk",
+    "map_children",
+    "substitute",
 ]
 
 
@@ -369,6 +375,114 @@ class Module:
 
     functions: list[FunctionDef]
     body: Expr
+
+
+# ---------------------------------------------------------------------------
+# Generic tree plumbing
+# ---------------------------------------------------------------------------
+#
+# Every rewrite and analysis over these trees needs the same three
+# primitives: enumerate a node's AST children, rebuild a node with mapped
+# children, and substitute a subtree.  They used to be copy-pasted into
+# each consumer (optimizer, static checker, linter, scheduler); the pass
+# pipeline (repro.core.pipeline) and all other traversals now share the
+# implementations below.
+
+#: The dataclass node types the generic walkers descend into: every
+#: :class:`Expr` plus the clause/step/attribute helpers that hang off
+#: them.  ``Module``/``FunctionDef``/``Param`` are deliberately excluded —
+#: traversals visit a module's body and each function body explicitly.
+WALKABLE_TYPES = (
+    Expr,
+    Step,
+    ForClause,
+    LetClause,
+    WhereClause,
+    OrderByClause,
+    OrderSpec,
+    DirectAttribute,
+)
+
+
+def children(node: object) -> list:
+    """The direct AST children of a node, in dataclass-field order.
+
+    Non-dataclass values (strings, numbers, ``None``) have no children;
+    lists and tuples are flattened transparently, so a FLWOR's clauses
+    and a constructor's mixed content both enumerate correctly.
+    """
+    out: list = []
+    if dataclasses.is_dataclass(node):
+        for spec in dataclasses.fields(node):
+            _collect(getattr(node, spec.name), out)
+    return out
+
+
+def _collect(value: object, out: list) -> None:
+    if isinstance(value, WALKABLE_TYPES):
+        out.append(value)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _collect(item, out)
+
+
+def walk(node: object) -> Iterator[object]:
+    """Yield ``node`` and every AST descendant, preorder."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(children(current)))
+
+
+def map_children(node: object, fn: Callable[[object], object]) -> object:
+    """Rebuild ``node`` with ``fn`` applied to each direct AST child.
+
+    Returns ``node`` itself (not a copy) when nothing changed, so
+    rewrites preserve sharing on untouched subtrees.  Values that are not
+    walkable nodes pass through unmapped.
+    """
+    if not dataclasses.is_dataclass(node) or not isinstance(node, WALKABLE_TYPES):
+        return node
+    changed = False
+    updates = {}
+    for spec in dataclasses.fields(node):
+        value = getattr(node, spec.name)
+        new_value = _map_value(value, fn)
+        if new_value is not value:
+            changed = True
+        updates[spec.name] = new_value
+    if not changed:
+        return node
+    return type(node)(**updates)
+
+
+def _map_value(value: object, fn: Callable[[object], object]) -> object:
+    if isinstance(value, WALKABLE_TYPES):
+        return fn(value)
+    if isinstance(value, list):
+        mapped = [_map_value(item, fn) for item in value]
+        if all(a is b for a, b in zip(mapped, value)):
+            return value
+        return mapped
+    if isinstance(value, tuple):
+        return tuple(_map_value(item, fn) for item in value)
+    return value
+
+
+def substitute(node: object, target: object, replacement: object) -> object:
+    """Replace every subtree equal to ``target`` with ``replacement``.
+
+    Equality is structural (dataclass ``==``), matching how the rewrite
+    passes identify repeated expressions.
+    """
+    if node == target:
+        return replacement
+
+    def visit(child: object) -> object:
+        return substitute(child, target, replacement)
+
+    return map_children(node, visit)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,406 @@
+"""The unified plan-pass pipeline (PR 5).
+
+Four layers of guarantees:
+
+- **Golden traces**: representative queries (plain, hoisted, merge-join,
+  delta-safe, shared+routing, interpreted) produce the expected per-pass
+  trace, with the legacy reason strings preserved verbatim.
+- **Differential**: pipeline-compiled plans are byte-identical to the
+  pre-refactor compile sequence (parse → translate → hoist → lower →
+  compile_module) for the whole verbatim paper-query corpus, on both
+  backends, in translated source and in execution results.
+- **Cache keying**: the pipeline fingerprint and the tag-structure epoch
+  both participate in the plan-cache key — editing the pass list or
+  re-registering a stream can never serve a stale plan.
+- **Tooling**: ``lint_sources`` rejects pipeline-bypassing optimizer
+  imports, and ``repro-xcql explain --passes`` emits the trace.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import TagStructure
+from repro.core import Strategy, Translator, XCQLEngine
+from repro.core.lint import lint_sources
+from repro.core.pipeline import PassManager, PassOptions, default_passes
+from repro.dom.parser import parse_document
+from repro.dom.serializer import serialize
+from repro.fragments.model import Filler
+from repro.temporal.chrono import XSDateTime
+from repro.xquery.parser import parse
+
+# The tests replicate the pre-refactor compile sequence as the
+# differential reference; production code must import these through
+# repro.core.pipeline (enforced by lint_sources over src/).
+from repro.core.optimizer import hoist_common_fillers, lower_interval_joins
+
+from tests.conftest import NOW_2003_12_15
+from tests.test_paper_queries_verbatim import PAPER_QUERIES, STRUCTURES
+
+PASS_NAMES = [
+    "translate",
+    "hoist-fillers",
+    "lower-merge-joins",
+    "delta-safety",
+    "shared-split",
+    "routing-predicate",
+]
+
+EVENT_STRUCTURE_XML = """
+<stream:structure>
+  <tag type="snapshot" id="1" name="log">
+    <tag type="event" id="2" name="txn">
+      <tag type="snapshot" id="4" name="amount"/>
+    </tag>
+  </tag>
+</stream:structure>
+"""
+
+EVENT_QUERY = (
+    'for $t in stream("s")//txn where $t/amount > 50 '
+    "return <hit>{$t/amount/text()}</hit>"
+)
+
+JOIN_QUERY = (
+    'for $x in stream("s")//txn?[2003-01-01, 2003-12-31] '
+    'for $y in stream("s")//txn?[2003-01-01, 2003-12-31] '
+    "where $x overlaps $y return 1"
+)
+
+
+def event_engine(**kwargs) -> XCQLEngine:
+    engine = XCQLEngine(default_now=XSDateTime(2004, 1, 1), **kwargs)
+    engine.register_stream("s", TagStructure.from_xml(EVENT_STRUCTURE_XML))
+    return engine
+
+
+def trace_by_name(compiled) -> dict:
+    return {entry.name: entry for entry in compiled.info.trace}
+
+
+def normalized(result) -> list[str]:
+    return [
+        serialize(item) if hasattr(item, "string_value") else str(item)
+        for item in result
+    ]
+
+
+class TestGoldenTraces:
+    def test_every_compile_records_all_passes_in_order(self):
+        compiled = event_engine().compile('count(stream("s")//txn)')
+        assert [entry.name for entry in compiled.info.trace] == PASS_NAMES
+
+    def test_plain_query(self):
+        compiled = event_engine().compile('count(stream("s")//txn)')
+        trace = trace_by_name(compiled)
+        assert trace["translate"].fired
+        assert not trace["hoist-fillers"].fired
+        assert trace["hoist-fillers"].detail == "optimize=False"
+        assert not trace["lower-merge-joins"].fired
+        assert not trace["delta-safety"].fired
+        assert trace["delta-safety"].detail == "body is not a simple FLWOR"
+        assert not trace["shared-split"].fired
+        assert not trace["routing-predicate"].fired
+
+    def test_hoisted_query(self, credit_engine):
+        source = PAPER_QUERIES["credit_q1"]
+        compiled = credit_engine.compile(source, Strategy.QAC, optimize=True)
+        trace = trace_by_name(compiled)
+        assert trace["hoist-fillers"].fired
+        assert trace["hoist-fillers"].rewrites == compiled.hoisted_calls > 0
+
+    def test_merge_join_query(self):
+        compiled = event_engine().compile(JOIN_QUERY)
+        trace = trace_by_name(compiled)
+        assert trace["lower-merge-joins"].fired
+        assert trace["lower-merge-joins"].rewrites == compiled.merge_joins == 1
+
+    def test_delta_safe_shared_routed_query(self):
+        compiled = event_engine().compile(EVENT_QUERY, Strategy.QAC_PLUS)
+        trace = trace_by_name(compiled)
+        assert trace["delta-safety"].fired
+        assert compiled.info.delta is not None and compiled.info.delta.safe
+        assert trace["shared-split"].fired
+        assert compiled.info.shared is not None and compiled.info.shared.safe
+        assert trace["routing-predicate"].fired
+        assert compiled.info.routing is not None
+        assert trace["routing-predicate"].detail == compiled.info.routing.describe()
+
+    def test_interpreted_backend_keeps_legacy_reason(self):
+        engine = event_engine()
+        compiled = engine.compile(EVENT_QUERY, Strategy.QAC_PLUS, backend="interpreted")
+        trace = trace_by_name(compiled)
+        assert not trace["delta-safety"].fired
+        assert trace["delta-safety"].detail == "interpreted backend stays full-scan"
+        assert not trace["lower-merge-joins"].fired
+        assert engine.prepare_delta(compiled) is None
+        assert compiled.delta_reason == "interpreted backend stays full-scan"
+
+    def test_annotations_drive_prepare_without_reanalysis(self):
+        engine = event_engine()
+        compiled = engine.compile(EVENT_QUERY, Strategy.QAC_PLUS)
+        delta = engine.prepare_delta(compiled)
+        shared = engine.prepare_shared(compiled)
+        assert delta is not None and delta.stream == "s"
+        assert shared is not None
+        assert shared.group_key == compiled.info.shared.group_key
+        assert shared.routing is compiled.info.shared.routing
+
+
+class TestExplainTrace:
+    def test_explain_reports_passes_and_fingerprint(self):
+        engine = event_engine()
+        plan = engine.explain(EVENT_QUERY, Strategy.QAC_PLUS)
+        assert [entry["name"] for entry in plan["passes"]] == PASS_NAMES
+        assert all(
+            set(entry) == {"name", "fired", "rewrites", "detail"}
+            for entry in plan["passes"]
+        )
+        fingerprint = plan["fingerprint"]
+        assert fingerprint == engine.pipeline.fingerprint()
+        assert len(fingerprint) == 12 and int(fingerprint, 16) >= 0
+        # The pre-pipeline summary keys survive unchanged.
+        for key in (
+            "strategy", "translated", "depends_on", "time_sensitive",
+            "hoisted_calls", "delta_safe", "delta_reason", "shared_safe",
+            "shared_reason", "shared_group", "routing_predicate",
+        ):
+            assert key in plan
+
+
+def legacy_translated(structures, source, strategy, optimize, backend, merge_joins):
+    """The pre-refactor engine.compile rewrite sequence, verbatim."""
+    module = parse(source, xcql=True)
+    translated = Translator(structures, strategy).translate_module(module)
+    if optimize:
+        translated, _ = hoist_common_fillers(translated)
+    if merge_joins and backend == "compiled":
+        translated, _ = lower_interval_joins(translated)
+    return translated
+
+
+class TestDifferentialAgainstPreRefactor:
+    @pytest.fixture(scope="class")
+    def all_structures(self):
+        from tests.conftest import CREDIT_TAG_STRUCTURE_XML
+
+        structures = dict(STRUCTURES)
+        structures["credit"] = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+        return structures
+
+    @pytest.mark.parametrize("backend", ["compiled", "interpreted"])
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    @pytest.mark.parametrize("name", sorted(PAPER_QUERIES))
+    def test_translated_source_is_byte_identical(
+        self, all_structures, name, strategy, backend
+    ):
+        engine = XCQLEngine(default_now=NOW_2003_12_15)
+        for stream, structure in all_structures.items():
+            engine.register_stream(stream, structure)
+        for optimize in (False, True):
+            compiled = engine.compile(
+                PAPER_QUERIES[name], strategy, optimize=optimize, backend=backend
+            )
+            reference = legacy_translated(
+                all_structures, PAPER_QUERIES[name], strategy, optimize,
+                backend, engine.merge_joins,
+            )
+            from repro.xquery.xast import to_source
+
+            assert compiled.translated_source == to_source(reference)
+
+    @pytest.mark.parametrize("backend", ["compiled", "interpreted"])
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    @pytest.mark.parametrize("name", ["credit_q1", "credit_q2", "version_window"])
+    def test_execution_is_byte_identical(
+        self, credit_engine, name, strategy, backend
+    ):
+        from repro.xquery.compiler import compile_module
+        from repro.xquery.evaluator import Evaluator
+
+        source = PAPER_QUERIES[name]
+        compiled = credit_engine.compile(source, strategy, backend=backend)
+        pipeline_result = normalized(credit_engine.execute(compiled))
+        reference = legacy_translated(
+            credit_engine.tag_structures, source, strategy, False,
+            backend, credit_engine.merge_joins,
+        )
+        context = credit_engine.build_context()
+        if backend == "compiled":
+            reference_result = compile_module(reference)(context)
+        else:
+            reference_result = Evaluator(context).evaluate_module(reference)
+        assert pipeline_result == normalized(reference_result)
+
+
+class TestCacheKeying:
+    def test_fingerprint_is_stable_and_spec_sensitive(self):
+        manager = PassManager()
+        assert manager.fingerprint() == PassManager().fingerprint()
+        trimmed = PassManager(default_passes()[:-1])
+        assert trimmed.fingerprint() != manager.fingerprint()
+
+    def test_mutating_the_pipeline_invalidates_cached_plans(self):
+        engine = event_engine()
+        first = engine.compile(EVENT_QUERY, Strategy.QAC_PLUS)
+        assert engine.compile(EVENT_QUERY, Strategy.QAC_PLUS) is first
+        engine.pipeline.passes.pop()  # drop routing-predicate
+        recompiled = engine.compile(EVENT_QUERY, Strategy.QAC_PLUS)
+        assert recompiled is not first
+        assert recompiled.info.fingerprint != first.info.fingerprint
+        assert recompiled.info.routing is None
+        assert len(recompiled.info.trace) == len(PASS_NAMES) - 1
+
+    def test_version_bump_invalidates_cached_plans(self):
+        engine = event_engine()
+        first = engine.compile(EVENT_QUERY, Strategy.QAC_PLUS)
+        engine.pipeline.passes[-1].version = 2
+        assert engine.compile(EVENT_QUERY, Strategy.QAC_PLUS) is not first
+
+    def test_register_stream_refreshes_stale_translations(self):
+        engine = XCQLEngine()
+        narrow = TagStructure.from_xml(EVENT_STRUCTURE_XML)
+        engine.register_stream("s", narrow)
+        before = engine.compile('stream("s")//txn', Strategy.QAC_PLUS)
+        hits_before = engine.plan_cache_info()["hits"]
+        # Same stream name, different schema: txn moves to tsid 7.
+        engine.register_stream(
+            "s",
+            TagStructure.from_xml(
+                EVENT_STRUCTURE_XML.replace('id="2"', 'id="7"')
+            ),
+        )
+        after = engine.compile('stream("s")//txn', Strategy.QAC_PLUS)
+        assert after is not before
+        assert after.translated_source != before.translated_source
+        assert "7" in after.translated_source
+        # The epoch bump must not reset the cache counters.
+        assert engine.plan_cache_info()["hits"] == hits_before
+
+    def test_view_plans_are_epoch_keyed_too(self, credit_engine):
+        source = 'count(stream("credit")//account)'
+        credit_engine.execute_on_view(source)
+        size = credit_engine.plan_cache_info()["size"]
+        credit_engine.register_stream(
+            "credit", credit_engine.tag_structures["credit"],
+            credit_engine.stores["credit"],
+        )
+        assert credit_engine.plan_cache_info()["size"] == 0
+        credit_engine.execute_on_view(source)
+        assert credit_engine.plan_cache_info()["size"] <= size
+
+
+class TestSourceLint:
+    def test_src_tree_is_clean(self):
+        assert lint_sources(["src"]) == []
+
+    def test_bypass_import_is_flagged(self, tmp_path):
+        offender = tmp_path / "sneaky.py"
+        offender.write_text(
+            "from repro.core.optimizer import analyze_delta\n"
+        )
+        findings = lint_sources([str(offender)])
+        assert len(findings) == 1
+        assert findings[0].code == "pipeline-bypass"
+        assert "analyze_delta" in findings[0].message
+
+    def test_pipeline_module_is_exempt(self, tmp_path):
+        exempt = tmp_path / "core"
+        exempt.mkdir()
+        module = exempt / "pipeline.py"
+        module.write_text("from repro.core.optimizer import analyze_shared\n")
+        assert lint_sources([str(module)]) == []
+
+    def test_benign_imports_pass(self, tmp_path):
+        benign = tmp_path / "ok.py"
+        benign.write_text(
+            "from repro.core.optimizer import RoutingPredicate\n"
+            "from repro.core.pipeline import hoist_common_fillers\n"
+        )
+        assert lint_sources([str(benign)]) == []
+
+    def test_unparseable_file_reports_not_raises(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        findings = lint_sources([str(broken)])
+        assert [f.code for f in findings] == ["syntax-error"]
+
+
+class TestCLI:
+    @pytest.fixture()
+    def snapshot(self, tmp_path):
+        from repro.fragments.persist import save_store
+        from repro.fragments.store import FragmentStore
+
+        store = FragmentStore(TagStructure.from_xml(EVENT_STRUCTURE_XML))
+        store.extend([
+            Filler(
+                0, 1, XSDateTime(2003, 1, 1),
+                parse_document('<log><hole id="1" tsid="2"/></log>').document_element,
+            ),
+            Filler(
+                1, 2, XSDateTime(2003, 1, 2),
+                parse_document("<txn><amount>80</amount></txn>").document_element,
+            ),
+        ])
+        path = tmp_path / "store.xml"
+        save_store(store, str(path))
+        return str(path)
+
+    def test_explain_with_passes(self, snapshot, capsys):
+        from repro.cli import xcql_main
+
+        code = xcql_main([
+            "explain", "--store", snapshot, "--stream", "s",
+            "--query", EVENT_QUERY, "--strategy", Strategy.QAC_PLUS.value,
+            "--passes",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in report["passes"]] == PASS_NAMES
+        assert report["delta_safe"] is True
+        assert len(report["fingerprint"]) == 12
+
+    def test_explain_without_passes_omits_trace(self, snapshot, capsys):
+        from repro.cli import xcql_main
+
+        code = xcql_main([
+            "explain", "--store", snapshot, "--stream", "s",
+            "--query", EVENT_QUERY,
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "passes" not in report and "fingerprint" not in report
+        assert report["translated"]
+
+    def test_run_is_the_default_command(self, snapshot, capsys):
+        from repro.cli import xcql_main
+
+        code = xcql_main([
+            "--store", snapshot, "--stream", "s", "--query", EVENT_QUERY,
+            "--now", "2003-06-01T00:00:00",
+        ])
+        assert code == 0
+        assert "<hit>" in capsys.readouterr().out
+
+    def test_passes_requires_explain(self, snapshot):
+        from repro.cli import xcql_main
+
+        with pytest.raises(SystemExit):
+            xcql_main([
+                "run", "--store", snapshot, "--stream", "s",
+                "--query", EVENT_QUERY, "--passes",
+            ])
+
+    def test_lint_main_clean_and_dirty(self, tmp_path, capsys):
+        from repro.cli import lint_main
+
+        assert lint_main(["src"]) == 0
+        assert "clean" in capsys.readouterr().out
+        offender = tmp_path / "bad.py"
+        offender.write_text("from repro.core.optimizer import analyze_shared\n")
+        assert lint_main([str(offender)]) == 1
+        assert "pipeline-bypass" in capsys.readouterr().out
