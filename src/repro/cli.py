@@ -108,8 +108,9 @@ def xcql_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--stats",
         action="store_true",
-        help="print engine statistics (plan cache, per-stream store and "
-        "delta-memo counters) as JSON after the results",
+        help="print engine statistics (plan cache hits/evictions/"
+        "invalidations, streaming-automaton host counters, per-stream "
+        "store and delta-memo counters) as JSON after the results",
     )
     parser.add_argument(
         "--replay",
@@ -119,12 +120,22 @@ def xcql_main(argv: list[str] | None = None) -> int:
         help="instead of one evaluation, replay the snapshot's fillers "
         "through a fresh engine in arrival batches of N with the query "
         "standing under a scheduler, then print engine + scheduler "
-        "statistics (shared/delta/full runs, routing probe/skip counts) "
-        "as JSON — the quick perf-triage view",
+        "statistics (shared/delta/full runs, automaton vs fallback runs, "
+        "routing probe/skip counts) as JSON — the quick perf-triage view",
+    )
+    parser.add_argument(
+        "--raw",
+        action="store_true",
+        help="with '--replay': feed each batch as raw wire envelopes "
+        "through the engine's streaming event path (feed_raw) instead of "
+        "parsed fillers, so eligible queries run on the stream automaton "
+        "and the automaton vs fallback counters are populated",
     )
     args = parser.parse_args(argv)
     if args.replay is not None and args.replay < 1:
         parser.error("--replay batch size must be a positive integer")
+    if args.raw and args.replay is None:
+        parser.error("--raw requires --replay")
     if args.passes and args.command != "explain":
         parser.error("--passes requires the 'explain' command")
 
@@ -209,7 +220,11 @@ def _replay(args, store, source: str, strategy, now) -> int:
         )
     scheduler.poll(poll_now)  # baseline
     for start in range(0, len(fillers), args.replay):
-        engine.feed(args.stream, fillers[start:start + args.replay])
+        batch = fillers[start:start + args.replay]
+        if args.raw:
+            engine.feed_raw(args.stream, [filler.to_xml() for filler in batch])
+        else:
+            engine.feed(args.stream, batch)
         scheduler.poll(poll_now)
     report = {
         "fillers_replayed": len(fillers),

@@ -22,10 +22,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Union
 
 from repro.dom.nodes import Document, Element
+from repro.dom.parser import EventParser, build_fragment_indexed
 from repro.fragments.assemble import temporalize
-from repro.fragments.model import Filler
+from repro.fragments.model import Filler, LazyFiller
 from repro.fragments.store import FragmentStore
-from repro.fragments.tagstructure import TagStructure
+from repro.fragments.tagstructure import TagStructure, TagType
 from repro.temporal.chrono import XSDateTime
 from repro.core.pipeline import (
     DELTA_VAR,
@@ -36,6 +37,7 @@ from repro.core.pipeline import (
 )
 from repro.core.translator import Strategy, TranslationError
 from repro.xquery import xast
+from repro.xquery.automata import AutomatonMatcher, StreamAutomaton, schema_reachable
 from repro.xquery.compiler import compile_module
 from repro.xquery.errors import XQueryDynamicError
 from repro.xquery.evaluator import Context, Evaluator
@@ -43,7 +45,14 @@ from repro.xquery.parser import parse
 from repro.xquery.xast import to_source
 from repro.xquery.xdm import atomize_sequence
 
-__all__ = ["XCQLEngine", "CompiledQuery", "DeltaPlan", "SharedPlan", "Strategy"]
+__all__ = [
+    "XCQLEngine",
+    "CompiledQuery",
+    "DeltaPlan",
+    "SharedPlan",
+    "Strategy",
+    "AutomatonHost",
+]
 
 
 @dataclass
@@ -176,6 +185,11 @@ class XCQLEngine:
         self._plan_cache_size = max(0, int(plan_cache_size))
         self._plan_cache_hits = 0
         self._plan_cache_misses = 0
+        self._plan_cache_evictions = 0
+        self._plan_cache_invalidations = 0
+        # Event-automaton captures recorded by feed_raw and answered to the
+        # scheduler's wake path; see AutomatonHost below.
+        self.automaton_host = AutomatonHost()
 
     # -- stream registry ----------------------------------------------------------
 
@@ -202,6 +216,7 @@ class XCQLEngine:
         # cache dict; the clear frees them eagerly without resetting the
         # hit/miss counters.
         self._schema_epoch += 1
+        self._plan_cache_invalidations += 1
         self._plan_cache.clear()
         return store
 
@@ -221,17 +236,182 @@ class XCQLEngine:
         if isinstance(fillers, Filler):
             fillers = [fillers]
         added = store.extend(fillers)
-        if added and self._arrival_listeners:
-            batches: dict[int, list[Filler]] = {}
-            for filler in store.fillers_since(before):
-                batches.setdefault(filler.tsid, []).append(filler)
-            for listener, wants_batch in list(self._arrival_listeners):
-                for tsid in sorted(batches):
-                    if wants_batch:
-                        listener(name, tsid, batches[tsid])
-                    else:
-                        listener(name, tsid)
+        if added:
+            self._notify_arrivals(name, before, store)
         return added
+
+    def feed_raw(
+        self,
+        name: str,
+        payloads: Union[str, Iterable[str]],
+        chunk_size: int = 4096,
+    ) -> int:
+        """Ingest raw ``<filler>`` envelope text; returns how many were new.
+
+        The streaming-evaluation hot path: each envelope is tokenized once
+        (in ``chunk_size`` slices, so peak memory stays bounded by the
+        largest single construct, not the fragment), validated with the
+        same rules and error messages as :func:`repro.fragments.model.parse_filler`,
+        and ingested as a :class:`~repro.fragments.model.LazyFiller` whose
+        payload DOM is never built unless something actually asks for it.
+        While the events stream by, every registered automaton for the
+        envelope's ``(stream, tsid)`` matches and captures exactly the
+        subtrees its standing queries will bind — the scheduler then
+        answers wakes from those captures instead of wrapper DOMs.
+
+        Arrival listeners receive the usual coalesced per-tsid wake, but
+        in the two-argument (batch-free) form: probing a batch would force
+        the lazy DOM build this path exists to avoid, and a batch-free wake
+        is always conservative.
+        """
+        store = self._store(name)
+        before = store.seq
+        if isinstance(payloads, str):
+            payloads = [payloads]
+        added = 0
+        for raw in payloads:
+            filler, matchers = self._scan_envelope(name, raw, chunk_size)
+            if store.append(filler):
+                added += 1
+                for automaton, matcher in matchers:
+                    self.automaton_host.note(
+                        automaton, filler, store.seq, matcher, store
+                    )
+        if added:
+            self._notify_arrivals(name, before, store, probe=False)
+        return added
+
+    def _scan_envelope(
+        self, name: str, raw: str, chunk_size: int
+    ) -> tuple[Filler, list]:
+        """One incremental pass over an envelope: validate + run automata.
+
+        Replicates ``parse_filler``'s checks (and their exact error
+        messages/ordering) over the event stream, feeding the first
+        payload subtree's events to a fresh matcher per registered
+        automaton.  Returns the (lazy) filler and the fed matchers.
+        """
+        parser = EventParser(fragment=True)
+        depth = 0
+        top_elements = 0
+        envelope_tag: Optional[str] = None
+        envelope_attrs: dict = {}
+        payload_elements = 0
+        matchers: list = []
+        in_payload = False
+
+        def consume(events: list) -> None:
+            nonlocal depth, top_elements, envelope_tag, envelope_attrs
+            nonlocal payload_elements, matchers, in_payload
+            index = 0
+            count = len(events)
+            while index < count:
+                if in_payload:
+                    # Hand the matchers the longest available run of
+                    # payload events in one batch (usually the whole
+                    # subtree — runs only split at chunk boundaries).
+                    run_depth = depth
+                    stop = index
+                    while stop < count:
+                        kind = events[stop][0]
+                        if kind == "start":
+                            run_depth += 1
+                        elif kind == "end":
+                            run_depth -= 1
+                            if run_depth == 1:
+                                stop += 1
+                                break
+                        stop += 1
+                    run = (
+                        events
+                        if index == 0 and stop == count
+                        else events[index:stop]
+                    )
+                    for _, matcher in matchers:
+                        matcher.feed_many(run)
+                    depth = run_depth
+                    if run_depth == 1:
+                        in_payload = False
+                    index = stop
+                    continue
+                event = events[index]
+                kind = event[0]
+                if kind == "start":
+                    if depth == 0:
+                        top_elements += 1
+                        if top_elements == 1:
+                            envelope_tag = event[1]
+                            envelope_attrs = dict(event[2])
+                    elif depth == 1 and top_elements == 1:
+                        payload_elements += 1
+                        if payload_elements == 1:
+                            # Reprocess this event as the payload run's
+                            # first: the matchers see root start .. root end.
+                            in_payload = True
+                            matchers = self._matchers_for(name, envelope_attrs)
+                            continue
+                    depth += 1
+                elif kind == "end":
+                    depth -= 1
+                index += 1
+
+        if len(raw) <= chunk_size:
+            # Single-chunk envelope: feed the wire text itself instead of
+            # slicing a full-length copy of it.
+            consume(parser.feed(raw))
+        else:
+            for start in range(0, len(raw), chunk_size):
+                consume(parser.feed(raw[start : start + chunk_size]))
+        consume(parser.close())
+        if top_elements != 1:
+            raise ValueError("expected a single <filler> element")
+        if envelope_tag != "filler":
+            raise ValueError(f"expected <filler>, got <{envelope_tag}>")
+        if payload_elements != 1:
+            raise ValueError("filler must contain exactly one payload element")
+        try:
+            filler = LazyFiller(
+                filler_id=int(envelope_attrs["id"]),
+                tsid=int(envelope_attrs["tsid"]),
+                valid_time=XSDateTime.parse(envelope_attrs["validTime"]),
+                raw=raw,
+            )
+        except KeyError as exc:
+            raise ValueError(f"filler missing attribute {exc}") from exc
+        return filler, matchers
+
+    def _matchers_for(self, name: str, envelope_attrs: dict) -> list:
+        """Fresh matchers for every automaton watching ``(name, tsid)``.
+
+        A missing or malformed ``tsid`` attribute just skips matching —
+        envelope validation raises the canonical error afterwards.
+        """
+        try:
+            tsid = int(envelope_attrs["tsid"])
+        except (KeyError, ValueError):
+            return []
+        return self.automaton_host.matchers_for(name, tsid)
+
+    def _notify_arrivals(
+        self, name: str, before: int, store: FragmentStore, probe: bool = True
+    ) -> None:
+        """Fire coalesced per-tsid arrival wakes for fillers past ``before``.
+
+        ``probe=False`` (the raw-feed path) withholds the filler batch from
+        batch-aware listeners so the routing index cannot force a lazy DOM
+        build; the two-argument wake is conservative, never unsound.
+        """
+        if not self._arrival_listeners:
+            return
+        batches: dict[int, list[Filler]] = {}
+        for filler in store.fillers_since(before):
+            batches.setdefault(filler.tsid, []).append(filler)
+        for listener, wants_batch in list(self._arrival_listeners):
+            for tsid in sorted(batches):
+                if wants_batch and probe:
+                    listener(name, tsid, batches[tsid])
+                else:
+                    listener(name, tsid)
 
     def add_arrival_listener(self, listener: Callable) -> None:
         """Call ``listener(stream, tsid[, fillers])`` on every accepted feed.
@@ -320,6 +500,7 @@ class XCQLEngine:
             self._plan_cache[key] = compiled
             while len(self._plan_cache) > self._plan_cache_size:
                 self._plan_cache.popitem(last=False)
+                self._plan_cache_evictions += 1
         return compiled
 
     def _compile_module(
@@ -352,12 +533,16 @@ class XCQLEngine:
         self._plan_cache_misses = 0
 
     def plan_cache_info(self) -> dict[str, int]:
-        """LRU plan-cache statistics: hits, misses, size, maxsize."""
+        """LRU plan-cache statistics: hits, misses, size, maxsize, plus
+        capacity evictions and schema-epoch invalidations (each
+        ``register_stream`` bumps the epoch and clears the cache)."""
         return {
             "hits": self._plan_cache_hits,
             "misses": self._plan_cache_misses,
             "size": len(self._plan_cache),
             "maxsize": self._plan_cache_size,
+            "evictions": self._plan_cache_evictions,
+            "invalidations": self._plan_cache_invalidations,
         }
 
     def translate_source(self, source: str, strategy: Strategy = Strategy.QAC) -> str:
@@ -402,9 +587,33 @@ class XCQLEngine:
                 if compiled.shared_plan and compiled.shared_plan.routing
                 else None
             ),
+            "automaton": (
+                compiled.info.automaton.describe()
+                if compiled.info and compiled.info.automaton
+                else None
+            ),
+            "automaton_reason": (
+                compiled.info.automaton_reason if compiled.info else None
+            ),
+            "automaton_schema_reachable": self._automaton_reachability(compiled),
             "passes": compiled.info.trace_dicts() if compiled.info else [],
             "fingerprint": compiled.info.fingerprint if compiled.info else None,
         }
+
+    def _automaton_reachability(self, compiled: CompiledQuery) -> Optional[bool]:
+        """Tag-Structure advisory: can the plan's automaton ever match?
+
+        ``None`` when the plan has no automaton or its stream/schema is
+        unknown.  Advisory only — data that violates the schema still
+        matches at runtime, so a ``False`` is a diagnostic, never a gate.
+        """
+        info = compiled.info
+        if info is None or info.automaton is None:
+            return None
+        structure = self.tag_structures.get(info.automaton.stream)
+        if structure is None:
+            return None
+        return schema_reachable(info.automaton, structure.get(info.automaton.tsid))
 
     def stats(self) -> dict:
         """Engine-level counters for perf triage (see ``repro.cli --stats``).
@@ -425,7 +634,11 @@ class XCQLEngine:
                 "delta_memo": store.delta_memo_info(),
                 **({"endpoint_index": index()} if callable(index) else {}),
             }
-        return {"plan_cache": self.plan_cache_info(), "streams": streams}
+        return {
+            "plan_cache": self.plan_cache_info(),
+            "automata": self.automaton_host.stats(),
+            "streams": streams,
+        }
 
     def check(self, source: str) -> list:
         """Static diagnostics for a query, without executing it.
@@ -633,6 +846,7 @@ class XCQLEngine:
                 self._plan_cache[key] = compiled
                 while len(self._plan_cache) > self._plan_cache_size:
                     self._plan_cache.popitem(last=False)
+                    self._plan_cache_evictions += 1
         context = self.build_context(now=now, variables=variables)
         if compiled.plan is not None:
             return compiled.plan(context)
@@ -766,6 +980,267 @@ class XCQLEngine:
             if versions:
                 return versions
         return []
+
+
+class _CaptureRecord:
+    """One ingested envelope's automaton captures, pinned to its filler."""
+
+    __slots__ = ("seq", "filler", "buffers", "matches", "root_matched")
+
+    def __init__(self, seq, filler, buffers, matches, root_matched):
+        self.seq = seq
+        self.filler = filler
+        self.buffers = buffers  # None once superseded (buffers dropped)
+        self.matches = matches
+        self.root_matched = root_matched
+
+
+class _AutomatonGroup:
+    """Shared capture state for all queries compiled to one automaton."""
+
+    __slots__ = (
+        "automaton",
+        "refcount",
+        "epoch",
+        "records",
+        "by_id",
+        "winners",
+        "envelopes",
+        "answers",
+        "declines",
+        "superseded",
+    )
+
+    def __init__(self, automaton: StreamAutomaton):
+        self.automaton = automaton
+        self.refcount = 0
+        self.epoch: Optional[int] = None
+        self.records: list[_CaptureRecord] = []
+        self.by_id: dict[int, _CaptureRecord] = {}
+        # Snapshot-only: filler_id -> the record whose version currently
+        # wins (latest validTime, ties to the latest arrival).  Losers keep
+        # their record (the identity check needs it) but drop their event
+        # buffers — Tag-Structure-guided buffer minimization.
+        self.winners: dict[int, _CaptureRecord] = {}
+        self.envelopes = 0
+        self.answers = 0
+        self.declines = 0
+        self.superseded = 0
+
+
+class AutomatonHost:
+    """Records automaton captures at ingest and answers scheduler wakes.
+
+    One host per engine.  ``feed_raw`` runs every registered automaton for
+    an envelope's ``(stream, tsid)`` over the payload event stream and
+    files the matched-subtree buffers here (:meth:`note`); when a standing
+    query wakes, the scheduler asks :meth:`answer` for the binding tuples
+    of the fillers past the query's watermark.  The answer is built purely
+    from the captures — materialized through the parser's event-replay
+    builder, with lifespan annotations synthesized per the tsid's tag type
+    (exactly :meth:`FragmentStore._annotate`'s rules) — so the wake path
+    never touches a wrapper DOM.
+
+    Soundness rests on an identity check, not on coverage bookkeeping:
+    every filler in the requested window must map (by object identity) to
+    a capture record.  Fillers that arrived through any other path —
+    ``feed``, a direct ``store.extend``, before the automaton registered —
+    have no record, and the answer *declines*; the scheduler then falls
+    back to the DOM delta driver for that wake.  Declines are counted
+    (``explain``'s fallback reason plus these counters tell the whole
+    story).
+    """
+
+    def __init__(self) -> None:
+        self._groups: dict[StreamAutomaton, _AutomatonGroup] = {}
+        self._routes: dict[tuple[str, int], list[StreamAutomaton]] = {}
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, automaton: StreamAutomaton) -> None:
+        """Start capturing for an automaton (refcounted per standing query)."""
+        group = self._groups.get(automaton)
+        if group is None:
+            group = _AutomatonGroup(automaton)
+            self._groups[automaton] = group
+            self._routes.setdefault(
+                (automaton.stream, automaton.tsid), []
+            ).append(automaton)
+        group.refcount += 1
+
+    def unregister(self, automaton: StreamAutomaton) -> None:
+        """Drop one registration; the last one frees the captures."""
+        group = self._groups.get(automaton)
+        if group is None:
+            return
+        group.refcount -= 1
+        if group.refcount <= 0:
+            del self._groups[automaton]
+            route = self._routes.get((automaton.stream, automaton.tsid), [])
+            if automaton in route:
+                route.remove(automaton)
+            if not route:
+                self._routes.pop((automaton.stream, automaton.tsid), None)
+
+    def matchers_for(self, stream: str, tsid: int) -> list:
+        """Fresh ``(automaton, matcher)`` pairs for one arriving envelope."""
+        automata = self._routes.get((stream, int(tsid)))
+        if not automata:
+            return []
+        return [(automaton, AutomatonMatcher(automaton)) for automaton in automata]
+
+    # -- ingest-side recording ------------------------------------------------------
+
+    def note(self, automaton, filler, seq, matcher, store) -> None:
+        """File one envelope's captures at its store sequence number."""
+        group = self._groups.get(automaton)
+        if group is None:
+            return
+        if group.epoch != store.mutation_epoch:
+            self._reset(group, store)
+        record = _CaptureRecord(
+            seq, filler, matcher.buffers, matcher.matches, matcher.root_matched
+        )
+        group.records.append(record)
+        group.by_id[id(filler)] = record
+        group.envelopes += 1
+        if store.tag_type_of(filler.tsid) is TagType.SNAPSHOT:
+            # A snapshot version is only ever visible when it is the
+            # latest of its fragment id in the evaluation window (the
+            # store's annotation rule), so the loser's buffers can be
+            # dropped the moment the winner is known.  Windows that would
+            # see only the loser have preexisting versions and take the
+            # full-run guard before ever reaching this host.
+            winner = group.winners.get(filler.filler_id)
+            if (
+                winner is None
+                or filler.valid_time.to_epoch_seconds()
+                >= winner.filler.valid_time.to_epoch_seconds()
+            ):
+                if winner is not None and winner.buffers is not None:
+                    winner.buffers = None
+                    winner.matches = ()
+                    group.superseded += 1
+                group.winners[filler.filler_id] = record
+            else:
+                record.buffers = None
+                record.matches = ()
+                group.superseded += 1
+
+    def _reset(self, group: _AutomatonGroup, store) -> None:
+        """History was rewritten (prune/clear/schema swap): start over."""
+        group.records = []
+        group.by_id = {}
+        group.winners = {}
+        group.epoch = store.mutation_epoch
+
+    # -- wake-side answers ----------------------------------------------------------
+
+    def answer(self, automaton, fresh: list, store) -> Optional[list]:
+        """Binding tuples for the ``fresh`` filler window, or ``None``.
+
+        ``fresh`` is the exact arrival-ordered filler list the delta
+        driver would wrap (``fillers_since`` + the plan's filler-id
+        filter).  ``None`` means some filler has no capture record and the
+        caller must fall back to the DOM path.
+        """
+        group = self._groups.get(automaton)
+        if group is None:
+            return None
+        if group.epoch != store.mutation_epoch:
+            self._reset(group, store)
+        bunches: dict[int, list[_CaptureRecord]] = {}
+        for filler in fresh:
+            record = group.by_id.get(id(filler))
+            if record is None or record.filler is not filler:
+                group.declines += 1
+                return None
+            bunches.setdefault(filler.filler_id, []).append(record)
+        tag_type = store.tag_type_of(automaton.tsid)
+        tuples: list = []
+        for bunch in bunches.values():
+            bunch = sorted(
+                bunch, key=lambda r: r.filler.valid_time.to_epoch_seconds()
+            )
+            if tag_type is TagType.SNAPSHOT:
+                last = bunch[-1]
+                if last.buffers is None:
+                    group.declines += 1
+                    return None
+                tuples.extend(_materialize_record(last, None, None))
+            elif tag_type is TagType.EVENT:
+                for record in bunch:
+                    stamp = str(record.filler.valid_time)
+                    tuples.extend(_materialize_record(record, stamp, stamp))
+            else:  # TEMPORAL (and schemaless stores)
+                count = len(bunch)
+                for position, record in enumerate(bunch):
+                    vt_to = (
+                        str(bunch[position + 1].filler.valid_time)
+                        if position + 1 < count
+                        else "now"
+                    )
+                    tuples.extend(
+                        _materialize_record(
+                            record, str(record.filler.valid_time), vt_to
+                        )
+                    )
+        group.answers += 1
+        return tuples
+
+    def prune(self, automaton, min_seq: int) -> None:
+        """Forget captures at or below every watcher's watermark."""
+        group = self._groups.get(automaton)
+        if group is None or min_seq <= 0:
+            return
+        kept = [record for record in group.records if record.seq > min_seq]
+        if len(kept) == len(group.records):
+            return
+        group.records = kept
+        group.by_id = {id(record.filler): record for record in kept}
+        group.winners = {
+            fid: record
+            for fid, record in group.winners.items()
+            if record.seq > min_seq
+        }
+
+    def stats(self) -> dict:
+        """Host-level counters: per-group capture economy and outcomes."""
+        return {
+            "groups": len(self._groups),
+            "registered": sum(g.refcount for g in self._groups.values()),
+            "buffered": sum(len(g.records) for g in self._groups.values()),
+            "envelopes": sum(g.envelopes for g in self._groups.values()),
+            "answers": sum(g.answers for g in self._groups.values()),
+            "declines": sum(g.declines for g in self._groups.values()),
+            "superseded": sum(g.superseded for g in self._groups.values()),
+        }
+
+
+def _materialize_record(
+    record: _CaptureRecord, vt_from: Optional[str], vt_to: Optional[str]
+) -> list:
+    """Build one capture's binding tuples via the event-replay builder.
+
+    Matches are materialized in recorded (document) order; when the
+    payload root itself matched and the tag type annotates versions, the
+    root element receives the synthesized ``vtFrom``/``vtTo`` exactly as
+    the store's wrapper annotation would have set them (same attribute
+    order: after the payload's own attributes).
+    """
+    built: dict[int, dict] = {}
+    result: list = []
+    for buffer_index, offset in record.matches:
+        index = built.get(buffer_index)
+        if index is None:
+            _, index = build_fragment_indexed(record.buffers[buffer_index])
+            built[buffer_index] = index
+        result.append(index[offset])
+    if vt_from is not None and record.root_matched and result:
+        root = result[0]
+        root.set("vtFrom", vt_from)
+        root.set("vtTo", vt_to)
+    return result
 
 
 class _TemporalIndexHook:

@@ -155,6 +155,11 @@ PIPELINE_ONLY_NAMES = frozenset(
 #: optimizer's own module).
 _PIPELINE_EXEMPT = ("core/pipeline.py", "core/optimizer.py")
 
+#: The stream-automaton compiler/matcher must stay DOM-free: its whole
+#: point is matching raw parse events without materializing nodes, so any
+#: import of the DOM node types is a layering regression.
+_DOM_FREE_MODULES = ("xquery/automata.py",)
+
 
 def lint_sources(paths: Iterable[str]) -> list[Diagnostic]:
     """Check Python sources for pipeline-bypassing optimizer imports.
@@ -164,19 +169,24 @@ def lint_sources(paths: Iterable[str]) -> list[Diagnostic]:
     outside :mod:`repro.core.pipeline` — rewrites and analyses must run
     through the pass pipeline so their verdicts land on
     ``CompiledQuery.info`` and their identity lands in the plan-cache
-    fingerprint.  Unparseable files yield ``syntax-error`` diagnostics;
+    fingerprint.  An ``automata-dom-import`` diagnostic is reported when
+    :mod:`repro.xquery.automata` imports the DOM node types — the
+    automaton layer matches raw parse events and must never materialize
+    nodes itself.  Unparseable files yield ``syntax-error`` diagnostics;
     the linter never raises.
     """
     diagnostics: list[Diagnostic] = []
     for path in _python_files(paths):
         normalized = path.replace(os.sep, "/")
-        if normalized.endswith(_PIPELINE_EXEMPT):
-            continue
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 tree = _pyast.parse(fh.read())
         except (OSError, SyntaxError, ValueError) as exc:
             diagnostics.append(Diagnostic("syntax-error", f"{path}: {exc}"))
+            continue
+        if normalized.endswith(_DOM_FREE_MODULES):
+            _check_dom_free(path, tree, diagnostics)
+        if normalized.endswith(_PIPELINE_EXEMPT):
             continue
         for node in _pyast.walk(tree):
             if not isinstance(node, _pyast.ImportFrom):
@@ -194,6 +204,26 @@ def lint_sources(paths: Iterable[str]) -> list[Diagnostic]:
                         )
                     )
     return _dedup(diagnostics)
+
+
+def _check_dom_free(path: str, tree: _pyast.AST, out: list[Diagnostic]) -> None:
+    """Flag any import of the DOM node module inside a DOM-free module."""
+    for node in _pyast.walk(tree):
+        modules: list[tuple[str, int]] = []
+        if isinstance(node, _pyast.ImportFrom):
+            modules.append((node.module or "", node.lineno))
+        elif isinstance(node, _pyast.Import):
+            modules.extend((alias.name, node.lineno) for alias in node.names)
+        for module, lineno in modules:
+            if module == "repro.dom" or module.startswith("repro.dom."):
+                out.append(
+                    Diagnostic(
+                        "automata-dom-import",
+                        f"{path}:{lineno}: the stream-automaton module must "
+                        "stay DOM-free (it matches raw parse events); move "
+                        "node materialization to the engine's automaton host",
+                    )
+                )
 
 
 def _python_files(paths: Iterable[str]) -> list[str]:

@@ -18,15 +18,16 @@ Two pass kinds exist, distinguished only by what they touch:
 - **rewrite** passes (``translate``, ``hoist-fillers``,
   ``lower-merge-joins``) return a new module;
 - **analysis** passes (``delta-safety``, ``shared-split``,
-  ``routing-predicate``) return the module unchanged and record verdicts
-  on the :class:`PlanInfo`.
+  ``routing-predicate``, ``compile-stream-automaton``) return the module
+  unchanged and record verdicts on the :class:`PlanInfo`.
 
 The ordering contract: ``translate`` first (every later pass assumes the
 filler-level form), rewrites before analyses (verdicts describe the final
 plan), ``delta-safety`` before ``shared-split`` (sharing refines the delta
-split), ``routing-predicate`` last (it reads the shared verdict).  A new
-rewrite slots in after ``lower-merge-joins``; a new analysis appends at
-the end.  Each pass gates itself and appends exactly one
+split), ``routing-predicate`` after that (it reads the shared verdict),
+``compile-stream-automaton`` last (it compiles the shared prefix into an
+event automaton).  A new rewrite slots in after ``lower-merge-joins``; a
+new analysis appends at the end.  Each pass gates itself and appends exactly one
 :class:`PassTrace`, so ``engine.compile`` contains no pass-specific
 branching and ``explain()`` can replay the whole decision trail.
 
@@ -56,6 +57,7 @@ from repro.core.optimizer import (
 )
 from repro.core.translator import Strategy, Translator
 from repro.xquery import xast
+from repro.xquery.automata import StreamAutomaton, compile_automaton
 
 __all__ = [
     "PassTrace",
@@ -68,6 +70,7 @@ __all__ = [
     "DeltaSafetyPass",
     "SharedSplitPass",
     "RoutingPredicatePass",
+    "CompileStreamAutomatonPass",
     "PassManager",
     "default_passes",
     # Sanctioned re-exports: downstream code (engine, core/__init__) takes
@@ -127,6 +130,8 @@ class PlanInfo:
     shared: Optional[SharedAnalysis] = None
     shared_reason: Optional[str] = None
     routing: Optional[RoutingPredicate] = None
+    automaton: Optional[StreamAutomaton] = None
+    automaton_reason: Optional[str] = None
     trace: list = field(default_factory=list)
 
     def record(self, trace: PassTrace) -> None:
@@ -324,6 +329,36 @@ class RoutingPredicatePass(Pass):
         return module
 
 
+class CompileStreamAutomatonPass(Pass):
+    """Compile the shared prefix into a streaming event automaton (PR 6).
+
+    Gates on the shared-split verdict: only delta-safe, shared-safe plans
+    whose prefix is a downward-only path over the arriving filler wrappers
+    (and whose residual never navigates back up) get an automaton.  The
+    automaton lets the scheduler answer wakes from event-buffer captures
+    recorded at ingest (:meth:`repro.core.engine.XCQLEngine.feed_raw`)
+    instead of building wrapper DOMs per tick; any decline reason recorded
+    here is also the runtime's fallback explanation in ``explain``.
+    """
+
+    name = "compile-stream-automaton"
+    kind = "analysis"
+
+    def run(self, module, info, options, engine):
+        if info.shared is None:
+            info.automaton_reason = info.shared_reason or "plan is not shared-safe"
+            info.record(PassTrace(self.name, False, detail=info.automaton_reason))
+            return module
+        automaton, reason = compile_automaton(info.shared)
+        if automaton is None:
+            info.automaton_reason = reason
+            info.record(PassTrace(self.name, False, detail=reason))
+            return module
+        info.automaton = automaton
+        info.record(PassTrace(self.name, True, detail=automaton.describe()))
+        return module
+
+
 def default_passes() -> list:
     """The standard pipeline, in its contractual order."""
     return [
@@ -333,6 +368,7 @@ def default_passes() -> list:
         DeltaSafetyPass(),
         SharedSplitPass(),
         RoutingPredicatePass(),
+        CompileStreamAutomatonPass(),
     ]
 
 

@@ -17,7 +17,7 @@ from repro.dom.parser import parse_fragment
 from repro.dom.serializer import serialize
 from repro.temporal.chrono import XSDateTime
 
-__all__ = ["Filler", "make_hole", "parse_filler", "FRAGMENTS_DOC_NAME"]
+__all__ = ["Filler", "LazyFiller", "make_hole", "parse_filler", "FRAGMENTS_DOC_NAME"]
 
 FRAGMENTS_DOC_NAME = "fragments.xml"
 
@@ -77,6 +77,49 @@ class Filler:
             f"<Filler id={self.filler_id} tsid={self.tsid}"
             f" t={self.valid_time} tag={self.content.tag!r}>"
         )
+
+
+class LazyFiller(Filler):
+    """A filler whose payload DOM is built only on first ``content`` access.
+
+    The raw-feed ingest path (:meth:`repro.core.engine.XCQLEngine.feed_raw`)
+    tokenizes the whole envelope once to validate it and drive the stream
+    automata, but defers the DOM build: standing queries answered from
+    automaton captures never touch ``content`` at all.  Anything that does —
+    full re-evaluations, routing probes, ``to_xml`` — parses the retained
+    wire text on demand and caches the result, after which the instance
+    behaves exactly like an eager :class:`Filler`.
+    """
+
+    def __init__(
+        self,
+        filler_id: int,
+        tsid: int,
+        valid_time: XSDateTime,
+        raw: str,
+    ):
+        self.filler_id = filler_id
+        self.tsid = tsid
+        self.valid_time = valid_time
+        self._raw = raw
+        self._content: Union[Element, None] = None
+
+    @property
+    def content(self) -> Element:
+        if self._content is None:
+            # The raw text was fully tokenized and validated at ingest, so
+            # this re-parse cannot newly fail.
+            self._content = parse_filler(self._raw).content
+        return self._content
+
+    @content.setter
+    def content(self, value: Element) -> None:
+        self._content = value
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the payload DOM has been built (observability hook)."""
+        return self._content is not None
 
 
 def parse_filler(source: Union[str, Element]) -> Filler:

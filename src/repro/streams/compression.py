@@ -21,6 +21,9 @@ traffic.
 
 from __future__ import annotations
 
+import re
+from typing import Iterable, Iterator, Optional
+
 from repro.dom.nodes import Element
 from repro.dom.parser import parse_fragment
 from repro.dom.serializer import serialize
@@ -30,6 +33,10 @@ from repro.streams.transport import FILLER, Channel, Message
 __all__ = ["TagCodec", "CompressingChannel"]
 
 _PRESERVED = ("filler", "hole")
+
+_NAME_RE = re.compile(r"[A-Za-z_:][\w.\-:]*")
+# Markup whose interior must never be tag-decoded.
+_OPAQUE_MARKERS = ("<!--", "<![CDATA[")
 
 
 class TagCodec:
@@ -82,8 +89,111 @@ class TagCodec:
         nodes = [n for n in parse_fragment(payload) if isinstance(n, Element)]
         return "".join(serialize(self.decode(node)) for node in nodes)
 
+    # -- incremental wire decoding -----------------------------------------------
+
+    def decompress_iter(self, chunks: Iterable[str]) -> Iterator[str]:
+        """Decode a wire payload incrementally, chunk by chunk.
+
+        Yields decoded text pieces whose concatenation equals
+        :meth:`decode_wire` of the concatenated input for payloads produced
+        by :meth:`encode_wire` — but without ever materializing the whole
+        string or building a DOM: only the tag names immediately after
+        ``<`` / ``</`` are rewritten, so the output can feed an event
+        parser as it is produced.  Comments, CDATA sections, and processing
+        instructions pass through opaque; a chunk boundary may fall
+        anywhere (mid-name, mid-tag, mid-comment) without changing the
+        output.
+        """
+        buffer = ""
+        for chunk in chunks:
+            buffer += chunk
+            done, buffer = self._decode_stream(buffer, final=False)
+            if done:
+                yield done
+        done, buffer = self._decode_stream(buffer, final=True)
+        if done:
+            yield done
+
+    def _decode_stream(self, buffer: str, final: bool) -> tuple[str, str]:
+        """Decode the longest unambiguous prefix of ``buffer``.
+
+        Returns ``(decoded, holdover)`` where ``holdover`` is the suffix
+        that cannot be decoded yet (it starts at the ``<`` of an
+        incomplete construct).  With ``final=True`` everything is consumed,
+        passing any trailing malformed markup through verbatim.
+        """
+        out: list[str] = []
+        pos = 0
+        n = len(buffer)
+        while pos < n:
+            lt = buffer.find("<", pos)
+            if lt == -1:
+                out.append(buffer[pos:])
+                pos = n
+                break
+            if lt > pos:
+                out.append(buffer[pos:lt])
+                pos = lt
+            rest = buffer[pos:]
+            if not final and any(
+                marker.startswith(rest) for marker in _OPAQUE_MARKERS
+            ):
+                break  # could still become a comment/CDATA opener
+            consumed = self._decode_construct(buffer, pos, final, out)
+            if consumed is None:
+                break  # construct incomplete: hold it for the next chunk
+            pos = consumed
+        return "".join(out), buffer[pos:]
+
+    def _decode_construct(
+        self, buffer: str, pos: int, final: bool, out: list[str]
+    ) -> Optional[int]:
+        """Decode one ``<``-construct at ``pos``; None = incomplete."""
+        n = len(buffer)
+        for marker, closer in (("<!--", "-->"), ("<![CDATA[", "]]>"), ("<?", "?>"), ("<!", ">")):
+            if buffer.startswith(marker, pos):
+                end = buffer.find(closer, pos + len(marker))
+                if end == -1:
+                    if final:
+                        out.append(buffer[pos:])
+                        return n
+                    return None
+                out.append(buffer[pos : end + len(closer)])
+                return end + len(closer)
+        name_start = pos + (2 if buffer.startswith("</", pos) else 1)
+        match = _NAME_RE.match(buffer, name_start)
+        if match is None:
+            if name_start >= n and not final:
+                return None  # bare "<" or "</" at the buffer edge
+            out.append(buffer[pos:name_start])
+            return name_start
+        if match.end() == n and not final:
+            return None  # the name may continue in the next chunk
+        end = _scan_tag_end(buffer, match.end())
+        if end is None and not final:
+            return None  # attributes/terminator still arriving
+        name = match.group()
+        out.append(buffer[pos : name_start] + self._decode.get(name, name))
+        out.append(buffer[match.end() : end if end is not None else n])
+        return end if end is not None else n
+
     def __len__(self) -> int:
         return len(self._encode)
+
+
+def _scan_tag_end(buffer: str, pos: int) -> Optional[int]:
+    """Index just past the ``>`` closing the tag, honoring quoted attrs."""
+    quote: Optional[str] = None
+    for index in range(pos, len(buffer)):
+        ch = buffer[index]
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in ('"', "'"):
+            quote = ch
+        elif ch == ">":
+            return index + 1
+    return None
 
 
 class CompressingChannel(Channel):
@@ -92,6 +202,11 @@ class CompressingChannel(Channel):
     Tag Structure announcements pass through uncompressed (the codec is
     derived from them).  ``bytes_saved`` accumulates the wire reduction.
     """
+
+    #: Delivery-side decode granularity: payloads are decoded in slices of
+    #: this many characters, so a subscriber never waits on (and the codec
+    #: never allocates) a parse of the whole payload.
+    chunk_size = 4096
 
     def __init__(self, codec: TagCodec):
         super().__init__()
@@ -114,7 +229,15 @@ class CompressingChannel(Channel):
 
     def _deliver(self, subscriber, message: Message) -> None:
         if message.kind == FILLER:
-            message = Message(
-                message.kind, message.stream, self.codec.decode_wire(message.payload)
+            # Streaming decode: tag names are rewritten slice by slice via
+            # decompress_iter — no DOM parse/serialize round-trip on the
+            # delivery path, and each decoded slice could equally be fed
+            # straight into an event parser.
+            payload = message.payload
+            slices = (
+                payload[offset : offset + self.chunk_size]
+                for offset in range(0, len(payload), self.chunk_size)
             )
+            decoded = "".join(self.codec.decompress_iter(slices))
+            message = Message(message.kind, message.stream, decoded)
         super()._deliver(subscriber, message)

@@ -98,6 +98,15 @@ class ContinuousQuery:
         """Register a sink for emitted results."""
         self.subscribers.append(callback)
 
+    @property
+    def watermark_seq(self) -> Optional[int]:
+        """The store sequence this query has folded in (``None`` = unset).
+
+        The scheduler uses it to prune automaton captures every standing
+        query has already consumed.
+        """
+        return self._watermark[0] if self._watermark is not None else None
+
     def evaluate(
         self,
         now: Optional[XSDateTime] = None,
@@ -173,11 +182,10 @@ class ContinuousQuery:
             # tuples may reference dropped or re-annotated versions.
             self._watermark = None
             return None
-        # Memoized in the store so N same-watermark queries in a shared
-        # group build the wrapper batch once per tick, not N times.
-        fresh, wrappers = store.delta_batch(
-            seq, tsid=delta.tsid, filler_id=delta.filler_id
-        )
+        fresh = store.fillers_since(seq, tsid=delta.tsid)
+        if delta.filler_id is not None:
+            target = int(delta.filler_id)
+            fresh = [filler for filler in fresh if filler.filler_id == target]
         if not self._delta_applicable(store, delta, fresh):
             self._watermark = None
             return None
@@ -196,6 +204,15 @@ class ContinuousQuery:
                 )
                 mode = "shared"
             else:
+                # Wrapper construction (a DOM build over the batch) is
+                # deferred to this fallback branch: when the scheduler
+                # serves binding tuples — from a shared prefix scan or the
+                # streaming automaton host — no wrappers are needed at all.
+                # Memoized in the store so N same-watermark queries in a
+                # shared group build the wrapper batch once per tick.
+                _, wrappers = store.delta_batch(
+                    seq, tsid=delta.tsid, filler_id=delta.filler_id
+                )
                 self._delta_items = self.engine.execute_delta(delta, wrappers, now=now)
             self._retained = self._retained + self._delta_items
         if mode == "shared":

@@ -142,6 +142,7 @@ class _Entry:
     group_key: Optional[tuple] = None  # (id(engine), *SharedPlan.group_key)
     route_key: Optional[tuple] = None  # (stream, tsid) when routed
     routing: Optional[RoutingPredicate] = None
+    automaton: Optional[object] = None  # compile-stream-automaton verdict
     dirty: bool = False  # routed entries: a probed arrival matched
     # Store seq through which every probed filler missed: a skip may then
     # advance the query's watermark past the cleared arrivals (the delta
@@ -155,6 +156,8 @@ class _Entry:
     shared_runs: int = 0  # evaluations fed from the group's shared scan
     routing_wakes: int = 0
     routing_skips: int = 0
+    automaton_runs: int = 0       # wakes answered from event captures
+    automaton_fallbacks: int = 0  # declines that took the DOM delta path
 
 
 class QueryScheduler:
@@ -168,18 +171,24 @@ class QueryScheduler:
     delta, a full re-evaluation, or a skip.
 
     ``share_groups`` enables the shared prefix evaluation for groups of ≥2
-    same-prefix queries; ``routing`` enables the predicate routing index.
-    Both default on and both only ever *reduce* work — disabling them
-    restores the PR-3 broadcast/solo behaviour (the A11 baseline arm).
+    same-prefix queries; ``routing`` enables the predicate routing index;
+    ``stream_automata`` lets automaton-compiled plans answer wakes from
+    the engine's :class:`~repro.core.engine.AutomatonHost` event captures
+    (recorded by ``feed_raw``) before touching any wrapper DOM — a decline
+    falls back to the shared scan or solo delta path, so results are
+    identical either way.  All default on and only ever *reduce* work —
+    disabling them restores the earlier behaviour (the A11/A12 baseline
+    arms).
     """
 
     def __init__(self, engine=None, share_groups: bool = True,
-                 routing: bool = True) -> None:
+                 routing: bool = True, stream_automata: bool = True) -> None:
         self._entries: list[_Entry] = []
         self._arrivals: dict[str, set[int]] = {}
         self._watched: list = []
         self.share_groups = share_groups
         self.routing = routing
+        self.stream_automata = stream_automata
         self._groups: dict[tuple, list[_Entry]] = {}
         self._routes: dict[tuple[str, int], list[_Entry]] = {}
         # Per-tick cache of materialized binding tuples, keyed
@@ -191,6 +200,8 @@ class QueryScheduler:
         self._routing_skips = 0
         self._prefix_runs = 0
         self._prefix_reuses = 0
+        self._automaton_runs = 0
+        self._automaton_fallbacks = 0
         if engine is not None:
             self.watch_engine(engine)
 
@@ -216,6 +227,17 @@ class QueryScheduler:
             # annotation (the routing-predicate pass) carried on
             # CompiledQuery.info.
             info = query.compiled.info
+            if (
+                self.stream_automata
+                and info is not None
+                and getattr(info, "automaton", None) is not None
+            ):
+                # The compile-stream-automaton verdict: wakes try the
+                # engine's capture host first (works for solo queries
+                # too — the automaton replaces the delta scan itself,
+                # not just the group's sharing of it).
+                entry.automaton = info.automaton
+                query.engine.automaton_host.register(info.automaton)
             routing = info.routing if info is not None else shared.routing
             if (
                 self.routing
@@ -240,6 +262,8 @@ class QueryScheduler:
         for entry in self._entries:
             if entry.query is query:
                 self._entries.remove(entry)
+                if entry.automaton is not None:
+                    query.engine.automaton_host.unregister(entry.automaton)
                 if entry.group_key is not None:
                     members = self._groups.get(entry.group_key, [])
                     if entry in members:
@@ -279,6 +303,7 @@ class QueryScheduler:
         # extracted probe values are cached per (filler, shape) so the
         # content walk happens once per filler, not once per query.
         value_cache: dict[tuple, Optional[list]] = {}
+        supersede_cache: dict[int, bool] = {}
         for entry in routed:
             if entry.dirty:
                 continue
@@ -288,6 +313,22 @@ class QueryScheduler:
             self._routing_probes += 1
             store = entry.query.engine.stores.get(stream)
             tag_type = store.tag_type_of(int(tsid)) if store is not None else None
+            if (
+                store is not None
+                and tag_type is not TagType.EVENT
+                and supersede_cache.setdefault(
+                    id(store), _batch_supersedes(store, fillers)
+                )
+            ):
+                # A non-event fragment got another version: the new
+                # version closes (temporal) or retracts (snapshot) the
+                # previous one, so retained annotations move even when no
+                # arriving filler satisfies the predicate.  The probe
+                # cannot clear this batch — wake unconditionally.
+                entry.dirty = True
+                entry.routing_wakes += 1
+                self._routing_wakes += 1
+                continue
             if any(_route_match(entry.routing, filler, tag_type, value_cache)
                    for filler in fillers):
                 entry.dirty = True
@@ -350,7 +391,23 @@ class QueryScheduler:
             entry.cleared_seq = None
         self._arrivals.clear()
         self._tick_tuples.clear()
+        if self.stream_automata:
+            self._prune_automata()
         return emitted
+
+    def _prune_automata(self) -> None:
+        """Drop automaton captures every watching query has consumed."""
+        floors: dict[tuple, tuple] = {}
+        for entry in self._entries:
+            if entry.automaton is None:
+                continue
+            seq = entry.query.watermark_seq or 0
+            key = (id(entry.query.engine), entry.automaton)
+            current = floors.get(key)
+            if current is None or seq < current[1]:
+                floors[key] = (entry.query.engine, seq, entry.automaton)
+        for engine, seq, automaton in floors.values():
+            engine.automaton_host.prune(automaton, seq)
 
     def _should_run(self, entry: _Entry, now: XSDateTime) -> bool:
         if entry.last_now is None:
@@ -368,24 +425,37 @@ class QueryScheduler:
         return False
 
     def _tuple_source_for(self, entry: _Entry) -> Optional[Callable]:
-        """The group's shared-tuple hook for one member, or ``None``.
+        """The entry's binding-tuple hook for this tick, or ``None``.
 
-        Only groups with ≥2 members share (a solo member's prefix run
-        would just re-spell its own delta scan).  The returned closure is
-        keyed by the member's watermark, so members at equal watermarks —
-        the steady state under a scheduler — reuse one prefix evaluation
-        per tick; a member that was skipped for a while simply pays one
-        catch-up prefix run for its older watermark.
+        Two producers hide behind one closure, tried in order:
+
+        1. the engine's automaton host — event captures recorded at
+           ``feed_raw`` ingest answer the wake with zero DOM work (any
+           entry with a compiled automaton, even solo);
+        2. the group's shared prefix scan — only groups with ≥2 members
+           (a solo member's prefix run would just re-spell its own delta
+           scan).
+
+        The closure is keyed by the member's watermark, so members at
+        equal watermarks — the steady state under a scheduler — reuse one
+        tuple materialization per tick regardless of which producer made
+        it; a member that was skipped for a while simply pays one catch-up
+        run for its older watermark.  A ``None`` return falls back to the
+        member's own solo delta path; every watermark/epoch/applicability
+        guard runs in :class:`~repro.streams.continuous.ContinuousQuery`,
+        so neither producer can change what gets evaluated.
         """
-        if not self.share_groups or entry.shared is None:
-            return None
-        members = self._groups.get(entry.group_key, [])
-        if len(members) < 2:
+        if entry.shared is None:
             return None
         shared = entry.shared
         engine = entry.query.engine
         store = engine.stores.get(shared.stream)
         if store is None:
+            return None
+        automaton = entry.automaton
+        members = self._groups.get(entry.group_key, []) if self.share_groups else []
+        group_shared = len(members) >= 2
+        if automaton is None and not group_shared:
             return None
 
         def source(watermark_seq: int) -> Optional[list]:
@@ -393,12 +463,28 @@ class QueryScheduler:
             if key in self._tick_tuples:
                 self._prefix_reuses += 1
                 return self._tick_tuples[key]
-            _, wrappers = store.delta_batch(
-                watermark_seq, tsid=shared.tsid, filler_id=shared.filler_id
-            )
-            tuples = engine.execute_shared_prefix(shared, wrappers)
+            tuples = None
+            if automaton is not None:
+                fresh = store.fillers_since(watermark_seq, tsid=shared.tsid)
+                if shared.filler_id is not None:
+                    target = int(shared.filler_id)
+                    fresh = [f for f in fresh if f.filler_id == target]
+                tuples = engine.automaton_host.answer(automaton, fresh, store)
+                if tuples is not None:
+                    entry.automaton_runs += 1
+                    self._automaton_runs += 1
+                else:
+                    entry.automaton_fallbacks += 1
+                    self._automaton_fallbacks += 1
+                    if not group_shared:
+                        return None  # solo fallback: the member's own delta scan
+            if tuples is None:
+                _, wrappers = store.delta_batch(
+                    watermark_seq, tsid=shared.tsid, filler_id=shared.filler_id
+                )
+                tuples = engine.execute_shared_prefix(shared, wrappers)
+                self._prefix_runs += 1
             self._tick_tuples[key] = tuples
-            self._prefix_runs += 1
             return tuples
 
         return source
@@ -455,6 +541,13 @@ class QueryScheduler:
                 "runs": self._prefix_runs,
                 "reuses": self._prefix_reuses,
             },
+            "automata": {
+                "registered": sum(
+                    1 for entry in self._entries if entry.automaton is not None
+                ),
+                "runs": self._automaton_runs,
+                "fallbacks": self._automaton_fallbacks,
+            },
             "groups": {
                 " ".join(str(part) for part in key[1:]): len(members)
                 for key, members in sorted(
@@ -469,6 +562,8 @@ class QueryScheduler:
                     "delta_runs": entry.delta_runs,
                     "full_runs": entry.full_runs,
                     "shared_runs": entry.shared_runs,
+                    "automaton_runs": entry.automaton_runs,
+                    "automaton_fallbacks": entry.automaton_fallbacks,
                 }
                 for entry in self._entries
             ],
@@ -476,6 +571,22 @@ class QueryScheduler:
 
 
 # -- the routing probe ---------------------------------------------------------------
+
+
+def _batch_supersedes(store, fillers: list[Filler]) -> bool:
+    """Did some arriving fragment id already have versions in the store?
+
+    Mirrors ``ContinuousQuery._delta_applicable``: the batch is already
+    ingested when the probe runs, so an id with more store versions than
+    batch arrivals had history before this batch.
+    """
+    counts: dict[int, int] = {}
+    for filler in fillers:
+        counts[filler.filler_id] = counts.get(filler.filler_id, 0) + 1
+    return any(
+        len(store.fillers_of(filler_id)) > count
+        for filler_id, count in counts.items()
+    )
 
 
 def _route_match(pred: RoutingPredicate, filler: Filler,

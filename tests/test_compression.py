@@ -64,6 +64,55 @@ class TestTagCodec:
         assert len(codec.encode_wire(payload)) < len(payload)
 
 
+class TestDecompressIter:
+    PAYLOAD = (
+        '<filler id="3" tsid="5" validTime="2003-10-23T12:23:34">'
+        '<transaction id="1"><vendor>V &amp; W</vendor><amount>38</amount>'
+        "</transaction></filler>"
+    )
+
+    def test_matches_decode_wire(self, codec):
+        encoded = codec.encode_wire(self.PAYLOAD)
+        streamed = "".join(codec.decompress_iter([encoded]))
+        assert streamed == codec.decode_wire(encoded) == self.PAYLOAD
+
+    def test_every_split_point_is_equivalent(self, codec):
+        encoded = codec.encode_wire(self.PAYLOAD)
+        for cut in range(len(encoded) + 1):
+            chunks = [encoded[:cut], encoded[cut:]]
+            assert "".join(codec.decompress_iter(chunks)) == self.PAYLOAD, cut
+
+    def test_single_character_chunks(self, codec):
+        encoded = codec.encode_wire(self.PAYLOAD)
+        assert "".join(codec.decompress_iter(iter(encoded))) == self.PAYLOAD
+
+    def test_opaque_sections_pass_through(self, codec):
+        wire = "<t2><!-- t2 stays --><![CDATA[<t2>]]><?pi t2?>x</t2>"
+        decoded = "".join(codec.decompress_iter([wire]))
+        assert decoded == (
+            "<account><!-- t2 stays --><![CDATA[<t2>]]><?pi t2?>x</account>"
+        )
+        # ...at every chunk boundary, including mid-marker splits.
+        for cut in range(len(wire) + 1):
+            assert "".join(codec.decompress_iter([wire[:cut], wire[cut:]])) == decoded
+
+    def test_quoted_gt_does_not_end_tag(self, codec):
+        wire = "<t2 note='a>b'>x</t2>"
+        for cut in range(len(wire) + 1):
+            assert "".join(
+                codec.decompress_iter([wire[:cut], wire[cut:]])
+            ) == "<account note='a>b'>x</account>"
+
+    def test_incomplete_trailing_markup_flushes_verbatim(self, codec):
+        assert "".join(codec.decompress_iter(["text<t2 a="])) == "text<account a="
+        assert "".join(codec.decompress_iter(["<!-- open"])) == "<!-- open"
+        assert "".join(codec.decompress_iter(["done<"])) == "done<"
+
+    def test_unmapped_names_and_empty_input(self, codec):
+        assert "".join(codec.decompress_iter([])) == ""
+        assert "".join(codec.decompress_iter(["<zzz/>"])) == "<zzz/>"
+
+
 class TestCompressingChannel:
     def test_transparent_to_client(self):
         structure = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)

@@ -129,6 +129,9 @@ class TestCLIs:
         payload = out.split("-- engine stats:", 1)[1]
         stats = json.loads(payload)
         assert stats["plan_cache"]["size"] >= 1
+        assert stats["plan_cache"]["evictions"] == 0
+        assert stats["plan_cache"]["invalidations"] >= 1  # register_stream
+        assert "automata" in stats
         assert "credit" in stats["streams"]
         assert "delta_memo" in stats["streams"]["credit"]
 
@@ -156,4 +159,37 @@ class TestCLIs:
         assert report["query"]["evaluations"] >= 1
         assert "routing" in report["scheduler"]
         assert "shared_prefix" in report["scheduler"]
+        assert "automata" in report["scheduler"]
         assert "plan_cache" in report["engine"]
+
+    def test_xcql_replay_raw_runs_the_stream_automaton(self, credit_store,
+                                                       tmp_path, capsys):
+        import json
+
+        path = tmp_path / "credit.store.xml"
+        save_store(credit_store, path)
+        rc = xcql_main(
+            [
+                "--store", str(path),
+                "--stream", "credit",
+                "--query",
+                'for $t in stream("credit")//transaction '
+                "where $t/amount > 5 return $t/@id",
+                "--strategy", "QaC+",
+                "--replay", "2",
+                "--raw",
+            ]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        automata = report["scheduler"]["automata"]
+        assert automata["registered"] == 1
+        assert automata["runs"] >= 1
+        assert automata["fallbacks"] == 0
+        assert report["engine"]["automata"]["answers"] == automata["runs"]
+
+    def test_xcql_raw_requires_replay(self, credit_store, tmp_path):
+        path = tmp_path / "credit.store.xml"
+        save_store(credit_store, path)
+        with pytest.raises(SystemExit):
+            xcql_main(["--store", str(path), "--query", "1", "--raw"])

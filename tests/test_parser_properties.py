@@ -1,12 +1,17 @@
-"""Property-based tests for the XQuery/XCQL parser.
+"""Property-based tests for the XQuery/XCQL and XML parsers.
 
 Random ASTs are rendered with ``to_source`` and re-parsed: the second
 render must be identical (render∘parse is a projection).  Random evaluable
 expressions additionally round-trip through evaluation with equal results.
+Random XML fed to the incremental :class:`EventParser` at arbitrary chunk
+boundaries must produce the same events, the same DOM, and the same errors
+as a whole-string parse.
 """
 
 from hypothesis import given, settings, strategies as st
 
+from repro.dom.parser import EventParser, XMLParseError, build_fragment, parse_fragment
+from repro.dom.serializer import serialize
 from repro.xquery import evaluate, parse, to_source
 from repro.xquery import xast
 
@@ -129,3 +134,104 @@ class TestASTRoundTrip:
         rendered = to_source(xast.Module([], tree))
         reparsed = parse(rendered, xcql=True)
         assert to_source(reparsed) == rendered
+
+
+# ---------------------------------------------------------------------------
+# EventParser: chunk boundaries never change events, DOMs, or errors
+# ---------------------------------------------------------------------------
+
+_xml_names = st.sampled_from(["a", "b", "item", "ns:tag", "x-1", "_u"])
+_xml_texts = st.lists(
+    st.sampled_from(["x", "y z", "&amp;", "&lt;", "&#65;", "&#x41;", "\n", "é", "  "]),
+    max_size=4,
+).map("".join)
+_xml_attr_values = st.sampled_from(["1", "a b", "&amp;", "&#x41;", "", "q'q"])
+_xml_misc = st.sampled_from(
+    ["<!-- a comment -->", "<![CDATA[ raw < & > ]]>", "<?pi data?>", "<?pi?>"]
+)
+
+
+@st.composite
+def xml_elements(draw, depth=0):
+    name = draw(_xml_names)
+    attrs = draw(
+        st.lists(
+            st.tuples(_xml_names, _xml_attr_values),
+            max_size=2,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    rendered_attrs = "".join(f' {key}="{value}"' for key, value in attrs)
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return f"<{name}{rendered_attrs}/>"
+        return f"<{name}{rendered_attrs}>{draw(_xml_texts)}</{name}>"
+    children = draw(
+        st.lists(
+            st.one_of(xml_elements(depth=depth + 1), _xml_texts, _xml_misc),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    return f"<{name}{rendered_attrs}>" + "".join(children) + f"</{name}>"
+
+
+@st.composite
+def chunk_cuts(draw, source):
+    cuts = sorted(set(draw(st.lists(st.integers(0, len(source)), max_size=8))))
+    chunks = []
+    previous = 0
+    for cut in cuts:
+        chunks.append(source[previous:cut])
+        previous = cut
+    chunks.append(source[previous:])
+    return chunks
+
+
+# Near-XML junk: exercises every error path (stray "<", bad names, unclosed
+# constructs, mismatched tags) as well as some accidentally well-formed input.
+_xml_junk = st.text(alphabet="<>/ab&;=\"' \n!?-[]CDAT", max_size=40)
+
+
+def _parse_outcome(chunks, keep_whitespace):
+    """Events, or the error identity — whatever the chunked parse produces."""
+    parser = EventParser(fragment=True, keep_whitespace=keep_whitespace)
+    events = []
+    try:
+        for chunk in chunks:
+            events.extend(parser.feed(chunk))
+        events.extend(parser.close())
+    except XMLParseError as exc:
+        return ("error", str(exc), exc.line, exc.column)
+    return ("ok", events)
+
+
+class TestEventParserChunking:
+    @given(st.data(), xml_elements(), st.booleans())
+    @settings(max_examples=150, deadline=None)
+    def test_chunked_events_match_whole(self, data, source, keep_whitespace):
+        chunks = data.draw(chunk_cuts(source))
+        whole = _parse_outcome([source], keep_whitespace)
+        assert whole[0] == "ok"
+        assert _parse_outcome(chunks, keep_whitespace) == whole
+
+    @given(st.data(), xml_elements())
+    @settings(max_examples=100, deadline=None)
+    def test_chunked_dom_matches_whole(self, data, source):
+        chunks = data.draw(chunk_cuts(source))
+        parser = EventParser(fragment=True)
+        events = []
+        for chunk in chunks:
+            events.extend(parser.feed(chunk))
+        events.extend(parser.close())
+        chunked_dom = "".join(serialize(node) for node in build_fragment(events))
+        whole_dom = "".join(serialize(node) for node in parse_fragment(source))
+        assert chunked_dom == whole_dom
+
+    @given(st.data(), _xml_junk, st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_chunked_errors_match_whole(self, data, source, keep_whitespace):
+        chunks = data.draw(chunk_cuts(source))
+        assert _parse_outcome(chunks, keep_whitespace) == _parse_outcome(
+            [source], keep_whitespace
+        )

@@ -47,6 +47,7 @@ PASS_NAMES = [
     "delta-safety",
     "shared-split",
     "routing-predicate",
+    "compile-stream-automaton",
 ]
 
 EVENT_STRUCTURE_XML = """
@@ -128,6 +129,16 @@ class TestGoldenTraces:
         assert trace["routing-predicate"].fired
         assert compiled.info.routing is not None
         assert trace["routing-predicate"].detail == compiled.info.routing.describe()
+        assert trace["compile-stream-automaton"].fired
+        assert compiled.info.automaton is not None
+        assert trace["compile-stream-automaton"].detail == compiled.info.automaton.describe()
+
+    def test_non_shared_plan_records_automaton_fallback_reason(self):
+        compiled = event_engine().compile('count(stream("s")//txn)')
+        trace = trace_by_name(compiled)
+        assert not trace["compile-stream-automaton"].fired
+        assert compiled.info.automaton is None
+        assert compiled.info.automaton_reason == compiled.info.shared_reason
 
     def test_interpreted_backend_keeps_legacy_reason(self):
         engine = event_engine()
@@ -247,11 +258,12 @@ class TestCacheKeying:
         engine = event_engine()
         first = engine.compile(EVENT_QUERY, Strategy.QAC_PLUS)
         assert engine.compile(EVENT_QUERY, Strategy.QAC_PLUS) is first
-        engine.pipeline.passes.pop()  # drop routing-predicate
+        engine.pipeline.passes.pop()  # drop compile-stream-automaton
         recompiled = engine.compile(EVENT_QUERY, Strategy.QAC_PLUS)
         assert recompiled is not first
         assert recompiled.info.fingerprint != first.info.fingerprint
-        assert recompiled.info.routing is None
+        assert first.info.automaton is not None
+        assert recompiled.info.automaton is None
         assert len(recompiled.info.trace) == len(PASS_NAMES) - 1
 
     def test_version_bump_invalidates_cached_plans(self):
@@ -327,6 +339,24 @@ class TestSourceLint:
         broken.write_text("def oops(:\n")
         findings = lint_sources([str(broken)])
         assert [f.code for f in findings] == ["syntax-error"]
+
+    def test_automata_module_may_not_import_dom(self, tmp_path):
+        package = tmp_path / "xquery"
+        package.mkdir()
+        offender = package / "automata.py"
+        offender.write_text(
+            "import repro.dom.nodes\n"
+            "from repro.dom.nodes import Element\n"
+            "from repro.xquery import xast\n"
+        )
+        findings = lint_sources([str(offender)])
+        assert [f.code for f in findings] == ["automata-dom-import"] * 2
+        assert "DOM-free" in findings[0].message
+
+    def test_dom_imports_fine_outside_automata(self, tmp_path):
+        benign = tmp_path / "host.py"
+        benign.write_text("from repro.dom.nodes import Element\n")
+        assert lint_sources([str(benign)]) == []
 
 
 class TestCLI:

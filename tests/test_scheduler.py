@@ -312,6 +312,8 @@ class TestScheduler:
                 "delta_runs": 0,
                 "full_runs": 1,
                 "shared_runs": 0,
+                "automaton_runs": 0,
+                "automaton_fallbacks": 0,
             }
         ]
         # The scheduler mirrors its skip decisions onto the query itself.

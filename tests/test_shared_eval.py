@@ -402,6 +402,31 @@ class TestSharedDifferential:
             engine.execute(EVENT_QUERY, Strategy.QAC_PLUS)
         )
 
+    def test_temporal_supersede_wakes_despite_predicate_miss(self):
+        """A new version of a temporal fragment must wake its routed
+        queries even when its value cannot match: the arrival closes the
+        previous version's open ``vtTo``, so retained annotations move."""
+        source = 'for $l in stream("s")//limit where $l > 50 return $l'
+        engine = make_engine()
+        sched = QueryScheduler(engine)
+        query = ContinuousQuery(engine, source, Strategy.QAC_PLUS)
+        sched.add(query)
+        sched.poll(stamp(0))
+        engine.feed("s", [limit(7, 1, 80)])  # matches: vtTo="now"
+        sched.poll(stamp(1))
+        assert 'vtTo="now"' in serialize(query.last_result[0])
+        # Value 10 fails "> 50" — but it supersedes version 80.
+        engine.feed("s", [limit(7, 2, 10)])
+        sched.poll(stamp(2))
+        assert normalized(query.last_result) == normalized(
+            engine.execute(source, Strategy.QAC_PLUS)
+        )
+        assert f'vtTo="{stamp(2)}"' in serialize(query.last_result[0])
+        # A predicate miss on a *fresh* temporal id still skips.
+        engine.feed("s", [limit(8, 3, 5)])
+        sched.poll(stamp(3))
+        assert sched.stats()["routing"]["skips"] == 1
+
 
 class TestPushRuntimeRouting:
     """The channel ingest path hands each filler to the routing index."""
