@@ -131,11 +131,27 @@ def xcql_main(argv: list[str] | None = None) -> int:
         "parsed fillers, so eligible queries run on the stream automaton "
         "and the automaton vs fallback counters are populated",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with '--replay': route the replay through a ShardedEngine "
+        "of N worker processes (the multi-process clearing house) instead "
+        "of a single-process scheduler, and report the coordinator's "
+        "dispatch/poll/failover counters alongside each shard's engine "
+        "and scheduler statistics",
+    )
     args = parser.parse_args(argv)
     if args.replay is not None and args.replay < 1:
         parser.error("--replay batch size must be a positive integer")
     if args.raw and args.replay is None:
         parser.error("--raw requires --replay")
+    if args.shards is not None:
+        if args.replay is None:
+            parser.error("--shards requires --replay")
+        if args.shards < 1:
+            parser.error("--shards must be a positive integer")
     if args.passes and args.command != "explain":
         parser.error("--passes requires the 'explain' command")
 
@@ -197,6 +213,9 @@ def _replay(args, store, source: str, strategy, now) -> int:
     from repro.streams.scheduler import QueryScheduler
     from repro.temporal import XSDateTime
 
+    if args.shards is not None:
+        return _replay_sharded(args, store, source, strategy, now)
+
     engine = XCQLEngine()
     engine.register_stream(args.stream, store.tag_structure)
     scheduler = QueryScheduler(engine)
@@ -235,6 +254,65 @@ def _replay(args, store, source: str, strategy, now) -> int:
         "engine": engine.stats(),
     }
     print(json.dumps(report, indent=2, default=str))
+    return 0
+
+
+def _replay_sharded(args, store, source: str, strategy, now) -> int:
+    """Replay a snapshot through the multi-process sharded coordinator.
+
+    Same arrival cadence as :func:`_replay` — batches of ``args.replay``,
+    a tick after each — but partitioned across ``args.shards`` worker
+    processes, with the coordinator's front-door dispatch deciding which
+    shards each tick polls.  Prints the merged emission count plus the
+    full :meth:`ShardedEngine.stats` report (coordinator counters and
+    per-shard engine/scheduler statistics).
+    """
+    import json
+
+    from repro.streams.sharding import ShardedEngine
+    from repro.temporal import XSDateTime
+
+    fillers = store.fillers_since(0)
+    if now is not None:
+        poll_now = now
+    else:
+        poll_now = max(
+            (f.valid_time for f in fillers),
+            default=XSDateTime.parse("2001-01-01T00:00:00"),
+        )
+    engine = ShardedEngine(args.shards)
+    try:
+        engine.register_stream(args.stream, store.tag_structure)
+        try:
+            query = engine.add_query(source, strategy=strategy)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        emitted_total = 0
+
+        def count(items: list) -> None:
+            nonlocal emitted_total
+            emitted_total += len(items)
+
+        query.subscribe(count)
+        engine.tick(poll_now)  # baseline
+        for start in range(0, len(fillers), args.replay):
+            batch = fillers[start:start + args.replay]
+            if args.raw:
+                engine.feed_raw(args.stream, [f.to_xml() for f in batch])
+            else:
+                engine.feed(args.stream, batch)
+            engine.tick(poll_now)
+        report = {
+            "fillers_replayed": len(fillers),
+            "batch_size": args.replay,
+            "shards": args.shards,
+            "emitted": emitted_total,
+            "sharded": engine.stats(),
+        }
+        print(json.dumps(report, indent=2, default=str))
+    finally:
+        engine.close()
     return 0
 
 

@@ -1006,9 +1006,11 @@ class _AutomatonGroup:
         "by_id",
         "winners",
         "envelopes",
+        "captures",
         "answers",
         "declines",
         "superseded",
+        "epoch_resets",
     )
 
     def __init__(self, automaton: StreamAutomaton):
@@ -1023,9 +1025,11 @@ class _AutomatonGroup:
         # buffers — Tag-Structure-guided buffer minimization.
         self.winners: dict[int, _CaptureRecord] = {}
         self.envelopes = 0
+        self.captures = 0  # matched subtrees filed across all envelopes
         self.answers = 0
         self.declines = 0
         self.superseded = 0
+        self.epoch_resets = 0  # capture state dropped on history rewrites
 
 
 class AutomatonHost:
@@ -1104,6 +1108,7 @@ class AutomatonHost:
         group.records.append(record)
         group.by_id[id(filler)] = record
         group.envelopes += 1
+        group.captures += len(matcher.matches)
         if store.tag_type_of(filler.tsid) is TagType.SNAPSHOT:
             # A snapshot version is only ever visible when it is the
             # latest of its fragment id in the evaluation window (the
@@ -1129,6 +1134,10 @@ class AutomatonHost:
 
     def _reset(self, group: _AutomatonGroup, store) -> None:
         """History was rewritten (prune/clear/schema swap): start over."""
+        if group.epoch is not None:
+            # The first note/answer just initializes the epoch; only a
+            # *moved* epoch is a genuine history rewrite.
+            group.epoch_resets += 1
         group.records = []
         group.by_id = {}
         group.winners = {}
@@ -1211,9 +1220,11 @@ class AutomatonHost:
             "registered": sum(g.refcount for g in self._groups.values()),
             "buffered": sum(len(g.records) for g in self._groups.values()),
             "envelopes": sum(g.envelopes for g in self._groups.values()),
+            "captures": sum(g.captures for g in self._groups.values()),
             "answers": sum(g.answers for g in self._groups.values()),
             "declines": sum(g.declines for g in self._groups.values()),
             "superseded": sum(g.superseded for g in self._groups.values()),
+            "epoch_resets": sum(g.epoch_resets for g in self._groups.values()),
         }
 
 

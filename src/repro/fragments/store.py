@@ -449,6 +449,16 @@ class FragmentStore:
         """
         return self._mutation_epoch
 
+    @property
+    def watermark(self) -> tuple[int, int]:
+        """The ``(seq, mutation_epoch)`` pair incremental consumers record.
+
+        Reading both in one property keeps consumer bookkeeping atomic
+        with respect to this store: a recorded watermark is always a pair
+        that actually co-occurred.
+        """
+        return (self._seq, self._mutation_epoch)
+
     def fillers_since(self, seq: int, tsid: Optional[int] = None) -> list[Filler]:
         """Fillers accepted after watermark ``seq``, in acceptance order.
 

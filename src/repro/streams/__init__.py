@@ -13,7 +13,10 @@ registration at the server, no acknowledgements.
 - :mod:`repro.streams.client` — fragment ingestion into an
   :class:`~repro.core.engine.XCQLEngine`;
 - :mod:`repro.streams.continuous` — standing queries emitting delta output
-  streams.
+  streams;
+- :mod:`repro.streams.sharding` — the multi-process clearing-house
+  coordinator partitioning storage and standing-query evaluation across
+  worker engines.
 """
 
 from repro.streams.clock import Clock, SimulatedClock, SystemClock
@@ -23,7 +26,8 @@ from repro.streams.continuous import ContinuousQuery
 from repro.streams.derived import DerivedStream, infer_result_structure
 from repro.streams.scheduler import QueryScheduler
 from repro.streams.server import StreamServer, StreamServerError
-from repro.streams.transport import Channel, LossyChannel, Message
+from repro.streams.sharding import ShardedEngine, ShardedQuery, ShardFailure
+from repro.streams.transport import Channel, LossyChannel, Message, peek_filler
 
 __all__ = [
     "Clock",
@@ -37,8 +41,12 @@ __all__ = [
     "StreamClient",
     "ContinuousQuery",
     "QueryScheduler",
+    "ShardedEngine",
+    "ShardedQuery",
+    "ShardFailure",
     "TagCodec",
     "CompressingChannel",
     "DerivedStream",
     "infer_result_structure",
+    "peek_filler",
 ]

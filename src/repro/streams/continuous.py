@@ -39,7 +39,7 @@ from repro.fragments.tagstructure import TagType
 from repro.temporal.chrono import XSDateTime
 from repro.xquery.xdm import string_value
 
-__all__ = ["ContinuousQuery"]
+__all__ = ["ContinuousQuery", "item_identity"]
 
 
 class ContinuousQuery:
@@ -220,7 +220,7 @@ class ContinuousQuery:
         else:
             self.delta_runs += 1
         self.last_mode = mode
-        self._watermark = (store.seq, store.mutation_epoch)
+        self._watermark = store.watermark
         return list(self._retained)
 
     def _delta_applicable(self, store, delta, fresh) -> bool:
@@ -261,7 +261,7 @@ class ContinuousQuery:
         if store is None:
             return
         self._retained = list(result)
-        self._watermark = (store.seq, store.mutation_epoch)
+        self._watermark = store.watermark
 
     def advance_watermark(self, cleared_seq: int) -> None:
         """Advance past arrivals proven unable to change the answer.
@@ -328,3 +328,15 @@ def _identity(item: object) -> str:
     if isinstance(item, Node):
         return serialize(item)
     return f"{type(item).__name__}:{string_value(item)}"
+
+
+def item_identity(item: object) -> str:
+    """The emission-dedup identity of a result item.
+
+    This is the exact string :class:`ContinuousQuery` dedups on, exposed
+    for consumers that compare or merge answers *across* queries or
+    processes — the sharded coordinator ships worker emissions as these
+    strings, so its cross-shard dedup agrees byte-for-byte with the
+    single-process one.
+    """
+    return _identity(item)

@@ -367,7 +367,7 @@ class QueryScheduler:
         """Re-evaluate exactly the queries whose answer can have changed."""
         emitted: dict[ContinuousQuery, list] = {}
         self._tick_tuples.clear()
-        for entry in self._entries:
+        for entry in self._ordered_entries():
             if self._should_run(entry, now):
                 tuple_source = self._tuple_source_for(entry)
                 emitted[entry.query] = entry.query.evaluate(
@@ -394,6 +394,32 @@ class QueryScheduler:
         if self.stream_automata:
             self._prune_automata()
         return emitted
+
+    def _ordered_entries(self) -> list[_Entry]:
+        """Entries in deterministic dispatch order for one poll tick.
+
+        Grouped entries run first, group by group sorted on ``group_key``
+        — excluding the leading ``id(engine)`` discriminator, which is not
+        stable across runs or processes — then ungrouped entries in
+        registration order.  The sort is stable, so registration order
+        breaks ties within and across equal keys.  Without this, tick
+        output ordering depended on dict insertion history, which differs
+        between a single process and the sharded coordinator's per-worker
+        schedulers; a deterministic order is what lets the coordinator's
+        merge compare per-shard answers positionally.
+        """
+        if not self._groups:
+            return list(self._entries)
+        ordered: list[_Entry] = []
+        for key in sorted(
+            self._groups, key=lambda k: tuple(str(part) for part in k[1:])
+        ):
+            ordered.extend(self._groups[key])
+        grouped = {id(entry) for entry in ordered}
+        ordered.extend(
+            entry for entry in self._entries if id(entry) not in grouped
+        )
+        return ordered
 
     def _prune_automata(self) -> None:
         """Drop automaton captures every watching query has consumed."""
@@ -491,6 +517,17 @@ class QueryScheduler:
 
     # -- statistics ---------------------------------------------------------------------
 
+    def _host_totals(self) -> dict[str, int]:
+        """Automaton-host counters summed across the watched engines."""
+        totals: dict[str, int] = {}
+        for engine in self._watched:
+            host = getattr(engine, "automaton_host", None)
+            if host is None:
+                continue
+            for key, value in host.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
     @property
     def total_evaluations(self) -> int:
         return sum(entry.evaluations for entry in self._entries)
@@ -547,6 +584,12 @@ class QueryScheduler:
                 ),
                 "runs": self._automaton_runs,
                 "fallbacks": self._automaton_fallbacks,
+                # The watched engines' AutomatonHost counters, merged into
+                # this one view so capture/decline/epoch-reset economy is
+                # readable next to routing and shared-prefix stats (and
+                # through `repro-xcql --stats`) without visiting each
+                # engine separately.
+                "host": self._host_totals(),
             },
             "groups": {
                 " ".join(str(part) for part in key[1:]): len(members)

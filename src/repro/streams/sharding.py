@@ -1,0 +1,1064 @@
+"""Sharded multi-process standing-query engine (the clearing-house daemon).
+
+Every hot path so far — compiled plans, the delta driver, shared
+prefixes, stream automata — runs inside one GIL-bound process, so tick
+throughput caps at a single core no matter how many standing queries are
+registered.  :class:`ShardedEngine` is the coordinator of the "single
+clearing house" daemon shape: it partitions fragment storage and
+standing-query evaluation by ``(stream, filler-id hash)`` across N
+``multiprocessing`` workers, each running its own
+:class:`~repro.core.engine.XCQLEngine` plus
+:class:`~repro.streams.scheduler.QueryScheduler` over its partition of
+the stream history.
+
+Why partition-by-filler is sound
+--------------------------------
+
+Only *delta-safe* queries are admitted (``add_query`` raises otherwise,
+quoting the pipeline's ``delta_reason``).  Delta safety means the plan is
+a single-stream, downward-only, order-insensitive FLWOR whose answer is
+a union of per-tuple contributions — PR 3's incremental driver already
+relies on exactly this to fold arrival batches in one at a time.  The
+same property makes the answer a *partition union*: evaluating the plan
+over any disjoint split of the fillers and unioning the results equals
+evaluating it over all of them.  Each worker therefore computes the
+answer over its partition, and the coordinator's merge — per-shard
+blocks stable-sorted on the reported store watermark ``seq``, then the
+shard index — reconstructs a deterministic multiset identical to the
+single-process scheduler's (the differential suite in
+``tests/test_sharding.py`` holds this byte-for-byte across shard counts,
+arrival orders, worker restarts, and mixed ``feed``/``feed_raw``
+histories).
+
+Holes are kept shard-local: a filler's ``<hole>`` children are pinned to
+the parent's shard at dispatch time, so downward navigation through a
+hole resolves within one worker's store.  A child whose parent envelope
+never crossed the coordinator (or arrived child-first from a
+non-conforming server) is counted in ``dispatch_conflicts`` instead of
+silently splitting a fragment tree.
+
+Front-door dispatch
+-------------------
+
+The coordinator reuses the PR 4 predicate routing index as the
+cross-shard dispatcher.  Each admitted query's routable predicate (the
+same compile-time annotation the per-worker schedulers use) is probed
+once at the front door against every per-shard sub-batch; a shard whose
+resident queries provably cannot match is forwarded the fillers (its
+partition must stay complete) but is *not* polled on the next tick.
+Probes are conservative exactly like the in-process index: uncertainty,
+non-event supersedes, and non-routable queries all wake the shard.
+
+Durability and failover
+-----------------------
+
+Every per-shard batch is journaled (:class:`repro.fragments.persist.Journal`)
+*before* it is forwarded.  A worker crash or pipe timeout degrades
+gracefully: the coordinator replays that shard's journal into an
+in-process replacement engine and re-runs its queries locally, and
+:meth:`ShardedEngine.respawn_shard` bootstraps a fresh worker process
+the same way.  Emissions stay exactly-once across the swap because the
+coordinator dedups on the same serialized identity the single-process
+:class:`~repro.streams.continuous.ContinuousQuery` uses — a replayed
+worker re-deriving old answers re-reports them, and the coordinator's
+seen-set absorbs the repeats.
+
+Envelope batches whose wire size crosses ``compress_threshold`` are
+tag-compressed (:class:`~repro.streams.compression.TagCodec`) before
+pickling into the pipe; raw (``feed_raw``) payloads are always forwarded
+verbatim so the worker's streaming-automaton path sees the exact wire
+text.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+import zlib
+from typing import Callable, Iterable, Optional, Union
+
+from repro.core.engine import XCQLEngine
+from repro.core.translator import Strategy
+from repro.dom.serializer import serialize
+from repro.fragments.model import Filler, parse_filler
+from repro.fragments.persist import Journal
+from repro.fragments.tagstructure import TagStructure, TagType
+from repro.streams.compression import TagCodec
+from repro.streams.continuous import ContinuousQuery, item_identity
+from repro.streams.scheduler import (
+    QueryScheduler,
+    dependencies_of,
+    _route_match,
+)
+from repro.streams.transport import FILLER, TAG_STRUCTURE, Message, peek_filler
+from repro.temporal.chrono import XSDateTime
+
+__all__ = ["ShardedEngine", "ShardedQuery", "ShardFailure", "shard_of"]
+
+
+def shard_of(stream: str, filler_id: int, shards: int) -> int:
+    """The home shard of ``(stream, filler_id)`` under ``shards`` workers.
+
+    CRC32, not ``hash()``: Python string hashing is randomized per
+    process, and the shard key must agree between the coordinator, every
+    worker, and any future coordinator replaying the same journals.
+    """
+    key = f"{stream}\x00{int(filler_id)}".encode("utf-8")
+    return zlib.crc32(key) % int(shards)
+
+
+class ShardFailure(RuntimeError):
+    """A worker died or stopped answering (crash, kill, pipe timeout)."""
+
+
+class ShardCommandError(RuntimeError):
+    """A worker is alive but a command it ran raised (re-raised here)."""
+
+
+class ShardedQuery:
+    """The coordinator-side handle of one standing query.
+
+    Emissions arrive as *identity strings* — the exact serialized form
+    :func:`repro.streams.continuous.item_identity` produces, which is
+    also what the single-process engine dedups on — so subscribers can
+    compare answers across processes byte-for-byte.
+    """
+
+    def __init__(self, qid: int, source: str, strategy: Strategy, emit: str,
+                 stream: str):
+        self.qid = qid
+        self.source = source
+        self.strategy = strategy
+        self.emit = emit
+        self.stream = stream
+        self.subscribers: list[Callable[[list[str]], None]] = []
+        self.emitted_total = 0
+        # Cross-shard emission dedup (delta mode): identical answers
+        # derived on two shards, or re-derived by a journal-bootstrapped
+        # replacement worker, are emitted exactly once.
+        self._seen: dict[str, None] = {}
+
+    def subscribe(self, callback: Callable[[list[str]], None]) -> None:
+        """Register a sink for merged emissions (lists of identity strings)."""
+        self.subscribers.append(callback)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedQuery {self.qid} {self.strategy.value} emit={self.emit}"
+            f" emitted={self.emitted_total}>"
+        )
+
+
+class _FrontRoute:
+    """One query's front-door dispatch state (mirrors scheduler._Entry)."""
+
+    __slots__ = ("stream", "dependencies", "route_key", "predicate")
+
+    def __init__(self, stream, dependencies, route_key, predicate):
+        self.stream = stream
+        self.dependencies = dependencies
+        self.route_key = route_key  # (stream, tsid) when routable
+        self.predicate = predicate
+
+
+# -- the worker side ---------------------------------------------------------------
+
+
+class _ShardServer:
+    """One worker's state: an engine + scheduler over its partition.
+
+    Runs identically inside a spawned process (:func:`_shard_worker_main`)
+    or inside the coordinator process (the in-process degraded mode), so
+    failover swaps the transport without changing any evaluation code.
+    """
+
+    def __init__(self, options: dict):
+        self.engine = XCQLEngine(
+            default_backend=options.get("default_backend", "compiled")
+        )
+        self.scheduler = QueryScheduler(
+            self.engine,
+            share_groups=options.get("share_groups", True),
+            routing=options.get("routing", True),
+            stream_automata=options.get("stream_automata", True),
+        )
+        self.queries: dict[int, ContinuousQuery] = {}
+        self.codecs: dict[str, TagCodec] = {}
+
+    def handle(self, msg: tuple):
+        command = msg[0]
+        if command == "register_stream":
+            _, name, structure_xml = msg
+            structure = TagStructure.from_xml(structure_xml)
+            self.engine.register_stream(name, structure)
+            self.codecs[name] = TagCodec(structure)
+            return True
+        if command == "feed":
+            _, name, encoded, envelopes = msg
+            if encoded:
+                codec = self.codecs[name]
+                envelopes = [codec.decode_wire(payload) for payload in envelopes]
+            return self.engine.feed(
+                name, [parse_filler(payload) for payload in envelopes]
+            )
+        if command == "feed_raw":
+            _, name, payloads = msg
+            return self.engine.feed_raw(name, payloads)
+        if command == "add_query":
+            _, qid, source, strategy_value, emit = msg
+            query = ContinuousQuery(
+                self.engine, source, strategy=Strategy(strategy_value), emit=emit
+            )
+            self.scheduler.add(query)
+            self.queries[qid] = query
+            return True
+        if command == "remove_query":
+            _, qid = msg
+            query = self.queries.pop(qid, None)
+            if query is not None:
+                self.scheduler.remove(query)
+            return query is not None
+        if command == "poll":
+            _, now_text = msg
+            started = time.perf_counter()
+            cpu_started = time.process_time()
+            emitted = self.scheduler.poll(XSDateTime.parse(now_text))
+            out: dict[int, list[str]] = {}
+            for qid, query in self.queries.items():
+                items = emitted.get(query, [])
+                if items:
+                    out[qid] = [item_identity(item) for item in items]
+            return {
+                "emitted": out,
+                "watermarks": {
+                    name: store.watermark
+                    for name, store in self.engine.stores.items()
+                },
+                # Wall time inside the worker, and the worker's own CPU
+                # time.  They diverge when workers outnumber cores and
+                # the scheduler time-slices them: the CPU figure is the
+                # honest per-shard compute for critical-path analysis.
+                "elapsed": time.perf_counter() - started,
+                "cpu": time.process_time() - cpu_started,
+            }
+        if command == "stats":
+            return {
+                "engine": self.engine.stats(),
+                "scheduler": self.scheduler.stats(),
+                "queries": {
+                    qid: query.stats() for qid, query in self.queries.items()
+                },
+            }
+        if command == "stop":
+            return True
+        raise ValueError(f"unknown shard command {command!r}")
+
+
+def _shard_worker_main(conn, options: dict) -> None:
+    """A worker process: serve shard commands over the pipe until 'stop'."""
+    server = _ShardServer(options)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        try:
+            reply = ("ok", server.handle(msg))
+        except Exception as exc:  # report, don't die: the pipe stays usable
+            reply = ("error", f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, KeyboardInterrupt):
+            break
+        if msg and msg[0] == "stop":
+            break
+    conn.close()
+
+
+class _WorkerHandle:
+    """Coordinator-side proxy of one worker process.
+
+    Commands are *pipelined*: :meth:`post` sends without waiting, and
+    :meth:`sync` drains the outstanding acks in order — so a feed fans
+    out to every shard before the first ack round-trip completes, and a
+    tick's polls run concurrently across workers.
+    """
+
+    in_process = False
+
+    def __init__(self, context, options: dict, timeout: float):
+        self.timeout = timeout
+        self.conn, child_conn = context.Pipe()
+        self.process = context.Process(
+            target=_shard_worker_main,
+            args=(child_conn, options),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.pending = 0
+        self.alive = True
+
+    def post(self, msg: tuple) -> None:
+        if not self.alive:
+            raise ShardFailure("worker is gone")
+        if self.pending >= 512:
+            # Drain before the ack pipe can fill: a worker blocked on a
+            # full reply pipe stops reading commands, and two full pipes
+            # between single-threaded peers is a deadlock.
+            self.sync()
+        try:
+            self.conn.send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            self.alive = False
+            raise ShardFailure(f"worker pipe broke: {exc}") from exc
+        self.pending += 1
+
+    def sync(self) -> list:
+        """Collect every outstanding ack; raises on death or command error."""
+        replies: list = []
+        error: Optional[str] = None
+        while self.pending:
+            deadline_hit = False
+            try:
+                if not self.conn.poll(self.timeout):
+                    deadline_hit = True
+                else:
+                    status, payload = self.conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                self.alive = False
+                raise ShardFailure(f"worker died mid-reply: {exc}") from exc
+            if deadline_hit:
+                self.alive = False
+                raise ShardFailure(
+                    f"worker unresponsive for {self.timeout:.1f}s"
+                )
+            self.pending -= 1
+            if status == "error":
+                if error is None:
+                    error = payload
+                replies.append(None)
+            else:
+                replies.append(payload)
+        if error is not None:
+            raise ShardCommandError(error)
+        return replies
+
+    def request(self, msg: tuple):
+        """Post one command and wait: returns its reply."""
+        self.post(msg)
+        return self.sync()[-1]
+
+    def stop(self) -> None:
+        if self.alive:
+            try:
+                self.conn.send(("stop",))
+                self.conn.poll(min(self.timeout, 2.0))
+            except (BrokenPipeError, OSError):
+                pass
+        self.alive = False
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+
+class _InProcessHandle:
+    """A shard served inside the coordinator process (degraded mode).
+
+    Same post/sync/request surface as :class:`_WorkerHandle`; commands
+    execute eagerly.  Used when ``in_process=True`` (deterministic
+    differential testing, single-core deployments) and as the failover
+    target when a worker dies.
+    """
+
+    in_process = True
+
+    def __init__(self, options: dict):
+        self.server = _ShardServer(options)
+        self._replies: list = []
+        self._error: Optional[str] = None
+        self.alive = True
+
+    @property
+    def pending(self) -> int:
+        return len(self._replies)
+
+    def post(self, msg: tuple) -> None:
+        try:
+            self._replies.append(self.server.handle(msg))
+        except Exception as exc:
+            if self._error is None:
+                self._error = f"{type(exc).__name__}: {exc}"
+            self._replies.append(None)
+
+    def sync(self) -> list:
+        replies, self._replies = self._replies, []
+        error, self._error = self._error, None
+        if error is not None:
+            raise ShardCommandError(error)
+        return replies
+
+    def request(self, msg: tuple):
+        self.post(msg)
+        return self.sync()[-1]
+
+    def stop(self) -> None:
+        self.alive = False
+
+
+# -- the coordinator ---------------------------------------------------------------
+
+
+class ShardedEngine:
+    """Clearing-house coordinator over N partitioned worker engines.
+
+    Parameters
+    ----------
+    shards:
+        Worker count.  Fillers are partitioned by
+        :func:`shard_of`; every standing query is resident on every
+        shard (its answer is the union of per-partition answers).
+    in_process:
+        Serve every shard inside this process instead of spawning
+        workers — bit-identical scheduling without multiprocessing,
+        for differential tests and single-core hosts.
+    journal_dir:
+        Where the per-shard journals live.  Defaults to a private
+        temporary directory removed by :meth:`close`; pass a path to
+        keep journals across coordinator restarts.
+    compress_threshold:
+        Per-shard ``feed`` batches whose total wire size exceeds this
+        many bytes are tag-compressed before pickling into the pipe
+        (``None`` disables).  Raw batches are never compressed — the
+        automaton path needs the exact wire text.
+    timeout:
+        Seconds a worker may stay silent before it is declared dead and
+        failed over.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        *,
+        in_process: bool = False,
+        journal_dir: Optional[Union[str, os.PathLike]] = None,
+        compress_threshold: Optional[int] = 65536,
+        timeout: float = 30.0,
+        start_method: Optional[str] = None,
+        share_groups: bool = True,
+        routing: bool = True,
+        stream_automata: bool = True,
+        default_backend: str = "compiled",
+    ):
+        if shards < 1:
+            raise ValueError("shards must be a positive integer")
+        self.shard_count = int(shards)
+        self.in_process = bool(in_process)
+        self.compress_threshold = compress_threshold
+        self.timeout = timeout
+        self._options = {
+            "share_groups": share_groups,
+            "routing": routing,
+            "stream_automata": stream_automata,
+            "default_backend": default_backend,
+        }
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._context = multiprocessing.get_context(start_method)
+        # The local engine holds schemas only (never fillers): queries are
+        # compiled and validated here once, with the same pipeline the
+        # workers run, before anything crosses a process boundary.
+        self._local = XCQLEngine(default_backend=default_backend)
+        self._structures: dict[str, TagStructure] = {}
+        self._codecs: dict[str, TagCodec] = {}
+        if journal_dir is None:
+            self._journal_dir = tempfile.mkdtemp(prefix="repro-shards-")
+            self._own_journal_dir = True
+        else:
+            self._journal_dir = os.fspath(journal_dir)
+            os.makedirs(self._journal_dir, exist_ok=True)
+            self._own_journal_dir = False
+        self._journals = [
+            Journal(os.path.join(self._journal_dir, f"shard-{index}.journal"))
+            for index in range(self.shard_count)
+        ]
+        self._shards: list = [self._fresh_handle() for _ in range(self.shard_count)]
+        self._queries: dict[int, ShardedQuery] = {}
+        self._fronts: dict[int, _FrontRoute] = {}
+        self._next_qid = 1
+        # (stream, filler_id) -> shard pin; children are pinned to their
+        # parent's shard when the parent's holes pass through dispatch.
+        self._homes: dict[tuple[str, int], int] = {}
+        # (stream, filler_id) -> forwarded version count, for the
+        # conservative front-door supersede wake.
+        self._version_counts: dict[tuple[str, int], int] = {}
+        self._dirty: set[int] = set()
+        self._closed = False
+        # Coordinator counters (see stats()).
+        self._fed = 0
+        self._ticks = 0
+        self._dispatch_probes = 0
+        self._dispatch_wakes = 0
+        self._dispatch_skips = 0
+        self._dispatch_conflicts = 0
+        self._shard_polls = 0
+        self._shard_poll_skips = 0
+        self._compressed_batches = 0
+        self._failovers = 0
+        self._respawns = 0
+        self._shard_watermarks: dict[int, dict] = {}
+        self.last_tick_timing: dict = {}
+
+    # -- shard lifecycle --------------------------------------------------------
+
+    def _fresh_handle(self):
+        if self.in_process:
+            return _InProcessHandle(self._options)
+        return _WorkerHandle(self._context, self._options, self.timeout)
+
+    def _bootstrap(self, index: int, handle) -> None:
+        """Replay shard ``index``'s journal + query set into a new handle.
+
+        The journal is the write-ahead record of everything the dead
+        worker ever saw (streams first, then every filler batch in
+        arrival order), so replaying it rebuilds the partition exactly;
+        re-adding the standing queries afterwards re-derives their
+        answers.  Old emissions re-derived this way are re-reported on
+        the next poll and absorbed by the coordinator's per-query
+        identity dedup — no loss, no duplicates.
+        """
+        batch: list[str] = []
+        batch_stream: Optional[str] = None
+
+        def flush() -> None:
+            nonlocal batch, batch_stream
+            if batch:
+                handle.post(("feed", batch_stream, False, batch))
+                batch, batch_stream = [], None
+
+        for message in self._journals[index].read():
+            if message.kind == TAG_STRUCTURE:
+                flush()
+                handle.post(("register_stream", message.stream, message.payload))
+            else:
+                if batch_stream is not None and batch_stream != message.stream:
+                    flush()
+                batch_stream = message.stream
+                batch.append(message.payload)
+                if len(batch) >= 256:
+                    flush()
+        flush()
+        for qid, query in sorted(self._queries.items()):
+            handle.post(
+                ("add_query", qid, query.source, query.strategy.value, query.emit)
+            )
+        handle.sync()
+
+    def _failover(self, index: int) -> None:
+        """Replace a dead worker with a journal-replayed in-process shard."""
+        old = self._shards[index]
+        try:
+            old.stop()
+        except Exception:
+            pass
+        handle = _InProcessHandle(self._options)
+        self._bootstrap(index, handle)
+        self._shards[index] = handle
+        self._failovers += 1
+        # The replacement starts un-polled: flush it on the next tick so
+        # any answers its partition already implies are (re-)reported and
+        # deduped promptly.
+        self._dirty.add(index)
+
+    def respawn_shard(self, index: int) -> None:
+        """Replace shard ``index`` with a fresh worker process.
+
+        The journal bootstrap path: the new worker replays the shard's
+        write-ahead journal, then the standing queries are re-added.  Use
+        after a failover to climb back from in-process degraded mode, or
+        to recycle a worker proactively.
+        """
+        if not 0 <= index < self.shard_count:
+            raise IndexError(f"no shard {index}")
+        old = self._shards[index]
+        try:
+            old.stop()
+        except Exception:
+            pass
+        handle = self._fresh_handle()
+        self._bootstrap(index, handle)
+        self._shards[index] = handle
+        self._respawns += 1
+        self._dirty.add(index)
+
+    # -- registration -----------------------------------------------------------
+
+    def register_stream(self, name: str, tag_structure: TagStructure) -> None:
+        """Register a stream on the coordinator and every shard."""
+        self._check_open()
+        if isinstance(tag_structure, str):
+            tag_structure = TagStructure.from_xml(tag_structure)
+        self._local.register_stream(name, tag_structure)
+        self._structures[name] = tag_structure
+        self._codecs[name] = TagCodec(tag_structure)
+        # Single-line wire form: journal records are one line per message.
+        payload = serialize(tag_structure.to_xml())
+        for index in range(self.shard_count):
+            self._journals[index].record(Message(TAG_STRUCTURE, name, payload))
+            self._post(index, ("register_stream", name, payload))
+        self._sync_all()
+
+    def add_query(
+        self,
+        source: str,
+        strategy: Strategy = Strategy.QAC_PLUS,
+        emit: str = "delta",
+    ) -> ShardedQuery:
+        """Register a standing query on every shard; returns its handle.
+
+        Only delta-safe plans are admitted — delta safety is exactly the
+        partition-union property the shard merge relies on.  Non-safe
+        plans raise ``ValueError`` quoting the pipeline's reason; run
+        those on a single-process engine instead.
+        """
+        self._check_open()
+        compiled = self._local.compile(source, strategy)
+        if self._local.prepare_delta(compiled) is None:
+            raise ValueError(
+                "query is not delta-safe, so its answer is not a partition "
+                f"union and cannot be sharded: {compiled.delta_reason}"
+            )
+        dependencies = dependencies_of(compiled)
+        delta = self._local.prepare_delta(compiled)
+        shared = self._local.prepare_shared(compiled)
+        route_key = None
+        predicate = None
+        if shared is not None:
+            info = compiled.info
+            routing = info.routing if info is not None else shared.routing
+            # Same gates as QueryScheduler.add: routing is sound only when
+            # the routed (stream, tsid) is the query's sole dependency.
+            if (
+                routing is not None
+                and shared.tsid is not None
+                and dependencies.streams
+                == frozenset({(shared.stream, shared.tsid)})
+                and not dependencies.time_sensitive
+            ):
+                route_key = (shared.stream, shared.tsid)
+                predicate = routing
+        qid = self._next_qid
+        self._next_qid += 1
+        query = ShardedQuery(qid, source, strategy, emit, delta.stream)
+        self._queries[qid] = query
+        self._fronts[qid] = _FrontRoute(
+            delta.stream, dependencies, route_key, predicate
+        )
+        for index in range(self.shard_count):
+            self._post(index, ("add_query", qid, source, strategy.value, emit))
+            # A new query needs its baseline evaluation everywhere.
+            self._dirty.add(index)
+        self._sync_all()
+        return query
+
+    def remove_query(self, query: ShardedQuery) -> bool:
+        """Withdraw a standing query from every shard."""
+        self._check_open()
+        if query.qid not in self._queries:
+            return False
+        del self._queries[query.qid]
+        del self._fronts[query.qid]
+        for index in range(self.shard_count):
+            self._post(index, ("remove_query", query.qid))
+        self._sync_all()
+        return True
+
+    # -- ingest -----------------------------------------------------------------
+
+    def feed(self, name: str, fillers: Union[Filler, Iterable[Filler]]) -> int:
+        """Partition a filler batch across the shards; returns the count.
+
+        Per shard: the sub-batch is journaled, forwarded (tag-compressed
+        past ``compress_threshold``), and probed against the front-door
+        routing index — a shard none of whose resident queries can match
+        stays un-dirty and is skipped by the next :meth:`tick`.
+        """
+        self._check_open()
+        if name not in self._structures:
+            raise KeyError(f"unknown stream {name!r}")
+        if isinstance(fillers, Filler):
+            fillers = [fillers]
+        fillers = list(fillers)
+        if not fillers:
+            return 0
+        # Supersede flags must reflect the state *before* this batch.
+        supersedes = {
+            id(filler): self._version_counts.get(
+                (name, int(filler.filler_id)), 0
+            ) > 0
+            for filler in fillers
+        }
+        buckets: dict[int, list[Filler]] = {}
+        for filler in fillers:
+            target = self._home(name, int(filler.filler_id))
+            self._pin_holes(name, target, filler.hole_ids())
+            buckets.setdefault(target, []).append(filler)
+            key = (name, int(filler.filler_id))
+            self._version_counts[key] = self._version_counts.get(key, 0) + 1
+        value_cache: dict = {}
+        for target, batch in sorted(buckets.items()):
+            envelopes = [filler.to_xml() for filler in batch]
+            self._journals[target].record_many(
+                Message(FILLER, name, payload) for payload in envelopes
+            )
+            encoded = False
+            if self.compress_threshold is not None:
+                wire = sum(len(payload) for payload in envelopes)
+                if wire > self.compress_threshold:
+                    codec = self._codecs[name]
+                    envelopes = [
+                        codec.encode_wire(payload) for payload in envelopes
+                    ]
+                    encoded = True
+                    self._compressed_batches += 1
+            self._post(target, ("feed", name, encoded, envelopes))
+            if self._wakes(name, batch, supersedes, value_cache):
+                self._dirty.add(target)
+        self._fed += len(fillers)
+        return len(fillers)
+
+    def feed_raw(self, name: str, payloads: Union[str, Iterable[str]]) -> int:
+        """Partition raw envelope text across the shards; returns the count.
+
+        Payloads are forwarded verbatim (never re-serialized or
+        compressed) so each worker's streaming-automaton ingest sees the
+        exact wire text; the shard key and hole pins are read off the
+        envelope with a regex peek.  Like the in-process raw path, wakes
+        are batch-free and therefore conservative: every shard whose
+        resident queries depend on the arriving ``(stream, tsid)``s is
+        polled.
+        """
+        self._check_open()
+        if name not in self._structures:
+            raise KeyError(f"unknown stream {name!r}")
+        if isinstance(payloads, str):
+            payloads = [payloads]
+        payloads = list(payloads)
+        if not payloads:
+            return 0
+        buckets: dict[int, list[str]] = {}
+        tsids: dict[int, set[int]] = {}
+        for payload in payloads:
+            filler_id, tsid, holes = peek_filler(payload)
+            target = self._home(name, filler_id)
+            self._pin_holes(name, target, holes)
+            key = (name, filler_id)
+            self._version_counts[key] = self._version_counts.get(key, 0) + 1
+            buckets.setdefault(target, []).append(payload)
+            tsids.setdefault(target, set()).add(tsid)
+        for target, batch in sorted(buckets.items()):
+            self._journals[target].record_many(
+                Message(FILLER, name, payload) for payload in batch
+            )
+            self._post(target, ("feed_raw", name, batch))
+            if self._wakes_raw(name, tsids[target]):
+                self._dirty.add(target)
+        self._fed += len(payloads)
+        return len(payloads)
+
+    def _home(self, stream: str, filler_id: int) -> int:
+        pinned = self._homes.get((stream, filler_id))
+        if pinned is not None:
+            return pinned
+        target = shard_of(stream, filler_id, self.shard_count)
+        self._homes[(stream, filler_id)] = target
+        return target
+
+    def _pin_holes(self, stream: str, target: int, hole_ids) -> None:
+        """Pin a filler's future children to its own shard.
+
+        Keeps every hole chain shard-local, so downward navigation
+        through holes resolves inside one worker's store.  A child
+        already pinned elsewhere (it arrived before its parent, from a
+        server violating the paper's top-down fragmentation order) is
+        left where it is and counted — splitting is detectable, not
+        silent.
+        """
+        for hole_id in hole_ids:
+            key = (stream, int(hole_id))
+            existing = self._homes.get(key)
+            if existing is None:
+                self._homes[key] = target
+            elif existing != target:
+                self._dispatch_conflicts += 1
+
+    # -- front-door dispatch ------------------------------------------------------
+
+    def _wakes(self, name: str, batch: list, supersedes: dict,
+               value_cache: dict) -> bool:
+        """Can this sub-batch change any resident query's answer?
+
+        The same probe the in-process routing index runs, applied once at
+        the coordinator: routed queries are probed filler by filler
+        (with the scheduler's conservative supersede rule for non-event
+        tags), non-routable queries fall back to the dependency test.
+        ``False`` means every resident query provably keeps its answer,
+        so the receiving shard need not be polled.
+        """
+        tsids = {int(filler.tsid) for filler in batch}
+        store = self._local.stores.get(name)
+        for route in self._fronts.values():
+            if route.route_key is None or route.predicate is None:
+                if route.dependencies.touches(name, tsids) or (
+                    route.dependencies.time_sensitive
+                ):
+                    return True
+                continue
+            route_stream, route_tsid = route.route_key
+            if route_stream != name or route_tsid not in tsids:
+                continue
+            relevant = [
+                filler for filler in batch if int(filler.tsid) == route_tsid
+            ]
+            tag_type = (
+                store.tag_type_of(route_tsid) if store is not None else None
+            )
+            self._dispatch_probes += 1
+            if tag_type is not TagType.EVENT and any(
+                supersedes[id(filler)] for filler in relevant
+            ):
+                # A non-event fragment got another version: annotations of
+                # the previous version move regardless of the predicate.
+                self._dispatch_wakes += 1
+                return True
+            if any(
+                _route_match(route.predicate, filler, tag_type, value_cache)
+                for filler in relevant
+            ):
+                self._dispatch_wakes += 1
+                return True
+            self._dispatch_skips += 1
+        return False
+
+    def _wakes_raw(self, name: str, tsids: set) -> bool:
+        """The batch-free (conservative) wake test for raw sub-batches."""
+        for route in self._fronts.values():
+            if route.route_key is not None:
+                if route.route_key[0] == name and route.route_key[1] in tsids:
+                    return True
+            elif route.dependencies.touches(name, tsids):
+                return True
+            elif route.dependencies.time_sensitive:
+                return True
+        return False
+
+    # -- evaluation -------------------------------------------------------------
+
+    def tick(self, now: Optional[XSDateTime] = None) -> dict:
+        """Poll the woken shards and merge their answers deterministically.
+
+        Returns ``{ShardedQuery: [identity strings]}`` — delta mode
+        reports each identity exactly once across the query's lifetime,
+        shards, and worker restarts.  Per query, shard answer blocks are
+        stable-sorted on ``(reported store seq, shard index)`` before the
+        dedup, so the merged order never depends on reply arrival timing.
+        """
+        self._check_open()
+        now = now or self._local.default_now
+        now_text = str(now)
+        started = time.perf_counter()
+        if any(
+            route.dependencies.time_sensitive for route in self._fronts.values()
+        ):
+            self._dirty.update(range(self.shard_count))
+        polled = set(self._dirty)
+        self._dirty.clear()
+        replies: dict[int, dict] = {}
+        for index in sorted(polled):
+            try:
+                self._shards[index].post(("poll", now_text))
+            except ShardFailure:
+                self._failover(index)
+                self._dirty.discard(index)  # we poll the replacement now
+                replies[index] = self._shards[index].request(("poll", now_text))
+        posted = time.perf_counter()
+        for index, shard in enumerate(self._shards):
+            if index in replies or not shard.pending:
+                continue
+            try:
+                out = shard.sync()
+                if index in polled:
+                    replies[index] = out[-1]
+            except ShardFailure:
+                self._failover(index)
+                if index in polled:
+                    self._dirty.discard(index)
+                    replies[index] = self._shards[index].request(
+                        ("poll", now_text)
+                    )
+        waited = time.perf_counter()
+        self._ticks += 1
+        self._shard_polls += len(replies)
+        self._shard_poll_skips += self.shard_count - len(polled)
+        for index, reply in replies.items():
+            self._shard_watermarks[index] = dict(reply["watermarks"])
+        results: dict[ShardedQuery, list[str]] = {}
+        for qid in sorted(self._queries):
+            query = self._queries[qid]
+            blocks = []
+            for index in sorted(replies):
+                reply = replies[index]
+                items = reply["emitted"].get(qid)
+                if not items:
+                    continue
+                seq = reply["watermarks"].get(query.stream, (0, 0))[0]
+                blocks.append((seq, index, items))
+            blocks.sort(key=lambda block: (block[0], block[1]))
+            merged = [item for _, _, items in blocks for item in items]
+            if query.emit == "delta":
+                fresh = []
+                for item in merged:
+                    if item not in query._seen:
+                        query._seen[item] = None
+                        fresh.append(item)
+            else:
+                fresh = merged
+            query.emitted_total += len(fresh)
+            if fresh:
+                for subscriber in query.subscribers:
+                    subscriber(list(fresh))
+            results[query] = fresh
+        self.last_tick_timing = {
+            "post": posted - started,
+            "wait": waited - posted,
+            "merge": time.perf_counter() - waited,
+            "shard_elapsed": {
+                index: reply.get("elapsed", 0.0)
+                for index, reply in replies.items()
+            },
+            "shard_cpu": {
+                index: reply.get("cpu", 0.0)
+                for index, reply in replies.items()
+            },
+        }
+        return results
+
+    # -- channel integration ------------------------------------------------------
+
+    def deliver(self, message: Message) -> None:
+        """Ingest one broadcast message (a Channel subscriber callback).
+
+        Subscribing the coordinator to a transport channel makes it the
+        paper's clearing-house daemon: Tag Structure announcements
+        register the stream everywhere, filler messages take the raw
+        dispatch path.
+        """
+        if message.kind == TAG_STRUCTURE:
+            self.register_stream(
+                message.stream, TagStructure.from_xml(message.payload)
+            )
+        elif message.kind == FILLER:
+            self.feed_raw(message.stream, [message.payload])
+        else:
+            raise ValueError(f"unknown message kind {message.kind!r}")
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _post(self, index: int, msg: tuple) -> None:
+        """Forward one (journaled or re-derivable) command to a shard.
+
+        Safe to fail over on error: everything posted through here is
+        reconstructed by the journal + query-registry bootstrap.
+        """
+        try:
+            self._shards[index].post(msg)
+        except ShardFailure:
+            self._failover(index)
+
+    def _sync_all(self) -> None:
+        for index in range(self.shard_count):
+            try:
+                self._shards[index].sync()
+            except ShardFailure:
+                self._failover(index)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShardedEngine is closed")
+
+    # -- observability ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Coordinator counters plus every shard's engine/scheduler stats."""
+        self._check_open()
+        shards = []
+        for index in range(self.shard_count):
+            try:
+                payload = self._shards[index].request(("stats",))
+            except ShardFailure:
+                self._failover(index)
+                payload = self._shards[index].request(("stats",))
+            shards.append(
+                {
+                    "index": index,
+                    "in_process": self._shards[index].in_process,
+                    **payload,
+                }
+            )
+        return {
+            "shards": shards,
+            "coordinator": {
+                "shard_count": self.shard_count,
+                "queries": len(self._queries),
+                "fed": self._fed,
+                "ticks": self._ticks,
+                "dispatch_probes": self._dispatch_probes,
+                "dispatch_wakes": self._dispatch_wakes,
+                "dispatch_skips": self._dispatch_skips,
+                "dispatch_conflicts": self._dispatch_conflicts,
+                "shard_polls": self._shard_polls,
+                "shard_poll_skips": self._shard_poll_skips,
+                "compressed_batches": self._compressed_batches,
+                "failovers": self._failovers,
+                "respawns": self._respawns,
+            },
+            "watermarks": {
+                index: dict(marks)
+                for index, marks in sorted(self._shard_watermarks.items())
+            },
+        }
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker and remove owned journals (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            try:
+                shard.stop()
+            except Exception:
+                pass
+        if self._own_journal_dir:
+            shutil.rmtree(self._journal_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -14,13 +14,42 @@ through the real serializer and parser.
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass
 from typing import Callable
 
-__all__ = ["Message", "Channel", "LossyChannel"]
+__all__ = ["Message", "Channel", "LossyChannel", "peek_filler"]
 
 TAG_STRUCTURE = "tag_structure"
 FILLER = "filler"
+
+_FILLER_TAG_RE = re.compile(r"<filler\b[^>]*>")
+_ID_TSID_RE = re.compile(r"\b(id|tsid)\s*=\s*[\"']([^\"']*)[\"']")
+_HOLE_ID_RE = re.compile(r"<hole\b[^>]*?\bid\s*=\s*[\"'](\d+)[\"']")
+
+
+def peek_filler(payload: str) -> tuple[int, int, list[int]]:
+    """Read ``(filler_id, tsid, hole_ids)`` off filler wire text cheaply.
+
+    A regex scan of the envelope tag and its ``<hole>`` placeholders —
+    no parse, no DOM.  Routing hops (the sharded coordinator, journal
+    triage) need exactly these three facts to pick a destination, and a
+    full parse here would defeat the lazy-ingest path the payload is
+    headed for.  Raises ``ValueError`` on text that is not a filler
+    envelope; the numbers are *trusted* from the wire — full validation
+    still happens wherever the payload is finally ingested.
+    """
+    tag = _FILLER_TAG_RE.search(payload)
+    if tag is None:
+        raise ValueError("expected a single <filler> element")
+    attrs = dict(_ID_TSID_RE.findall(tag.group(0)))
+    try:
+        filler_id = int(attrs["id"])
+        tsid = int(attrs["tsid"])
+    except (KeyError, ValueError) as exc:
+        raise ValueError(f"filler missing attribute {exc}") from exc
+    holes = [int(m) for m in _HOLE_ID_RE.findall(payload, tag.end())]
+    return filler_id, tsid, holes
 
 
 @dataclass(frozen=True)

@@ -403,3 +403,150 @@ class TestListenerLifecycle:
         # The arrival was never seen, so the poll must skip (stale answer
         # is the documented contract for manual notification wiring).
         assert query.skips == 1
+
+
+class TestWatermarkEpochs:
+    """Routing-index watermark advancement across store history rewrites.
+
+    The routed-skip optimization records ``cleared_seq`` and advances a
+    skipped query's delta watermark past probed-and-missed arrivals.
+    ``prune_before``/``clear`` bump the store's mutation epoch; a stale
+    watermark must then be refused (the next run falls back to full) —
+    silently accepting one would replay or lose retained annotations.
+    """
+
+    @staticmethod
+    def _txn(filler_id: int, hour: int, amount: int) -> Filler:
+        content = parse_document(
+            f'<transaction id="t{filler_id}"><vendor>V</vendor>'
+            f"<amount>{amount}</amount></transaction>"
+        ).document_element
+        return Filler(
+            filler_id, 5, XSDateTime.parse(f"2003-10-01T{hour:02d}:00:00"), content
+        )
+
+    ROUTED = (
+        'for $t in stream("credit")//transaction where $t/amount > 500 '
+        "return <big>{$t/amount/text()}</big>"
+    )
+    NOW = XSDateTime.parse("2003-12-15T00:00:00")
+
+    def _rig(self):
+        engine = make_engine()
+        scheduler = QueryScheduler(engine)
+        query = ContinuousQuery(engine, self.ROUTED, strategy=Strategy.QAC_PLUS)
+        scheduler.add(query)
+        scheduler.poll(self.NOW)  # baseline: arms the delta watermark
+        return engine, scheduler, query
+
+    def test_routed_skip_advances_watermark(self):
+        engine, scheduler, query = self._rig()
+        store = engine.stores["credit"]
+        engine.feed("credit", [self._txn(100 + i, 1 + i, 10) for i in range(3)])
+        assert scheduler.poll(self.NOW)[query] == []
+        # The probe covered every arrival: the watermark moved to the
+        # store head without an evaluation.
+        assert query.stats()["evaluations"] == 1
+        assert query._watermark == store.watermark
+        assert scheduler.stats()["routing"]["skips"] == 1
+        # The advanced watermark is still live: a matching arrival runs
+        # an ordinary delta over only the new filler.
+        engine.feed("credit", [self._txn(200, 9, 900)])
+        emitted = scheduler.poll(self.NOW)[query]
+        assert [item.string_value() for item in emitted] == ["900"]
+        assert query.stats()["delta_runs"] >= 1
+
+    def test_prune_before_invalidates_cleared_seq(self):
+        engine, scheduler, query = self._rig()
+        store = engine.stores["credit"]
+        engine.feed("credit", [self._txn(100, 1, 10)])
+        baseline_watermark = query._watermark
+        epoch_before = store.mutation_epoch
+        # History rewrite between the probe and the next poll.
+        store.prune_before(XSDateTime.parse("2003-10-01T02:00:00"))
+        assert store.mutation_epoch == epoch_before + 1
+        scheduler.poll(self.NOW)
+        # advance_watermark saw the epoch move and refused: the probe's
+        # cleared_seq belongs to the old history, so the watermark must
+        # not advance into the new one.
+        assert query._watermark == baseline_watermark
+        # The query still answers correctly from a full re-run.
+        engine.feed("credit", [self._txn(300, 10, 777)])
+        emitted = scheduler.poll(self.NOW)[query]
+        assert [item.string_value() for item in emitted] == ["777"]
+
+    def test_clear_epoch_bump_forces_full_run(self):
+        engine, scheduler, query = self._rig()
+        store = engine.stores["credit"]
+        engine.feed("credit", [self._txn(400, 1, 900)])
+        assert [i.string_value() for i in scheduler.poll(self.NOW)[query]] == ["900"]
+        full_before = query.stats()["full_runs"]
+        store.clear()
+        engine.feed("credit", [self._txn(401, 2, 901)])
+        emitted = scheduler.poll(self.NOW)[query]
+        # The wipe emptied the store, so only the new filler answers —
+        # and it had to come from a full run, not a stale delta.
+        assert [item.string_value() for item in emitted] == ["901"]
+        assert query.stats()["full_runs"] == full_before + 1
+
+    def test_advance_watermark_noop_on_epoch_mismatch(self):
+        engine, _scheduler, query = self._rig()
+        store = engine.stores["credit"]
+        engine.feed("credit", [self._txn(500, 1, 900)])
+        query.evaluate(self.NOW)
+        seq, epoch = query._watermark
+        store.prune_before(XSDateTime.parse("2003-10-01T02:00:00"))
+        query.advance_watermark(seq + 50)
+        assert query._watermark == (seq, epoch)
+
+    def test_advance_watermark_never_rewinds(self):
+        engine, _scheduler, query = self._rig()
+        engine.feed("credit", [self._txn(600, 1, 900)])
+        query.evaluate(self.NOW)
+        seq, epoch = query._watermark
+        query.advance_watermark(seq - 1)
+        assert query._watermark == (seq, epoch)
+
+
+class TestDeterministicDispatchOrder:
+    """Grouped entries dispatch sorted by group key, not insertion order.
+
+    The sharded coordinator compares per-shard answers positionally, so
+    two schedulers holding the same queries must tick them in the same
+    order no matter how registration interleaved.
+    """
+
+    SOURCES = [
+        'for $t in stream("credit")//transaction where $t/amount > 500 '
+        "return <big>{$t/amount/text()}</big>",
+        'for $c in stream("credit")//creditLimit where $c > 1000 '
+        "return <lim>{$c/text()}</lim>",
+        'count(stream("credit")//customer)',
+    ]
+
+    def _order(self, sources):
+        engine = make_engine()
+        scheduler = QueryScheduler(engine)
+        for source in sources:
+            scheduler.add(ContinuousQuery(engine, source, strategy=Strategy.QAC_PLUS))
+        return [entry.query.source for entry in scheduler._ordered_entries()]
+
+    def test_single_member_groups_order_is_registration_invariant(self):
+        forward = self._order(self.SOURCES)
+        backward = self._order(list(reversed(self.SOURCES)))
+        assert forward == backward
+
+    def test_grouped_before_ungrouped_and_ties_by_registration(self):
+        engine = make_engine()
+        scheduler = QueryScheduler(engine)
+        first = ContinuousQuery(engine, self.SOURCES[0], strategy=Strategy.QAC_PLUS)
+        second = ContinuousQuery(engine, self.SOURCES[0], strategy=Strategy.QAC_PLUS)
+        scheduler.add(second)
+        scheduler.add(first)
+        ordered = scheduler._ordered_entries()
+        grouped = [entry for entry in ordered if entry.group_key is not None]
+        ungrouped = [entry for entry in ordered if entry.group_key is None]
+        # Grouped entries lead; same-group members keep registration order.
+        assert ordered[: len(grouped)] == grouped
+        assert [entry.query for entry in grouped[:2]] == [second, first]
+        assert all(entry.group_key is None for entry in ungrouped)

@@ -1,0 +1,403 @@
+"""Differential and failure-mode tests for the sharded engine.
+
+The load-bearing property is byte-identity: for any shard count, arrival
+order, transport (``feed`` vs ``feed_raw``), and worker lifecycle
+(kills, respawns), the coordinator's merged emissions must equal the
+single-process scheduler's — per tick as a multiset of identity strings,
+and cumulatively.  The single-process arm is always a fresh
+``XCQLEngine`` + ``QueryScheduler`` over the same arrival history.
+"""
+
+import random
+
+import pytest
+
+from repro import Fragmenter, Strategy, TagStructure, XCQLEngine
+from repro.dom import Element, Text, parse_document
+from repro.streams.continuous import ContinuousQuery, item_identity
+from repro.streams.scheduler import QueryScheduler
+from repro.streams.sharding import ShardedEngine, shard_of
+from repro.streams.transport import (
+    FILLER,
+    TAG_STRUCTURE,
+    Channel,
+    Message,
+    peek_filler,
+)
+from repro.fragments.model import Filler, make_hole
+from repro.temporal.chrono import XSDateTime
+
+from tests.conftest import CREDIT_TAG_STRUCTURE_XML, CREDIT_VIEW_XML
+
+LEDGER_STRUCTURE_XML = """
+<stream:structure>
+  <tag type="snapshot" id="1" name="ledger">
+    <tag type="event" id="2" name="txn">
+      <tag type="snapshot" id="3" name="amount"/>
+    </tag>
+  </tag>
+</stream:structure>
+"""
+
+QUERIES = [
+    'for $t in stream("ledger")//txn where $t/amount > 40 '
+    "return <hi>{$t/amount/text()}</hi>",
+    'for $t in stream("ledger")//txn where $t/amount > 75 '
+    "return <vip>{$t/amount/text()}</vip>",
+    'for $t in stream("ledger")//txn where $t/amount < 15 '
+    "return <low>{$t/amount/text()}</low>",
+    # Not routable (no leading comparison): broadcast-wake coverage.
+    'for $t in stream("ledger")//txn return <seen>{$t/@seq}</seen>',
+]
+
+NOW = XSDateTime.parse("2003-12-15T00:00:00")
+
+
+def txn_filler(index: int, amount: float) -> Filler:
+    content = Element("txn", {"seq": str(index)})
+    amt = Element("amount")
+    amt.append(Text(str(amount)))
+    content.append(amt)
+    return Filler(
+        filler_id=1000 + index,
+        tsid=2,
+        valid_time=XSDateTime.parse("2003-01-01T00:00:00"),
+        content=content,
+    )
+
+
+def ledger_batches(count: int = 24, batch: int = 6, seed: int = 7):
+    rng = random.Random(seed)
+    fillers = [txn_filler(i, rng.randrange(0, 100)) for i in range(count)]
+    return [fillers[i : i + batch] for i in range(0, count, batch)]
+
+
+def run_solo(batches, queries=QUERIES, raw_every=None):
+    """Per-tick sorted identity lists from the single-process scheduler."""
+    engine = XCQLEngine()
+    engine.register_stream("ledger", TagStructure.from_xml(LEDGER_STRUCTURE_XML))
+    scheduler = QueryScheduler(engine)
+    standing = [
+        ContinuousQuery(engine, source, strategy=Strategy.QAC_PLUS)
+        for source in queries
+    ]
+    for query in standing:
+        scheduler.add(query)
+    scheduler.poll(NOW)  # baseline
+    ticks = []
+    for number, batch in enumerate(batches):
+        if raw_every is not None and number % raw_every == 0:
+            engine.feed_raw("ledger", [f.to_xml() for f in batch])
+        else:
+            engine.feed("ledger", batch)
+        emitted = scheduler.poll(NOW)
+        ticks.append(
+            [
+                sorted(item_identity(item) for item in emitted.get(query, []))
+                for query in standing
+            ]
+        )
+    return ticks
+
+
+def run_sharded(batches, shards, queries=QUERIES, raw_every=None, **kw):
+    """Per-tick sorted emission lists from a ShardedEngine."""
+    engine = ShardedEngine(shards, in_process=kw.pop("in_process", True), **kw)
+    try:
+        engine.register_stream(
+            "ledger", TagStructure.from_xml(LEDGER_STRUCTURE_XML)
+        )
+        standing = [
+            engine.add_query(source, strategy=Strategy.QAC_PLUS)
+            for source in queries
+        ]
+        engine.tick(NOW)  # baseline
+        ticks = []
+        for number, batch in enumerate(batches):
+            if raw_every is not None and number % raw_every == 0:
+                engine.feed_raw("ledger", [f.to_xml() for f in batch])
+            else:
+                engine.feed("ledger", batch)
+            results = engine.tick(NOW)
+            ticks.append([sorted(results[query]) for query in standing])
+        return ticks, engine.stats()
+    finally:
+        engine.close()
+
+
+class TestShardKey:
+    def test_deterministic_and_hash_free(self):
+        # CRC-based: the same key maps to the same shard in any process.
+        assert shard_of("ledger", 123, 4) == shard_of("ledger", 123, 4)
+        assert 0 <= shard_of("ledger", 123, 4) < 4
+        assert shard_of("ledger", 123, 1) == 0
+
+    def test_spreads_across_shards(self):
+        homes = {shard_of("ledger", i, 4) for i in range(64)}
+        assert homes == {0, 1, 2, 3}
+
+
+class TestPeekFiller:
+    def test_reads_envelope_and_holes(self):
+        filler = txn_filler(1, 50)
+        filler.content.append(make_hole(77, 3))
+        assert peek_filler(filler.to_xml()) == (1001, 2, [77])
+
+    def test_single_quoted_attributes(self):
+        text = "<filler id='9' tsid='2' validTime='2003-01-01T00:00:00'>" \
+               "<txn/></filler>"
+        assert peek_filler(text) == (9, 2, [])
+
+    def test_rejects_non_fillers(self):
+        with pytest.raises(ValueError):
+            peek_filler("<txn/>")
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_identical_across_shard_counts(self, shards):
+        batches = ledger_batches()
+        solo = run_solo(batches)
+        sharded, _ = run_sharded(batches, shards)
+        assert sharded == solo
+
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_identical_across_arrival_orders(self, seed):
+        batches = ledger_batches()
+        flat = [filler for batch in batches for filler in batch]
+        random.Random(seed).shuffle(flat)
+        shuffled = [flat[i : i + 6] for i in range(0, len(flat), 6)]
+        solo = run_solo(shuffled)
+        sharded, _ = run_sharded(shuffled, 3)
+        assert sharded == solo
+        # Cumulative emissions are arrival-order invariant for event data.
+        baseline, _ = run_sharded(batches, 3)
+        cumulative = sorted(
+            item for tick in sharded for per_query in tick for item in per_query
+        )
+        assert cumulative == sorted(
+            item for tick in baseline for per_query in tick for item in per_query
+        )
+
+    def test_identical_with_mixed_feed_and_feed_raw(self):
+        batches = ledger_batches()
+        solo = run_solo(batches, raw_every=2)
+        sharded, _ = run_sharded(batches, 2, raw_every=2)
+        assert sharded == solo
+
+    def test_identical_with_compression_forced(self):
+        batches = ledger_batches()
+        solo = run_solo(batches)
+        sharded, stats = run_sharded(batches, 2, compress_threshold=1)
+        assert sharded == solo
+        assert stats["coordinator"]["compressed_batches"] > 0
+
+    def test_front_door_skips_quiet_shards(self):
+        engine = ShardedEngine(2, in_process=True)
+        try:
+            engine.register_stream(
+                "ledger", TagStructure.from_xml(LEDGER_STRUCTURE_XML)
+            )
+            query = engine.add_query(QUERIES[1], strategy=Strategy.QAC_PLUS)
+            engine.tick(NOW)
+            polls_before = engine.stats()["coordinator"]["shard_polls"]
+            engine.feed("ledger", [txn_filler(i, 10) for i in range(8)])
+            assert engine.tick(NOW)[query] == []
+            stats = engine.stats()["coordinator"]
+            # Nothing can match 'amount > 75': no shard was polled.
+            assert stats["shard_polls"] == polls_before
+            assert stats["dispatch_skips"] > 0
+        finally:
+            engine.close()
+
+
+class TestAdmission:
+    def test_rejects_non_delta_safe_queries(self):
+        engine = ShardedEngine(2, in_process=True)
+        try:
+            engine.register_stream(
+                "ledger", TagStructure.from_xml(LEDGER_STRUCTURE_XML)
+            )
+            join = (
+                'for $a in stream("ledger")//txn, $b in stream("ledger")//txn '
+                "where $a/amount = $b/amount return <p>{$a/@seq}</p>"
+            )
+            with pytest.raises(ValueError, match="not delta-safe"):
+                engine.add_query(join)
+        finally:
+            engine.close()
+
+    def test_rejects_unknown_stream_feeds(self):
+        engine = ShardedEngine(2, in_process=True)
+        try:
+            with pytest.raises(KeyError):
+                engine.feed("nope", [txn_filler(1, 1)])
+            with pytest.raises(KeyError):
+                engine.feed_raw("nope", ["<filler/>"])
+        finally:
+            engine.close()
+
+
+class TestHoleColocation:
+    def credit_fillers_parent_first(self):
+        structure = TagStructure.from_xml(CREDIT_TAG_STRUCTURE_XML)
+        fragmenter = Fragmenter(structure)
+        fillers = fragmenter.fragment_temporal_view(
+            parse_document(CREDIT_VIEW_XML),
+            XSDateTime.parse("1998-01-01T00:00:00"),
+        )
+        # The paper's server streams top-down; sort by tag depth to honor
+        # the parent-before-child invariant the shard pinning relies on.
+        depth = {1: 0, 2: 1, 3: 2, 4: 2, 5: 2, 6: 3, 7: 3, 8: 3}
+        return structure, sorted(fillers, key=lambda f: depth[f.tsid])
+
+    def test_holed_stream_stays_shard_local(self):
+        structure, fillers = self.credit_fillers_parent_first()
+        source = (
+            'for $t in stream("credit")//transaction where $t/amount > 500 '
+            "return <big>{$t/vendor/text()}</big>"
+        )
+        solo_engine = XCQLEngine()
+        solo_engine.register_stream("credit", structure)
+        scheduler = QueryScheduler(solo_engine)
+        solo_query = ContinuousQuery(
+            solo_engine, source, strategy=Strategy.QAC_PLUS
+        )
+        scheduler.add(solo_query)
+        scheduler.poll(NOW)
+        sharded = ShardedEngine(3, in_process=True)
+        try:
+            sharded.register_stream("credit", structure)
+            query = sharded.add_query(source, strategy=Strategy.QAC_PLUS)
+            sharded.tick(NOW)
+            for start in range(0, len(fillers), 4):
+                batch = fillers[start : start + 4]
+                solo_engine.feed("credit", batch)
+                sharded.feed("credit", batch)
+                solo_emitted = sorted(
+                    item_identity(item)
+                    for item in scheduler.poll(NOW).get(solo_query, [])
+                )
+                assert sorted(sharded.tick(NOW)[query]) == solo_emitted
+            # Parent-first arrival: every hole chain landed on one shard.
+            assert (
+                sharded.stats()["coordinator"]["dispatch_conflicts"] == 0
+            )
+        finally:
+            sharded.close()
+
+    def test_child_first_arrival_counts_a_conflict(self):
+        engine = ShardedEngine(2, in_process=True)
+        try:
+            engine.register_stream(
+                "ledger", TagStructure.from_xml(LEDGER_STRUCTURE_XML)
+            )
+            # Pick a child id that hashes away from its parent's shard.
+            parent = txn_filler(1, 50)
+            parent_home = shard_of("ledger", parent.filler_id, 2)
+            child_id = next(
+                i for i in range(2000, 2100)
+                if shard_of("ledger", i, 2) != parent_home
+            )
+            child = txn_filler(child_id - 1000, 60)
+            assert child.filler_id == child_id
+            parent.content.append(make_hole(child_id, 2))
+            engine.feed("ledger", [child])  # child first: hashed home
+            engine.feed("ledger", [parent])  # parent pin disagrees
+            assert engine.stats()["coordinator"]["dispatch_conflicts"] == 1
+        finally:
+            engine.close()
+
+
+class TestWorkerLifecycle:
+    def test_killed_worker_recovers_via_journal(self):
+        batches = ledger_batches(count=18, batch=6)
+        solo = run_solo(batches)
+        engine = ShardedEngine(2, timeout=30.0)
+        try:
+            engine.register_stream(
+                "ledger", TagStructure.from_xml(LEDGER_STRUCTURE_XML)
+            )
+            standing = [
+                engine.add_query(source, strategy=Strategy.QAC_PLUS)
+                for source in QUERIES
+            ]
+            engine.tick(NOW)
+            ticks = []
+            for number, batch in enumerate(batches):
+                if number == 1:
+                    # SIGKILL, not a clean stop: the worker gets no chance
+                    # to flush or say goodbye.
+                    engine._shards[0].process.kill()
+                    engine._shards[0].process.join()
+                engine.feed("ledger", batch)
+                results = engine.tick(NOW)
+                ticks.append([sorted(results[query]) for query in standing])
+            stats = engine.stats()
+            assert stats["coordinator"]["failovers"] == 1
+            assert stats["shards"][0]["in_process"] is True
+            # No emission lost, none duplicated — including the tick that
+            # absorbed the crash.
+            assert ticks == solo
+        finally:
+            engine.close()
+
+    def test_respawn_shard_bootstraps_from_journal(self):
+        batches = ledger_batches(count=18, batch=6)
+        solo = run_solo(batches)
+        engine = ShardedEngine(2, timeout=30.0)
+        try:
+            engine.register_stream(
+                "ledger", TagStructure.from_xml(LEDGER_STRUCTURE_XML)
+            )
+            standing = [
+                engine.add_query(source, strategy=Strategy.QAC_PLUS)
+                for source in QUERIES
+            ]
+            engine.tick(NOW)
+            ticks = []
+            for number, batch in enumerate(batches):
+                if number == 2:
+                    engine.respawn_shard(1)
+                engine.feed("ledger", batch)
+                results = engine.tick(NOW)
+                ticks.append([sorted(results[query]) for query in standing])
+            stats = engine.stats()
+            assert stats["coordinator"]["respawns"] == 1
+            assert all(not shard["in_process"] for shard in stats["shards"])
+            assert ticks == solo
+        finally:
+            engine.close()
+
+    def test_worker_mode_matches_solo(self):
+        batches = ledger_batches(count=12, batch=6)
+        solo = run_solo(batches)
+        sharded, stats = run_sharded(batches, 2, in_process=False, timeout=30.0)
+        assert sharded == solo
+        assert all(not shard["in_process"] for shard in stats["shards"])
+
+
+class TestClearingHouse:
+    def test_channel_subscriber_ingest(self):
+        structure_xml = LEDGER_STRUCTURE_XML.strip()
+        engine = ShardedEngine(2, in_process=True)
+        try:
+            channel = Channel()
+            channel.subscribe(engine.deliver)
+            channel.publish(Message(TAG_STRUCTURE, "ledger", structure_xml))
+            query = engine.add_query(QUERIES[0], strategy=Strategy.QAC_PLUS)
+            engine.tick(NOW)
+            for filler in [txn_filler(1, 90), txn_filler(2, 10)]:
+                channel.publish(Message(FILLER, "ledger", filler.to_xml()))
+            assert engine.tick(NOW)[query] == ["<hi>90</hi>"]
+        finally:
+            engine.close()
+
+    def test_stats_shape(self):
+        batches = ledger_batches(count=12, batch=6)
+        _, stats = run_sharded(batches, 2)
+        assert {"shards", "coordinator", "watermarks"} <= set(stats)
+        for shard in stats["shards"]:
+            assert {"engine", "scheduler", "queries"} <= set(shard)
+            # The merged automaton-host view travels with scheduler stats.
+            assert "host" in shard["scheduler"]["automata"]
