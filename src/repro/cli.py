@@ -3,7 +3,8 @@
 - ``repro-figure4`` — regenerate the paper's Figure 4 table;
 - ``repro-xmlgen`` — emit an XMark auction document (our xmlgen clone);
 - ``repro-xcql`` — run (``run``) or explain (``explain``) an XCQL query
-  over a fragment-store snapshot;
+  over a fragment-store snapshot, broadcast a journal over the network
+  transport (``serve``), or follow a broadcast (``tail``);
 - ``repro-lint`` — the repo's source lint (pipeline-bypass imports).
 """
 
@@ -77,10 +78,12 @@ def xcql_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "command",
         nargs="?",
-        choices=["run", "explain"],
+        choices=["run", "explain", "serve", "tail"],
         default="run",
-        help="run the query (default) or print its plan summary — the "
-        "translation, dependencies, and the pass-pipeline verdicts — as JSON",
+        help="run the query (default), print its plan summary — the "
+        "translation, dependencies, and the pass-pipeline verdicts — as "
+        "JSON (explain), broadcast a journal over the network transport "
+        "(serve), or follow a broadcast and print its envelopes (tail)",
     )
     parser.add_argument(
         "--passes",
@@ -88,7 +91,11 @@ def xcql_main(argv: list[str] | None = None) -> int:
         help="with 'explain': include the per-pass pipeline trace "
         "(name, fired?, rewrite counts, reasons) and the pipeline fingerprint",
     )
-    parser.add_argument("--store", required=True, help="snapshot file (.xml)")
+    parser.add_argument(
+        "--store",
+        help="snapshot file (.xml); required for run/explain, optional "
+        "seed for serve (published once into an empty journal)",
+    )
     parser.add_argument(
         "--stream", default="stream", help="stream name the query uses (default: 'stream')"
     )
@@ -142,7 +149,82 @@ def xcql_main(argv: list[str] | None = None) -> int:
         "dispatch/poll/failover counters alongside each shard's engine "
         "and scheduler statistics",
     )
+    network = parser.add_argument_group("network transport (serve/tail)")
+    network.add_argument("--host", default="127.0.0.1", help="bind/connect host")
+    network.add_argument(
+        "--port", type=int, default=0, help="port (serve default 0 = ephemeral)"
+    )
+    network.add_argument(
+        "--journal", help="with 'serve': journal file backing the broadcast"
+    )
+    network.add_argument(
+        "--batch-bytes",
+        type=int,
+        default=64 * 1024,
+        help="with 'serve': flush a wire batch at this many payload bytes",
+    )
+    network.add_argument(
+        "--delay-ms",
+        type=float,
+        default=5.0,
+        help="with 'serve': flush a wire batch after this many milliseconds",
+    )
+    network.add_argument(
+        "--compress-threshold",
+        type=int,
+        default=64 * 1024,
+        help="with 'serve': tag-compress batches above this many bytes "
+        "(negative disables compression)",
+    )
+    network.add_argument(
+        "--slow-policy",
+        choices=["block", "drop", "disconnect"],
+        default="block",
+        help="with 'serve': what a full subscriber queue does to the "
+        "producer (default: block it)",
+    )
+    network.add_argument(
+        "--queue-frames",
+        type=int,
+        default=64,
+        help="with 'serve': per-subscriber send-queue bound, in frames",
+    )
+    network.add_argument(
+        "--linger",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with 'serve': stop after this long (default: until Ctrl-C)",
+    )
+    network.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with 'tail': stop after printing N envelopes",
+    )
+    network.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with 'tail': stop after this long without reaching --count",
+    )
+    network.add_argument(
+        "--from-seq",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with 'tail': catch up from journal sequence N before "
+        "following live traffic (0 = the whole journal)",
+    )
     args = parser.parse_args(argv)
+    if args.command == "serve":
+        return _serve(args, parser)
+    if args.command == "tail":
+        return _tail(args)
+    if args.store is None:
+        parser.error("--store is required for run/explain")
     if args.replay is not None and args.replay < 1:
         parser.error("--replay batch size must be a positive integer")
     if args.raw and args.replay is None:
@@ -194,6 +276,138 @@ def xcql_main(argv: list[str] | None = None) -> int:
         print("-- engine stats:")
         print(json.dumps(engine.stats(), indent=2, default=str))
     return 0
+
+
+def _serve(args, parser) -> int:
+    """Broadcast a journal-backed stream over the network transport.
+
+    Starts a :class:`repro.streams.net.StreamServer` on ``--host``/
+    ``--port`` with the batching, compression, and slow-consumer knobs
+    from the command line.  With ``--store``, an *empty* journal is
+    seeded by publishing the snapshot (tag structure first, then every
+    filler) — a non-empty journal is served as-is, so restarting never
+    duplicates history.  Producers connect with FEED; subscribers catch
+    up from the journal and follow live.  Prints the server stats as
+    JSON on shutdown (``--linger`` or Ctrl-C).
+    """
+    import asyncio
+    import json
+
+    from repro.fragments.persist import Journal, load_store
+    from repro.streams.net import StreamServer
+    from repro.streams.transport import FILLER, TAG_STRUCTURE, Message
+
+    if args.journal is None:
+        parser.error("serve requires --journal")
+    threshold = (
+        None if args.compress_threshold < 0 else args.compress_threshold
+    )
+
+    async def main() -> dict:
+        journal = Journal(args.journal)
+        server = StreamServer(
+            args.host,
+            args.port,
+            journal=journal,
+            max_batch_bytes=args.batch_bytes,
+            max_delay_ms=args.delay_ms,
+            compress_threshold=threshold,
+            queue_frames=args.queue_frames,
+            slow_policy=args.slow_policy,
+        )
+        seed_empty = journal.last_seq == 0
+        await server.start()
+        if args.store and seed_empty:
+            store = load_store(args.store)
+            if store.tag_structure is not None:
+                from repro.dom import serialize
+
+                await server.publish(
+                    Message(
+                        TAG_STRUCTURE,
+                        args.stream,
+                        serialize(store.tag_structure.to_xml()),
+                    )
+                )
+            for filler in store.fillers_since(0):
+                await server.publish(
+                    Message(FILLER, args.stream, filler.to_xml())
+                )
+        print(
+            f"serving on {args.host}:{server.port} "
+            f"(journal seq {server.seq})",
+            file=sys.stderr,
+        )
+        try:
+            if args.linger is not None:
+                await asyncio.sleep(args.linger)
+            else:
+                await asyncio.Event().wait()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        stats = server.stats()
+        await server.close()
+        return stats
+
+    try:
+        stats = asyncio.run(main())
+    except KeyboardInterrupt:
+        return 0
+    print(json.dumps(stats, indent=2, default=str))
+    return 0
+
+
+def _tail(args) -> int:
+    """Follow a broadcast stream and print its envelopes to stdout.
+
+    Connects to a :func:`_serve` server, subscribes to ``--stream``,
+    optionally replays the journal from ``--from-seq``, and prints one
+    envelope per line (prefixed with its journal seq) until ``--count``
+    envelopes or ``--timeout`` seconds.  Client stats go to stderr.
+    """
+    import asyncio
+    import json
+
+    from repro.streams.net import StreamClient, Subscription
+
+    async def main() -> int:
+        printed = 0
+        done = asyncio.Event()
+
+        def show(message) -> None:
+            nonlocal printed
+            print(f"{client.last_seen}\t{message.kind}\t{message.payload}")
+            printed += 1
+            if args.count is not None and printed >= args.count:
+                done.set()
+
+        client = StreamClient(args.host, args.port, on_message=show)
+        await client.connect()
+        catchup = args.from_seq is not None
+        await client.subscribe(
+            [Subscription(args.stream)], catchup=catchup
+        )
+        if catchup:
+            await client.catchup(after=args.from_seq)
+        waits = [asyncio.ensure_future(done.wait()),
+                 asyncio.ensure_future(client.closed.wait())]
+        try:
+            await asyncio.wait(
+                waits,
+                timeout=args.timeout,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            for waiter in waits:
+                waiter.cancel()
+        await client.close()
+        print(json.dumps(client.stats(), default=str), file=sys.stderr)
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _replay(args, store, source: str, strategy, now) -> int:

@@ -281,6 +281,29 @@ class XCQLEngine:
             self._notify_arrivals(name, before, store, probe=False)
         return added
 
+    def deliver(self, message) -> int:
+        """Ingest one transport :class:`~repro.streams.transport.Message`.
+
+        The subscriber-side entry point for channels and the network
+        client: a ``tag_structure`` message (re)registers the stream —
+        creating its store on first sight — and a ``filler`` message runs
+        the raw-event ingest, so the payload must be exact wire text.
+        Returns the number of new fillers (0 for structure messages).
+        """
+        # Kind strings mirror repro.streams.transport; compared literally
+        # so the core never imports the streams package (streams -> core).
+        if message.kind == "tag_structure":
+            structure = TagStructure.from_xml(message.payload)
+            self.register_stream(
+                message.stream, structure, store=self.stores.get(message.stream)
+            )
+            return 0
+        if message.kind == "filler":
+            # An unregistered stream raises the usual unknown-stream
+            # TranslationError from feed_raw's store lookup.
+            return self.feed_raw(message.stream, [message.payload])
+        raise ValueError(f"unknown message kind {message.kind!r}")
+
     def _scan_envelope(
         self, name: str, raw: str, chunk_size: int
     ) -> tuple[Filler, list]:

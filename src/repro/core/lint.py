@@ -155,10 +155,12 @@ PIPELINE_ONLY_NAMES = frozenset(
 #: optimizer's own module).
 _PIPELINE_EXEMPT = ("core/pipeline.py", "core/optimizer.py")
 
-#: The stream-automaton compiler/matcher must stay DOM-free: its whole
-#: point is matching raw parse events without materializing nodes, so any
-#: import of the DOM node types is a layering regression.
-_DOM_FREE_MODULES = ("xquery/automata.py",)
+#: Modules that must stay DOM-free.  The stream-automaton
+#: compiler/matcher's whole point is matching raw parse events without
+#: materializing nodes; the network wire layer frames bytes and must
+#: never parse the envelopes it carries — for both, any import of the
+#: DOM node types is a layering regression.
+_DOM_FREE_MODULES = ("xquery/automata.py", "streams/netproto.py")
 
 
 def lint_sources(paths: Iterable[str]) -> list[Diagnostic]:
@@ -172,8 +174,11 @@ def lint_sources(paths: Iterable[str]) -> list[Diagnostic]:
     fingerprint.  An ``automata-dom-import`` diagnostic is reported when
     :mod:`repro.xquery.automata` imports the DOM node types — the
     automaton layer matches raw parse events and must never materialize
-    nodes itself.  Unparseable files yield ``syntax-error`` diagnostics;
-    the linter never raises.
+    nodes itself — and a ``netproto-dom-import`` when
+    :mod:`repro.streams.netproto` does: the wire layer frames bytes and
+    forwards envelope text verbatim, so a DOM import there means some
+    payload is being parsed on the framing hot path.  Unparseable files
+    yield ``syntax-error`` diagnostics; the linter never raises.
     """
     diagnostics: list[Diagnostic] = []
     for path in _python_files(paths):
@@ -208,6 +213,20 @@ def lint_sources(paths: Iterable[str]) -> list[Diagnostic]:
 
 def _check_dom_free(path: str, tree: _pyast.AST, out: list[Diagnostic]) -> None:
     """Flag any import of the DOM node module inside a DOM-free module."""
+    if path.replace(os.sep, "/").endswith("streams/netproto.py"):
+        code = "netproto-dom-import"
+        why = (
+            "the wire-protocol module must stay DOM-free (it frames bytes "
+            "and forwards envelope text verbatim); parse payloads at the "
+            "endpoints, not in the framing layer"
+        )
+    else:
+        code = "automata-dom-import"
+        why = (
+            "the stream-automaton module must stay DOM-free (it matches "
+            "raw parse events); move node materialization to the engine's "
+            "automaton host"
+        )
     for node in _pyast.walk(tree):
         modules: list[tuple[str, int]] = []
         if isinstance(node, _pyast.ImportFrom):
@@ -216,14 +235,7 @@ def _check_dom_free(path: str, tree: _pyast.AST, out: list[Diagnostic]) -> None:
             modules.extend((alias.name, node.lineno) for alias in node.names)
         for module, lineno in modules:
             if module == "repro.dom" or module.startswith("repro.dom."):
-                out.append(
-                    Diagnostic(
-                        "automata-dom-import",
-                        f"{path}:{lineno}: the stream-automaton module must "
-                        "stay DOM-free (it matches raw parse events); move "
-                        "node materialization to the engine's automaton host",
-                    )
-                )
+                out.append(Diagnostic(code, f"{path}:{lineno}: {why}"))
 
 
 def _python_files(paths: Iterable[str]) -> list[str]:

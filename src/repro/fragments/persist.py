@@ -17,7 +17,8 @@ was received matters.  Two durability tools:
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterator, Optional, Union
+import re
+from typing import Callable, Iterator, Optional, Tuple, Union
 
 from typing import TYPE_CHECKING
 
@@ -158,6 +159,58 @@ class Journal:
                 from repro.streams.transport import Message
 
                 yield Message(kind, stream, payload)
+
+    _RECORD_RE = re.compile(
+        r'^<journal kind="([^"]*)" stream="([^"]*)">(.*)</journal>$', re.DOTALL
+    )
+
+    def read_indexed(self, after: int = 0) -> "Iterator[Tuple[int, Message]]":
+        """Iterate ``(seq, message)`` pairs, skipping records up to ``after``.
+
+        ``seq`` is the 1-based record index — the sequence number the
+        network server stamps on wire entries and a reconnecting client
+        hands back in CATCHUP.  Two differences from :meth:`read` make
+        this the bootstrap path:
+
+        - records at or before ``after`` are skipped *before* any
+          parsing, so resuming near the tail of a long journal does not
+          pay for its history;
+        - the payload is sliced out of the record textually (``_line``
+          embeds it verbatim), not parsed and re-serialized, so a
+          caught-up client receives byte-identical wire text — which the
+          raw-event ingest path requires.
+        """
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for seq, line in enumerate(handle, start=1):
+                if seq <= after:
+                    continue
+                line = line.rstrip("\n")
+                if not line.strip():
+                    continue
+                match = self._RECORD_RE.match(line)
+                if match is None:
+                    raise ValueError(f"{self.path}:{seq}: corrupt record")
+                kind, stream, payload = match.groups()
+                if kind not in (TAG_STRUCTURE, FILLER):
+                    raise ValueError(
+                        f"{self.path}:{seq}: unknown record kind {kind!r}"
+                    )
+                from repro.streams.transport import Message
+
+                yield seq, Message(kind, stream, payload)
+
+    @property
+    def last_seq(self) -> int:
+        """The 1-based index of the final record (0 for no journal)."""
+        if not os.path.exists(self.path):
+            return 0
+        count = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for count, _ in enumerate(handle, start=1):
+                pass
+        return count
 
     def replay(self, deliver: "Callable[[Message], None]") -> int:
         """Push every journaled message into a subscriber callback.

@@ -16,7 +16,14 @@ registration at the server, no acknowledgements.
   streams;
 - :mod:`repro.streams.sharding` — the multi-process clearing-house
   coordinator partitioning storage and standing-query evaluation across
-  worker engines.
+  worker engines;
+- :mod:`repro.streams.net` (+ :mod:`repro.streams.netproto`) — the
+  asyncio socket transport: framed batches, tag compression, bounded
+  backpressure, and journal-bootstrap catch-up.  Its
+  ``StreamServer``/``StreamClient`` share names with the in-process
+  classes exported here, so they stay module-qualified
+  (``repro.streams.net.StreamServer``) and are deliberately *not*
+  re-exported from this package.
 """
 
 from repro.streams.clock import Clock, SimulatedClock, SystemClock

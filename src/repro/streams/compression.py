@@ -89,7 +89,7 @@ class TagCodec:
         nodes = [n for n in parse_fragment(payload) if isinstance(n, Element)]
         return "".join(serialize(self.decode(node)) for node in nodes)
 
-    # -- incremental wire decoding -----------------------------------------------
+    # -- incremental wire transcoding ----------------------------------------------
 
     def decompress_iter(self, chunks: Iterable[str]) -> Iterator[str]:
         """Decode a wire payload incrementally, chunk by chunk.
@@ -104,21 +104,42 @@ class TagCodec:
         anywhere (mid-name, mid-tag, mid-comment) without changing the
         output.
         """
+        return self._rewrite_iter(chunks, self._decode)
+
+    def compress_iter(self, chunks: Iterable[str]) -> Iterator[str]:
+        """Encode a wire payload incrementally, chunk by chunk.
+
+        The encode-direction twin of :meth:`decompress_iter`: tag names
+        are replaced by their codes with the same pure-text scan — no
+        parse, no DOM, no serializer round-trip — so everything outside
+        the rewritten names (whitespace, attribute order, escapes) is
+        preserved *verbatim* and ``decompress(compress(text)) == text``
+        exactly.  This is the network batcher's compression path: a
+        compressed batch still delivers the exact wire text the
+        streaming-automaton ingest (:meth:`XCQLEngine.feed_raw`) needs.
+        """
+        return self._rewrite_iter(chunks, self._encode)
+
+    def _rewrite_iter(
+        self, chunks: Iterable[str], table: dict[str, str]
+    ) -> Iterator[str]:
         buffer = ""
         for chunk in chunks:
             buffer += chunk
-            done, buffer = self._decode_stream(buffer, final=False)
+            done, buffer = self._rewrite_stream(buffer, table, final=False)
             if done:
                 yield done
-        done, buffer = self._decode_stream(buffer, final=True)
+        done, buffer = self._rewrite_stream(buffer, table, final=True)
         if done:
             yield done
 
-    def _decode_stream(self, buffer: str, final: bool) -> tuple[str, str]:
-        """Decode the longest unambiguous prefix of ``buffer``.
+    def _rewrite_stream(
+        self, buffer: str, table: dict[str, str], final: bool
+    ) -> tuple[str, str]:
+        """Rewrite tag names over the longest unambiguous prefix of ``buffer``.
 
-        Returns ``(decoded, holdover)`` where ``holdover`` is the suffix
-        that cannot be decoded yet (it starts at the ``<`` of an
+        Returns ``(rewritten, holdover)`` where ``holdover`` is the suffix
+        that cannot be transcoded yet (it starts at the ``<`` of an
         incomplete construct).  With ``final=True`` everything is consumed,
         passing any trailing malformed markup through verbatim.
         """
@@ -139,16 +160,16 @@ class TagCodec:
                 marker.startswith(rest) for marker in _OPAQUE_MARKERS
             ):
                 break  # could still become a comment/CDATA opener
-            consumed = self._decode_construct(buffer, pos, final, out)
+            consumed = self._rewrite_construct(buffer, pos, table, final, out)
             if consumed is None:
                 break  # construct incomplete: hold it for the next chunk
             pos = consumed
         return "".join(out), buffer[pos:]
 
-    def _decode_construct(
-        self, buffer: str, pos: int, final: bool, out: list[str]
+    def _rewrite_construct(
+        self, buffer: str, pos: int, table: dict[str, str], final: bool, out: list[str]
     ) -> Optional[int]:
-        """Decode one ``<``-construct at ``pos``; None = incomplete."""
+        """Transcode one ``<``-construct at ``pos``; None = incomplete."""
         n = len(buffer)
         for marker, closer in (("<!--", "-->"), ("<![CDATA[", "]]>"), ("<?", "?>"), ("<!", ">")):
             if buffer.startswith(marker, pos):
@@ -173,7 +194,7 @@ class TagCodec:
         if end is None and not final:
             return None  # attributes/terminator still arriving
         name = match.group()
-        out.append(buffer[pos : name_start] + self._decode.get(name, name))
+        out.append(buffer[pos : name_start] + table.get(name, name))
         out.append(buffer[match.end() : end if end is not None else n])
         return end if end is not None else n
 

@@ -1,0 +1,1113 @@
+"""Asyncio network transport: framed broadcast over real sockets.
+
+The paper's dissemination model is radio-like multicast — servers push,
+clients cannot request retransmission, and a late or lossy client's only
+recovery path is stored history.  This module carries that model onto
+real sockets:
+
+- :class:`StreamServer` accepts producer and subscriber connections,
+  stamps every published envelope with its journal sequence number,
+  coalesces deliveries into size/latency-bounded wire batches
+  (:mod:`repro.streams.netproto` frames), tag-compresses batches past a
+  threshold, and applies *bounded* per-connection backpressure — a slow
+  consumer can block the producer, shed frames with a counter, or be
+  disconnected, but never grows an unbounded queue;
+- :class:`StreamClient` negotiates a protocol version, subscribes with
+  optional per-``tsid`` routing predicates, catches up from the server's
+  :class:`~repro.fragments.persist.Journal` replay (CATCHUP), and feeds
+  received envelopes to an engine's raw-event ingest
+  (:meth:`~repro.core.engine.XCQLEngine.deliver`) — payload bytes arrive
+  exactly as published, even through compression, because the codec's
+  streaming transcoder rewrites tag names in place
+  (:meth:`~repro.streams.compression.TagCodec.compress_iter`).
+
+The server's front door reuses the predicate routing index: a BATCH is
+fanned out only to connections whose subscriptions can match the
+arriving envelope — same ``(stream, tsid)`` dependency test, same
+conservative supersede rule for non-event tags, and the same
+:func:`~repro.streams.scheduler._route_match` probe the in-process
+scheduler and the sharded coordinator run.
+
+Catch-up sequence (the no-retransmission model's only recovery path)::
+
+    client                          server
+      | HELLO {versions}              |
+      |------------------------------>|
+      |          HELLO {version, seq} |
+      |<------------------------------|
+      | SUBSCRIBE {subs, catchup}     |   catchup: hold live traffic
+      |------------------------------>|
+      | CATCHUP {after}               |
+      |------------------------------>|
+      |     BATCH* (journal replay)   |   batched + compressed like live
+      |<------------------------------|
+      |     ACK {catchup, replayed}   |
+      |<------------------------------|
+      |     BATCH* (held live, live)  |
+      |<------------------------------|
+
+Replay and live traffic may overlap at the boundary; entries carry their
+journal seq, so the client absorbs duplicates idempotently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.core.optimizer import RoutingPredicate
+from repro.dom.nodes import Element
+from repro.dom.parser import parse_fragment
+from repro.fragments.model import Filler, parse_filler
+from repro.fragments.persist import Journal
+from repro.fragments.tagstructure import TagStructure, TagType
+from repro.streams.compression import TagCodec
+from repro.streams import netproto as proto
+from repro.streams.netproto import FrameDecoder, ProtocolError
+from repro.streams.scheduler import _route_match
+from repro.streams.transport import FILLER, TAG_STRUCTURE, Message, peek_filler
+
+__all__ = [
+    "StreamServer",
+    "StreamClient",
+    "Subscription",
+    "BLOCK",
+    "DROP",
+    "DISCONNECT",
+]
+
+#: Slow-consumer policies (what happens when a subscriber's bounded send
+#: queue is full at flush time).
+BLOCK = "block"  # the producer's publish() awaits the queue slot
+DROP = "drop"  # the batch is shed; ``dropped_frames`` counts it
+DISCONNECT = "disconnect"  # the connection is closed
+
+_POLICIES = frozenset({BLOCK, DROP, DISCONNECT})
+
+_READ_CHUNK = 65536
+_COMPRESS_SLICE = 4096
+
+
+def _slices(text: str, size: int = _COMPRESS_SLICE):
+    return (text[i : i + size] for i in range(0, len(text), size))
+
+
+def _parse_envelope(payload: str) -> Filler:
+    nodes = [n for n in parse_fragment(payload) if isinstance(n, Element)]
+    if len(nodes) != 1:
+        raise ValueError("expected a single <filler> element")
+    return parse_filler(nodes[0])
+
+
+# -- subscriptions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One connection's interest: a stream, optionally narrowed.
+
+    ``tsid`` limits delivery to envelopes of one Tag Structure node
+    (``None`` = the whole stream); ``predicate`` is a compiled query's
+    :class:`~repro.core.optimizer.RoutingPredicate`, probed per envelope
+    at the server so frames that provably cannot match are never sent.
+    """
+
+    stream: str
+    tsid: Optional[int] = None
+    predicate: Optional[RoutingPredicate] = None
+
+    def to_header(self) -> dict:
+        entry: dict = {"stream": self.stream}
+        if self.tsid is not None:
+            entry["tsid"] = int(self.tsid)
+        if self.predicate is not None:
+            pred = self.predicate
+            entry["predicate"] = {
+                "tuple_tag": pred.tuple_tag,
+                "path": list(pred.path),
+                "attribute": pred.attribute,
+                "text_only": pred.text_only,
+                "op": pred.op,
+                "value": pred.value,
+                "numeric": pred.numeric,
+            }
+        return entry
+
+    @classmethod
+    def from_header(cls, entry: dict) -> "Subscription":
+        stream = entry.get("stream")
+        if not isinstance(stream, str) or not stream:
+            raise ProtocolError("subscription without a stream name")
+        tsid = entry.get("tsid")
+        predicate = None
+        raw = entry.get("predicate")
+        if raw is not None:
+            try:
+                predicate = RoutingPredicate(
+                    tuple_tag=raw["tuple_tag"],
+                    path=tuple(raw["path"]),
+                    attribute=raw.get("attribute"),
+                    text_only=bool(raw.get("text_only")),
+                    op=raw["op"],
+                    value=raw["value"],
+                    numeric=bool(raw.get("numeric")),
+                )
+            except (KeyError, TypeError) as exc:
+                raise ProtocolError(f"malformed routing predicate: {exc}") from exc
+        return cls(stream, None if tsid is None else int(tsid), predicate)
+
+
+# -- fan-out cache ------------------------------------------------------------------
+
+
+class _FanoutCache:
+    """Share per-message work across a broadcast's N connections.
+
+    Fan-out repeats identical work per subscriber: the same entries
+    compress to the same bytes and encode to the same BATCH frame no
+    matter which connection they are bound for.  Both memos are keyed by
+    journal seq — a server stamps each payload with exactly one seq, so
+    the key is a content key.  Entries without a real seq (producer FEED
+    frames use 0) are never cached.  Both maps are capacity-capped and
+    cleared wholesale on overflow: the hit window is one burst wide, so
+    eviction precision is not worth bookkeeping on the hot path.
+    """
+
+    _CAP = 256
+
+    def __init__(self) -> None:
+        self._frames: dict = {}  # (stream, kind, compressed, seqs) -> frame
+        self._payloads: dict = {}  # (stream, seq) -> compressed payload
+
+    def frame(self, key: tuple) -> Optional[bytes]:
+        return self._frames.get(key)
+
+    def store_frame(self, key: tuple, frame: bytes) -> None:
+        if len(self._frames) >= self._CAP:
+            self._frames.clear()
+        self._frames[key] = frame
+
+    def compressed_payload(self, stream: str, seq: int, payload: str, codec: TagCodec) -> str:
+        if seq <= 0:
+            return "".join(codec.compress_iter(_slices(payload)))
+        key = (stream, seq)
+        hit = self._payloads.get(key)
+        if hit is None:
+            hit = "".join(codec.compress_iter(_slices(payload)))
+            if len(self._payloads) >= self._CAP:
+                self._payloads.clear()
+            self._payloads[key] = hit
+        return hit
+
+
+# -- per-connection outbox ----------------------------------------------------------
+
+
+class _Outbox:
+    """A connection's batcher plus its bounded send queue.
+
+    Envelopes accumulate until ``max_batch_bytes`` of payload or the
+    ``max_delay_ms`` deadline — whichever comes first — then travel as
+    one BATCH frame.  A stream or kind change flushes immediately, so
+    frames never interleave messages and publish order is preserved.
+    The queue holds *encoded frames* and is bounded; overflow behavior
+    is the slow-consumer policy.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        *,
+        max_batch_bytes: int,
+        max_delay_ms: float,
+        compress_threshold: Optional[int],
+        queue_frames: int,
+        policy: str,
+        codec_of: Callable[[str], Optional[TagCodec]],
+        on_overflow: Callable[[], None],
+        cache: Optional[_FanoutCache] = None,
+    ):
+        self._writer = writer
+        self._cache = cache
+        self.max_batch_bytes = int(max_batch_bytes)
+        self.max_delay_ms = float(max_delay_ms)
+        self.compress_threshold = compress_threshold
+        self.policy = policy
+        self._codec_of = codec_of
+        self._on_overflow = on_overflow
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=int(queue_frames))
+        self._lock = asyncio.Lock()
+        self._pending: list = []  # (seq, payload) entries
+        self._pending_bytes = 0
+        self._stream: Optional[str] = None
+        self._kind: Optional[str] = None
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._timer_task: Optional[asyncio.Task] = None
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.batches = 0
+        self.compressed_batches = 0
+        self.dropped_frames = 0
+        self.dropped_entries = 0
+        self.closed = False
+
+    # enqueue_nowait return codes: the caller owes no await, a flush()
+    # await, or the full (awaited) enqueue path.
+    APPENDED = 0
+    FLUSH_DUE = 1
+    BOUNDARY = 2
+
+    def enqueue_nowait(self, seq: int, message: Message) -> int:
+        """Batcher append without coroutine overhead (the fan-out hot path).
+
+        Mutating ``_pending`` without the lock is safe because nothing
+        here can yield; the lock only serializes the flushes themselves.
+        Returns ``APPENDED`` (done), ``FLUSH_DUE`` (appended, batch full
+        — the caller must ``await flush()``), or ``BOUNDARY`` (NOT
+        appended: a stream/kind change must flush the previous batch
+        first — the caller must ``await enqueue(...)``).
+        """
+        if self._pending and (
+            message.stream != self._stream or message.kind != self._kind
+        ):
+            return self.BOUNDARY
+        self._stream = message.stream
+        self._kind = message.kind
+        self._pending.append((seq, message.payload))
+        self._pending_bytes += message.wire_size
+        if self._pending_bytes >= self.max_batch_bytes:
+            return self.FLUSH_DUE
+        if self._timer is None:
+            loop = asyncio.get_running_loop()
+            self._timer = loop.call_later(
+                self.max_delay_ms / 1000.0, self._deadline
+            )
+        return self.APPENDED
+
+    async def enqueue(self, seq: int, message: Message) -> None:
+        while True:
+            state = self.enqueue_nowait(seq, message)
+            if state == self.APPENDED:
+                return
+            if state == self.FLUSH_DUE:
+                await self.flush()
+                return
+            await self.flush()  # boundary: drain, then re-try the append
+
+    def _deadline(self) -> None:
+        self._timer = None
+        self._timer_task = asyncio.get_running_loop().create_task(self.flush())
+
+    async def flush(self) -> None:
+        async with self._lock:
+            await self._flush_locked()
+
+    async def _flush_locked(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending or self.closed:
+            self._pending = []
+            self._pending_bytes = 0
+            return
+        entries = self._pending
+        stream, kind = self._stream, self._kind
+        size = self._pending_bytes
+        self._pending = []
+        self._pending_bytes = 0
+        compress = (
+            self.compress_threshold is not None
+            and kind == FILLER
+            and size > self.compress_threshold
+            and self._codec_of(stream) is not None
+        )
+        if compress:
+            self.compressed_batches += 1
+        entry_count = len(entries)
+        # During a broadcast every matching connection flushes the same
+        # entries, so the encoded frame (and each compressed payload) is
+        # computed once and shared via the fan-out cache.
+        key = None
+        frame = None
+        if self._cache is not None:
+            key = (stream, kind, compress, tuple(seq for seq, _ in entries))
+            frame = self._cache.frame(key)
+        if frame is None:
+            if compress:
+                codec = self._codec_of(stream)
+                if self._cache is not None:
+                    entries = [
+                        (seq, self._cache.compressed_payload(stream, seq, payload, codec))
+                        for seq, payload in entries
+                    ]
+                else:
+                    entries = [
+                        (seq, "".join(codec.compress_iter(_slices(payload))))
+                        for seq, payload in entries
+                    ]
+            frame = proto.encode_batch(proto.BATCH, stream, kind, entries, compress)
+            if key is not None:
+                self._cache.store_frame(key, frame)
+        self.batches += 1
+        await self._put(frame, entry_count)
+
+    async def put_control(self, frame: bytes) -> None:
+        """Send a control frame, flushing batched entries first (ordering)."""
+        async with self._lock:
+            await self._flush_locked()
+            await self._put(frame, 0)
+
+    async def _put(self, frame: bytes, entry_count: int) -> None:
+        if self.closed:
+            return
+        if self.policy == BLOCK:
+            await self._queue.put(frame)
+            return
+        try:
+            self._queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            if self.policy == DROP:
+                self.dropped_frames += 1
+                self.dropped_entries += entry_count
+            else:  # DISCONNECT
+                self.closed = True
+                self._on_overflow()
+
+    async def run(self) -> None:
+        """The connection's writer loop (one task per connection)."""
+        try:
+            while True:
+                frame = await self._queue.get()
+                if frame is None:
+                    break
+                self._writer.write(frame)
+                await self._writer.drain()
+                self.frames_sent += 1
+                self.bytes_sent += len(frame)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    def stop(self) -> None:
+        self.closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        # Unblock the writer loop; drop anything still queued.
+        while not self._queue.empty():
+            try:
+                self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+        try:
+            self._queue.put_nowait(None)
+        except asyncio.QueueFull:
+            pass
+
+
+class _Connection:
+    """Server-side per-connection state."""
+
+    def __init__(self, peer: str, outbox: _Outbox):
+        self.peer = peer
+        self.outbox = outbox
+        self.decoder: Optional[FrameDecoder] = None
+        self.version: Optional[int] = None
+        self.subscriptions: list = []
+        self.live = False  # delivering live traffic (post catch-up)
+        self.hold: deque = deque()  # (seq, Message) held during catch-up
+        self.acked = 0
+        self.writer_task: Optional[asyncio.Task] = None
+        self.transport_writer: Optional[asyncio.StreamWriter] = None
+
+    def subscribes_stream(self, stream: str) -> bool:
+        return any(sub.stream == stream for sub in self.subscriptions)
+
+
+# -- server -----------------------------------------------------------------------
+
+
+class StreamServer:
+    """The broadcast side: journal-stamped, routed, batched fan-out.
+
+    ``journal`` makes published messages durable and is the catch-up
+    source; without one, CATCHUP replays nothing (the paper's pure
+    no-retransmission radio).  ``engine`` is optional — when attached,
+    every published message is also ingested locally
+    (:meth:`XCQLEngine.deliver`), which is how ``repro-xcql serve``
+    answers standing queries while broadcasting.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        journal: Optional[Journal] = None,
+        engine=None,
+        max_batch_bytes: int = 64 * 1024,
+        max_delay_ms: float = 5.0,
+        compress_threshold: Optional[int] = 64 * 1024,
+        queue_frames: int = 64,
+        slow_policy: str = BLOCK,
+        max_frame_bytes: int = proto.DEFAULT_MAX_FRAME,
+    ):
+        if slow_policy not in _POLICIES:
+            raise ValueError(f"unknown slow-consumer policy {slow_policy!r}")
+        self.host = host
+        self._requested_port = port
+        self.journal = journal
+        self.engine = engine
+        self.max_batch_bytes = int(max_batch_bytes)
+        self.max_delay_ms = float(max_delay_ms)
+        self.compress_threshold = compress_threshold
+        self.queue_frames = int(queue_frames)
+        self.slow_policy = slow_policy
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conns: list[_Connection] = []
+        self._fanout_cache = _FanoutCache()
+        self._structures: dict[str, TagStructure] = {}
+        self._codecs: dict[str, TagCodec] = {}
+        self._structure_records: dict[str, tuple[int, Message]] = {}
+        self._tag_types: dict[tuple[str, int], Optional[TagType]] = {}
+        # (stream, filler_id) -> published version count, for the
+        # conservative supersede wake (mirrors the sharded front door).
+        self._version_counts: dict[tuple[str, int], int] = {}
+        self._seq = journal.last_seq if journal is not None else 0
+        # Counters (see stats()).
+        self.published = 0
+        self.fanned_out = 0
+        self.routing_probes = 0
+        self.routing_skips = 0
+        self.fed_entries = 0
+        self.replayed_entries = 0
+        self.disconnected_slow = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.journal is not None:
+            self._bootstrap_structures()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+
+    def _bootstrap_structures(self) -> None:
+        """Recover stream schemas (and codecs) from the journal."""
+        for seq, message in self.journal.read_indexed():
+            if message.kind == TAG_STRUCTURE:
+                self._register_structure(seq, message)
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def seq(self) -> int:
+        """The sequence number of the most recently published message."""
+        return self._seq
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._conns):
+            self._close_conn(conn)
+        await asyncio.sleep(0)
+
+    def _close_conn(self, conn: _Connection) -> None:
+        if conn in self._conns:
+            self._conns.remove(conn)
+        conn.outbox.stop()
+        if conn.transport_writer is not None:
+            try:
+                conn.transport_writer.close()
+            except RuntimeError:
+                pass
+
+    # -- publishing -------------------------------------------------------------
+
+    async def publish(self, message: Message) -> int:
+        """Journal, stamp, and fan one message out; returns its seq.
+
+        The hot path: one journal append, one cheap envelope peek, then
+        a routed enqueue per *matching* live connection — subscribers
+        whose subscriptions provably cannot match never see a frame.
+        """
+        if self.journal is not None:
+            self.journal.record(message)
+        self._seq += 1
+        seq = self._seq
+        self.published += 1
+        supersede = False
+        peeked = None
+        if message.kind == TAG_STRUCTURE:
+            self._register_structure(seq, message)
+        elif message.kind == FILLER:
+            peeked = peek_filler(message.payload)
+            key = (message.stream, peeked[0])
+            supersede = self._version_counts.get(key, 0) > 0
+            self._version_counts[key] = self._version_counts.get(key, 0) + 1
+        if self.engine is not None:
+            self.engine.deliver(message)
+        probe_cache: dict = {}
+        # Fan-out hot loop: one entry append per matching connection.
+        # The batcher fields are touched inline (same-module access) —
+        # per-conn method calls measurably dominate broadcast fan-out at
+        # thousands of subscribers.  Safe for the same reason
+        # enqueue_nowait is: the fast path cannot yield.
+        entry = (seq, message.payload)
+        size = message.wire_size
+        stream, kind = message.stream, message.kind
+        fanned = 0
+        for conn in list(self._conns):
+            if conn.version is None or not conn.subscriptions:
+                continue
+            if not self._should_send(conn, message, peeked, supersede, probe_cache):
+                self.routing_skips += 1
+                continue
+            fanned += 1
+            if not conn.live:
+                conn.hold.append((seq, message))
+                continue
+            outbox = conn.outbox
+            if outbox._pending and (
+                outbox._stream != stream or outbox._kind != kind
+            ):
+                await outbox.enqueue(seq, message)
+                continue
+            outbox._stream = stream
+            outbox._kind = kind
+            outbox._pending.append(entry)
+            outbox._pending_bytes += size
+            if outbox._pending_bytes >= outbox.max_batch_bytes:
+                await outbox.flush()
+            elif outbox._timer is None:
+                loop = asyncio.get_running_loop()
+                outbox._timer = loop.call_later(
+                    outbox.max_delay_ms / 1000.0, outbox._deadline
+                )
+        self.fanned_out += fanned
+        return seq
+
+    def publish_threadsafe(self, message: Message, loop: asyncio.AbstractEventLoop):
+        """Sync-callable publish for :meth:`Channel.pipe_to` bridging."""
+        return asyncio.run_coroutine_threadsafe(self.publish(message), loop)
+
+    def _register_structure(self, seq: int, message: Message) -> None:
+        structure = TagStructure.from_xml(message.payload)
+        self._structures[message.stream] = structure
+        self._codecs[message.stream] = TagCodec(structure)
+        self._structure_records[message.stream] = (seq, message)
+        for tag in structure.all_tags():
+            self._tag_types[(message.stream, tag.tsid)] = tag.type
+
+    def _codec_of(self, stream: str) -> Optional[TagCodec]:
+        return self._codecs.get(stream)
+
+    def _should_send(
+        self,
+        conn: _Connection,
+        message: Message,
+        peeked,
+        supersede: bool,
+        probe_cache: dict,
+    ) -> bool:
+        """The front door: can this envelope matter to this connection?
+
+        Mirrors the sharded coordinator's dispatch probe: tsid-narrowed
+        subscriptions are dependency-tested; predicate subscriptions are
+        probed with the routing index's filler probe under the same
+        conservative supersede rule for non-event tags.  Uncertainty
+        always sends.
+        """
+        if message.kind != FILLER:
+            return conn.subscribes_stream(message.stream)
+        filler_id, tsid, _holes = peeked
+        for sub in conn.subscriptions:
+            if sub.stream != message.stream:
+                continue
+            if sub.tsid is None:
+                return True
+            if sub.tsid != tsid:
+                continue
+            if sub.predicate is None:
+                return True
+            self.routing_probes += 1
+            tag_type = self._tag_types.get((message.stream, tsid))
+            if tag_type is not TagType.EVENT and supersede:
+                # A non-event fragment got another version: annotations
+                # of the previous version move regardless of the predicate.
+                return True
+            filler = probe_cache.get("filler")
+            if filler is None:
+                try:
+                    filler = _parse_envelope(message.payload)
+                except ValueError:
+                    return True  # undecidable — conservative wake
+                probe_cache["filler"] = filler
+            if _route_match(sub.predicate, filler, tag_type, probe_cache):
+                return True
+        return False
+
+    # -- connection handling ------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        outbox = _Outbox(
+            writer,
+            max_batch_bytes=self.max_batch_bytes,
+            max_delay_ms=self.max_delay_ms,
+            compress_threshold=self.compress_threshold,
+            queue_frames=self.queue_frames,
+            policy=self.slow_policy,
+            codec_of=self._codec_of,
+            on_overflow=lambda: None,  # rebound below with the conn
+            cache=self._fanout_cache,
+        )
+        conn = _Connection(str(peername), outbox)
+        conn.transport_writer = writer
+        conn.decoder = FrameDecoder(self.max_frame_bytes)
+        outbox._on_overflow = lambda: self._overflow(conn)
+        self._conns.append(conn)
+        conn.writer_task = asyncio.get_running_loop().create_task(outbox.run())
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for frame in conn.decoder.feed(data):
+                    if not await self._process(conn, frame):
+                        return
+        except ProtocolError as exc:
+            await self._send_error(conn, "protocol-error", str(exc))
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._close_conn(conn)
+
+    def _overflow(self, conn: _Connection) -> None:
+        self.disconnected_slow += 1
+        self._close_conn(conn)
+
+    async def _send_error(self, conn: _Connection, code: str, detail: str) -> None:
+        try:
+            await conn.outbox.put_control(
+                proto.encode_control(proto.ERROR, code=code, detail=detail)
+            )
+            await asyncio.sleep(0)
+        except (ConnectionError, RuntimeError):
+            pass
+
+    async def _process(self, conn: _Connection, frame: proto.Frame) -> bool:
+        if conn.version is None:
+            if frame.type != proto.HELLO:
+                raise ProtocolError(
+                    f"expected HELLO, got {frame.name}"
+                )
+            version = proto.choose_version(frame.header.get("versions"))
+            if version is None:
+                await self._send_error(
+                    conn,
+                    "unsupported-version",
+                    f"server speaks {list(proto.PROTOCOL_VERSIONS)}",
+                )
+                return False
+            conn.version = version
+            await conn.outbox.put_control(
+                proto.encode_control(proto.HELLO, version=version, seq=self._seq)
+            )
+            return True
+        if frame.type == proto.SUBSCRIBE:
+            return await self._on_subscribe(conn, frame)
+        if frame.type == proto.CATCHUP:
+            return await self._on_catchup(conn, frame)
+        if frame.type == proto.FEED:
+            return await self._on_feed(conn, frame)
+        if frame.type == proto.ACK:
+            conn.acked = int(frame.header.get("seq", conn.acked) or 0)
+            return True
+        if frame.type == proto.BYE:
+            return False
+        raise ProtocolError(f"unexpected {frame.name} frame")
+
+    async def _on_subscribe(self, conn: _Connection, frame: proto.Frame) -> bool:
+        entries = frame.header.get("subscriptions")
+        if not isinstance(entries, list):
+            raise ProtocolError("SUBSCRIBE without a subscriptions list")
+        conn.subscriptions = [Subscription.from_header(e) for e in entries]
+        wants_catchup = bool(frame.header.get("catchup"))
+        conn.live = False
+        if not wants_catchup:
+            # A fresh subscriber still needs the current schemas to
+            # decode compressed batches and register stores.
+            for stream in sorted({s.stream for s in conn.subscriptions}):
+                record = self._structure_records.get(stream)
+                if record is not None:
+                    await conn.outbox.enqueue(record[0], record[1])
+            conn.live = True
+        await conn.outbox.put_control(
+            proto.encode_control(
+                proto.ACK, subscribed=len(conn.subscriptions), seq=self._seq
+            )
+        )
+        return True
+
+    async def _on_catchup(self, conn: _Connection, frame: proto.Frame) -> bool:
+        after = int(frame.header.get("after", 0) or 0)
+        replayed = 0
+        max_seq = after
+        if self.journal is not None:
+            for seq, message in self.journal.read_indexed(after):
+                if not self._replay_match(conn, message):
+                    continue
+                await conn.outbox.enqueue(seq, message)
+                replayed += 1
+                max_seq = seq
+        self.replayed_entries += replayed
+        # Drain the live traffic held during replay, skipping overlap.
+        while conn.hold:
+            seq, message = conn.hold.popleft()
+            if seq <= max_seq:
+                continue
+            await conn.outbox.enqueue(seq, message)
+        conn.live = True
+        await conn.outbox.put_control(
+            proto.encode_control(
+                proto.ACK, catchup=True, replayed=replayed, seq=self._seq
+            )
+        )
+        return True
+
+    def _replay_match(self, conn: _Connection, message: Message) -> bool:
+        """Tsid-level replay filter (predicates replay conservatively).
+
+        Supersede state cannot be reconstructed mid-journal, so replay
+        sends every envelope a predicate subscription *might* match —
+        the probe only narrows live traffic.
+        """
+        if message.kind != FILLER:
+            return conn.subscribes_stream(message.stream)
+        for sub in conn.subscriptions:
+            if sub.stream != message.stream:
+                continue
+            if sub.tsid is None:
+                return True
+            try:
+                _fid, tsid, _holes = peek_filler(message.payload)
+            except ValueError:
+                return True
+            if sub.tsid == tsid:
+                return True
+        return False
+
+    async def _on_feed(self, conn: _Connection, frame: proto.Frame) -> bool:
+        """Ingest a producer's envelope batch and rebroadcast it."""
+        payloads = [payload for _seq, payload in frame.entries]
+        if frame.compressed:
+            codec = self._codecs.get(frame.stream)
+            if codec is None:
+                raise ProtocolError(
+                    f"compressed FEED for unknown stream {frame.stream!r}"
+                )
+            payloads = [
+                "".join(codec.decompress_iter(_slices(payload)))
+                for payload in payloads
+            ]
+        for payload in payloads:
+            await self.publish(Message(frame.kind, frame.stream, payload))
+        self.fed_entries += len(payloads)
+        return True
+
+    # -- introspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Server counters in the sharded-engine stats shape."""
+        return {
+            "seq": self._seq,
+            "connections": len(self._conns),
+            "published": self.published,
+            "fanned_out": self.fanned_out,
+            "routing_probes": self.routing_probes,
+            "routing_skips": self.routing_skips,
+            "fed_entries": self.fed_entries,
+            "replayed_entries": self.replayed_entries,
+            "disconnected_slow": self.disconnected_slow,
+            "dropped_frames": sum(c.outbox.dropped_frames for c in self._conns),
+            "queued_frames": sum(c.outbox._queue.qsize() for c in self._conns),
+        }
+
+
+# -- client -----------------------------------------------------------------------
+
+
+class StreamClient:
+    """The subscriber/producer side of the framed protocol.
+
+    Received envelopes are applied idempotently by journal seq (a
+    replay/live overlap or a server repeat never double-ingests) and
+    handed to ``engine.deliver`` and/or the ``on_message`` callback with
+    byte-exact payloads.  ``last_seen`` survives :meth:`close`, so a
+    reconnecting client passes it to :meth:`catchup` and resumes where
+    it died — the paper's stored-history recovery, not retransmission.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        engine=None,
+        on_message: Optional[Callable[[Message], None]] = None,
+        max_frame_bytes: int = proto.DEFAULT_MAX_FRAME,
+        feed_compress_threshold: Optional[int] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.engine = engine
+        self.on_message = on_message
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.feed_compress_threshold = feed_compress_threshold
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._decoder = FrameDecoder(self.max_frame_bytes)
+        self._codecs: dict[str, TagCodec] = {}
+        self._acks: asyncio.Queue = asyncio.Queue()
+        self.version: Optional[int] = None
+        self.server_seq = 0
+        self.last_seen = 0
+        self._seen: set[int] = set()
+        self.received = 0
+        self.duplicates = 0
+        self.batches = 0
+        self.compressed_batches = 0
+        self.error: Optional[dict] = None
+        self.closed = asyncio.Event()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def connect(self) -> int:
+        """Open the socket and negotiate a protocol version."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._writer.write(
+            proto.encode_control(
+                proto.HELLO, versions=list(proto.PROTOCOL_VERSIONS)
+            )
+        )
+        await self._writer.drain()
+        frame = await self._read_frame()
+        if frame is None:
+            raise ProtocolError("connection closed during handshake")
+        if frame.type == proto.ERROR:
+            raise ProtocolError(
+                f"server refused: {frame.header.get('code')} "
+                f"({frame.header.get('detail')})"
+            )
+        if frame.type != proto.HELLO:
+            raise ProtocolError(f"expected HELLO, got {frame.name}")
+        self.version = int(frame.header.get("version", 0))
+        self.server_seq = int(frame.header.get("seq", 0) or 0)
+        self._reader_task = asyncio.get_running_loop().create_task(self._run())
+        return self.version
+
+    async def _read_frame(self) -> Optional[proto.Frame]:
+        """One frame, straight off the socket (handshake only)."""
+        while True:
+            data = await self._reader.read(_READ_CHUNK)
+            if not data:
+                return None
+            frames = self._decoder.feed(data)
+            if frames:
+                # Handshake: the server sends nothing else yet.
+                assert len(frames) == 1
+                return frames[0]
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.write(proto.encode_control(proto.BYE))
+                await self._writer.drain()
+            except ConnectionError:
+                pass
+            self._writer.close()
+        if self._reader_task is not None:
+            await asyncio.wait([self._reader_task], timeout=1.0)
+            self._reader_task.cancel()
+        self.closed.set()
+
+    # -- subscribing ------------------------------------------------------------
+
+    async def subscribe(
+        self, subscriptions: Iterable[Subscription], catchup: bool = False
+    ) -> dict:
+        """Register interest; with ``catchup=True`` live traffic is held
+        until :meth:`catchup` finishes replaying."""
+        self._send(
+            proto.encode_control(
+                proto.SUBSCRIBE,
+                subscriptions=[s.to_header() for s in subscriptions],
+                catchup=catchup,
+            )
+        )
+        await self._writer.drain()
+        return await self._await_ack()
+
+    async def catchup(self, after: Optional[int] = None) -> dict:
+        """Replay the server journal from ``after`` (default: resume)."""
+        self._send(
+            proto.encode_control(
+                proto.CATCHUP,
+                after=int(self.last_seen if after is None else after),
+            )
+        )
+        await self._writer.drain()
+        return await self._await_ack()
+
+    async def ack(self) -> None:
+        """Tell the server how far this client has applied."""
+        self._send(proto.encode_control(proto.ACK, seq=self.last_seen))
+        await self._writer.drain()
+
+    async def _await_ack(self) -> dict:
+        header = await self._acks.get()
+        return header
+
+    def _send(self, frame: bytes) -> None:
+        if self._writer is None:
+            raise ProtocolError("client is not connected")
+        self._writer.write(frame)
+
+    # -- producing --------------------------------------------------------------
+
+    async def feed(self, messages: Iterable[Message]) -> int:
+        """Publish messages through the server (the producer role).
+
+        Consecutive same-stream/kind messages ride one FEED frame;
+        filler runs past ``feed_compress_threshold`` are tag-compressed
+        when the client has seen the stream's schema.
+        """
+        run: list[Message] = []
+        count = 0
+
+        async def flush() -> None:
+            nonlocal run
+            if not run:
+                return
+            first = run[0]
+            entries = [(0, message.payload) for message in run]
+            compressed = False
+            threshold = self.feed_compress_threshold
+            codec = self._codecs.get(first.stream)
+            if (
+                threshold is not None
+                and first.kind == FILLER
+                and codec is not None
+                and sum(m.wire_size for m in run) > threshold
+            ):
+                entries = [
+                    (0, "".join(codec.compress_iter(_slices(p))))
+                    for _, p in entries
+                ]
+                compressed = True
+            self._send(
+                proto.encode_batch(
+                    proto.FEED, first.stream, first.kind, entries, compressed
+                )
+            )
+            run = []
+
+        for message in messages:
+            if message.kind == TAG_STRUCTURE:
+                self._learn_structure(message)
+            if run and (
+                message.stream != run[0].stream or message.kind != run[0].kind
+            ):
+                await flush()
+            run.append(message)
+            count += 1
+        await flush()
+        await self._writer.drain()
+        return count
+
+    # -- receiving --------------------------------------------------------------
+
+    async def _run(self) -> None:
+        try:
+            while True:
+                data = await self._reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for frame in self._decoder.feed(data):
+                    self._dispatch(frame)
+        except (ConnectionError, asyncio.CancelledError, ProtocolError) as exc:
+            if isinstance(exc, ProtocolError):
+                self.error = {"code": "protocol-error", "detail": str(exc)}
+        finally:
+            self.closed.set()
+
+    def _dispatch(self, frame: proto.Frame) -> None:
+        if frame.type == proto.BATCH:
+            self._apply_batch(frame)
+        elif frame.type == proto.ACK:
+            self._acks.put_nowait(frame.header)
+        elif frame.type == proto.ERROR:
+            self.error = frame.header
+        elif frame.type == proto.BYE:
+            pass
+        else:
+            raise ProtocolError(f"unexpected {frame.name} frame")
+
+    def _apply_batch(self, frame: proto.Frame) -> None:
+        self.batches += 1
+        entries = frame.entries
+        if frame.compressed:
+            self.compressed_batches += 1
+            codec = self._codecs.get(frame.stream)
+            if codec is None:
+                raise ProtocolError(
+                    f"compressed batch for unknown stream {frame.stream!r}"
+                )
+            entries = [
+                (seq, "".join(codec.decompress_iter(_slices(payload))))
+                for seq, payload in entries
+            ]
+        for seq, payload in entries:
+            if seq in self._seen:
+                self.duplicates += 1
+                continue
+            self._seen.add(seq)
+            if seq > self.last_seen:
+                self.last_seen = seq
+            message = Message(frame.kind, frame.stream, payload)
+            if message.kind == TAG_STRUCTURE:
+                self._learn_structure(message)
+            self.received += 1
+            if self.engine is not None:
+                self.engine.deliver(message)
+            if self.on_message is not None:
+                self.on_message(message)
+
+    def _learn_structure(self, message: Message) -> None:
+        self._codecs[message.stream] = TagCodec(
+            TagStructure.from_xml(message.payload)
+        )
+
+    def stats(self) -> dict:
+        return {
+            "version": self.version,
+            "last_seen": self.last_seen,
+            "received": self.received,
+            "duplicates": self.duplicates,
+            "batches": self.batches,
+            "compressed_batches": self.compressed_batches,
+            "frames_decoded": self._decoder.frames_decoded,
+            "bytes_decoded": self._decoder.bytes_decoded,
+        }

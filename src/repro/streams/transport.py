@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 import re
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable
 
 __all__ = ["Message", "Channel", "LossyChannel", "peek_filler"]
@@ -60,9 +61,15 @@ class Message:
     stream: str
     payload: str  # serialized XML
 
-    @property
+    @cached_property
     def wire_size(self) -> int:
-        """Payload size in bytes as transmitted."""
+        """Payload size in bytes as transmitted.
+
+        Computed once per message: the network batcher consults it on
+        every flush decision, and re-encoding a large payload each time
+        would dominate the batching loop.  (``cached_property`` stores
+        into ``__dict__`` directly, which works on a frozen dataclass.)
+        """
         return len(self.payload.encode("utf-8"))
 
 
@@ -91,6 +98,25 @@ class Channel:
     def _deliver(self, subscriber: Callable[[Message], None], message: Message) -> None:
         self.delivered += 1
         subscriber(message)
+
+    def pipe_to(self, publish: Callable[[Message], None]) -> Callable[[Message], None]:
+        """Bridge this channel into another publisher (e.g. a network server).
+
+        Subscribes ``publish`` — typically ``StreamServer.publish`` or
+        another channel's ``publish`` — and returns the callback so the
+        caller can later :meth:`unsubscribe` it.  This is the interop
+        shim between the in-process transport and :mod:`repro.streams.net`.
+        """
+        self.subscribe(publish)
+        return publish
+
+    def stats(self) -> dict:
+        """Counters in the same shape the sharded engine reports."""
+        return {
+            "published": self.published,
+            "delivered": self.delivered,
+            "subscribers": len(self._subscribers),
+        }
 
 
 class LossyChannel(Channel):
@@ -123,3 +149,10 @@ class LossyChannel(Channel):
         if self._rng.random() < self.duplicate_rate:
             self.duplicated += 1
             subscriber(message)
+
+    def stats(self) -> dict:
+        """Channel counters plus the loss/duplication tallies."""
+        stats = super().stats()
+        stats["dropped"] = self.dropped
+        stats["duplicated"] = self.duplicated
+        return stats

@@ -1,0 +1,805 @@
+"""The network transport: framing, batching, backpressure, catch-up.
+
+Differential coverage for :mod:`repro.streams.netproto` (pure wire
+layer) and :mod:`repro.streams.net` (asyncio server/client): every
+end-to-end scenario asserts payload *byte identity* against what was
+published, because the client feeds received text straight into the
+engine's raw-event ingest.  There is no pytest-asyncio in the image, so
+async scenarios run under ``asyncio.run`` inside sync tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.core import XCQLEngine
+from repro.core.optimizer import RoutingPredicate
+from repro.core.translator import TranslationError
+from repro.fragments.persist import Journal
+from repro.fragments.tagstructure import TagStructure
+from repro.streams import netproto as proto
+from repro.streams.compression import TagCodec
+from repro.streams.net import (
+    BLOCK,
+    DISCONNECT,
+    DROP,
+    StreamClient,
+    StreamServer,
+    Subscription,
+)
+from repro.streams.netproto import FrameDecoder, ProtocolError
+from repro.streams.transport import (
+    FILLER,
+    TAG_STRUCTURE,
+    Channel,
+    LossyChannel,
+    Message,
+    peek_filler,
+)
+from tests.conftest import CREDIT_TAG_STRUCTURE_XML
+
+TS_XML = (
+    '<stream:structure><tag type="snapshot" id="1" name="report">'
+    '<tag type="temporal" id="2" name="customer">'
+    '<tag type="snapshot" id="3" name="name"/>'
+    '<tag type="temporal" id="4" name="balance"/></tag>'
+    '<tag type="event" id="5" name="alert"/></tag></stream:structure>'
+)
+
+
+def filler_xml(i: int, balance: int = 100, tsid: int = 2) -> str:
+    day = (i % 27) + 1
+    if tsid == 5:
+        return (
+            f'<filler id="{i}" tsid="5" validTime="2004-01-{day:02d}">'
+            f"<alert>a{i}</alert></filler>"
+        )
+    return (
+        f'<filler id="{i}" tsid="2" validTime="2004-01-{day:02d}">'
+        f"<customer><name>c{i}</name><balance>{balance}</balance>"
+        "</customer></filler>"
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def wait_until(cond, timeout: float = 5.0) -> None:
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not cond():
+        if loop.time() > deadline:
+            raise AssertionError("condition not met before timeout")
+        await asyncio.sleep(0.01)
+
+
+async def start_server(tmp_path, **kw):
+    kw.setdefault("journal", Journal(os.path.join(tmp_path, "net.journal")))
+    kw.setdefault("max_delay_ms", 2.0)
+    server = StreamServer(**kw)
+    await server.start()
+    return server
+
+
+# -- wire layer -------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_control_roundtrip(self):
+        frame = proto.encode_control(proto.HELLO, versions=[1], token="x")
+        decoder = FrameDecoder()
+        (decoded,) = decoder.feed(frame)
+        assert decoded.type == proto.HELLO
+        assert decoded.name == "HELLO"
+        assert decoded.header == {"versions": [1], "token": "x"}
+
+    def test_batch_roundtrip(self):
+        entries = [(1, filler_xml(1)), (2, filler_xml(2))]
+        frame = proto.encode_batch(proto.BATCH, "credit", FILLER, entries)
+        (decoded,) = FrameDecoder().feed(frame)
+        assert decoded.type == proto.BATCH
+        assert decoded.stream == "credit"
+        assert decoded.kind == FILLER
+        assert not decoded.compressed
+        assert decoded.entries == entries
+
+    def test_batch_multibyte_payloads(self):
+        text = '<filler id="1" tsid="2"><customer><name>Ünïcødé — 漢字</name></customer></filler>'
+        frame = proto.encode_batch(proto.BATCH, "crédit–漢", FILLER, [(7, text)])
+        (decoded,) = FrameDecoder().feed(frame)
+        assert decoded.stream == "crédit–漢"
+        assert decoded.entries == [(7, text)]
+
+    def test_chunk_boundaries_anywhere(self):
+        frames = (
+            proto.encode_control(proto.HELLO, versions=[1])
+            + proto.encode_batch(
+                proto.FEED, "s", TAG_STRUCTURE, [(0, TS_XML)]
+            )
+            + proto.encode_batch(
+                proto.BATCH, "s", FILLER, [(i, filler_xml(i)) for i in range(5)]
+            )
+            + proto.encode_control(proto.BYE)
+        )
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(frames)):  # one byte at a time
+            out.extend(decoder.feed(frames[i : i + 1]))
+        assert [f.type for f in out] == [
+            proto.HELLO,
+            proto.FEED,
+            proto.BATCH,
+            proto.BYE,
+        ]
+        assert out[2].entries[4] == (4, filler_xml(4))
+        assert decoder.pending_bytes == 0
+        assert decoder.frames_decoded == 4
+
+    def test_oversized_frame_rejected_before_buffering(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        import struct
+
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decoder.feed(struct.pack(">I", 1 << 20))
+
+    def test_unknown_frame_type(self):
+        import struct
+
+        body = bytes([99]) + b"{}"
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            FrameDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_truncated_batch_entry(self):
+        frame = bytearray(
+            proto.encode_batch(proto.BATCH, "s", FILLER, [(1, "x" * 40)])
+        )
+        # Shrink the body but keep the advertised entry length.
+        clipped = frame[: len(frame) - 10]
+        import struct
+
+        clipped[0:4] = struct.pack(">I", len(clipped) - 4)
+        with pytest.raises(ProtocolError, match="truncated"):
+            FrameDecoder().feed(bytes(clipped))
+
+    def test_version_negotiation(self):
+        assert proto.choose_version([1]) == 1
+        assert proto.choose_version([1, 2, 99]) == 1
+        assert proto.choose_version([99]) is None
+        assert proto.choose_version([]) is None
+        assert proto.choose_version(None) is None
+        assert proto.choose_version(["junk", 1.0]) == 1
+
+
+class TestStreamingCodec:
+    def test_compress_roundtrip_byte_exact(self):
+        codec = TagCodec(TagStructure.from_xml(TS_XML))
+        text = (
+            '<filler id="7" tsid="2" validTime="2004-02-01">'
+            '<customer note="a&gt;b"><name>Ünïcødé — 漢字</name>'
+            "<balance>42</balance><!-- c --><unknown/></customer></filler>"
+        )
+        for size in (1, 3, 17, 4096):
+            chunks = [text[i : i + size] for i in range(0, len(text), size)]
+            encoded = "".join(codec.compress_iter(chunks))
+            assert "customer" not in encoded  # names actually rewritten
+            back = [encoded[i : i + size] for i in range(0, len(encoded), size)]
+            assert "".join(codec.decompress_iter(back)) == text
+
+    def test_compress_iter_chunking_invariant(self):
+        codec = TagCodec(TagStructure.from_xml(TS_XML))
+        text = filler_xml(3) * 5
+        whole = "".join(codec.compress_iter([text]))
+        tiny = "".join(
+            codec.compress_iter([text[i : i + 2] for i in range(0, len(text), 2)])
+        )
+        assert whole == tiny
+
+
+# -- satellite units --------------------------------------------------------------
+
+
+class TestTransportSatellites:
+    def test_wire_size_memoized(self):
+        message = Message(FILLER, "s", "é" * 1000)
+        assert message.wire_size == 2000
+        assert message.__dict__["wire_size"] == 2000  # cached on the instance
+        assert message.wire_size == 2000
+
+    def test_channel_stats(self):
+        channel = Channel()
+        channel.subscribe(lambda m: None)
+        channel.publish(Message(FILLER, "s", "<x/>"))
+        assert channel.stats() == {
+            "published": 1,
+            "delivered": 1,
+            "subscribers": 1,
+        }
+
+    def test_lossy_channel_stats_counters(self):
+        channel = LossyChannel(loss_rate=0.5, duplicate_rate=0.5, seed=7)
+        got = []
+        channel.subscribe(got.append)
+        for i in range(200):
+            channel.publish(Message(FILLER, "s", f"<f{i}/>"))
+        stats = channel.stats()
+        assert stats["dropped"] == channel.dropped > 0
+        assert stats["duplicated"] == channel.duplicated > 0
+        assert stats["delivered"] == 200 - stats["dropped"]
+        assert len(got) == stats["delivered"] + stats["duplicated"]
+
+    def test_pipe_to_bridges_channels(self):
+        upstream, downstream = Channel(), Channel()
+        got = []
+        downstream.subscribe(got.append)
+        hook = upstream.pipe_to(downstream.publish)
+        upstream.publish(Message(FILLER, "s", "<a/>"))
+        upstream.unsubscribe(hook)
+        upstream.publish(Message(FILLER, "s", "<b/>"))
+        assert [m.payload for m in got] == ["<a/>"]
+
+    def test_peek_filler_multibyte_text(self):
+        payload = (
+            '<filler id="12" tsid="2" validTime="2004-01-01">'
+            "<customer><name>Ünïcødé — 漢字 𝄞</name>"
+            '<hole id="99"/></customer></filler>'
+        )
+        assert peek_filler(payload) == (12, 2, [99])
+
+    def test_peek_filler_attribute_value_with_gt(self):
+        # escape_attribute leaves ">" alone, so payload attributes
+        # containing ">" legitimately appear on the wire; the envelope
+        # peek must not mistake them for the end of a tag.
+        payload = (
+            '<filler id="3" tsid="2" validTime="2004-01-01">'
+            '<customer note="a&gt;b" cmp="x > y"><name>n</name>'
+            '<hole id="4"/></customer></filler>'
+        )
+        assert peek_filler(payload) == (3, 2, [4])
+
+
+class TestJournalIndexed:
+    def test_read_indexed_matches_read(self, tmp_path):
+        journal = Journal(tmp_path / "j.log")
+        journal.record(Message(TAG_STRUCTURE, "credit", TS_XML))
+        for i in range(4):
+            journal.record(Message(FILLER, "credit", filler_xml(i)))
+        plain = list(journal.read())
+        indexed = list(journal.read_indexed())
+        assert [seq for seq, _ in indexed] == [1, 2, 3, 4, 5]
+        assert [m.kind for _, m in indexed] == [m.kind for m in plain]
+        assert journal.last_seq == 5
+
+    def test_read_indexed_is_byte_exact(self, tmp_path):
+        # read() reparses and reserializes; read_indexed must return the
+        # exact wire text (the raw-ingest path depends on it).
+        journal = Journal(tmp_path / "j.log")
+        payload = (
+            '<filler id="1" tsid="2" validTime="2004-01-01">'
+            '<customer note="a&gt;b"><name>漢字</name></customer></filler>'
+        )
+        journal.record(Message(FILLER, "credit", payload))
+        ((seq, message),) = list(journal.read_indexed())
+        assert seq == 1
+        assert message.payload == payload
+
+    def test_read_indexed_skips_before_parsing(self, tmp_path):
+        journal = Journal(tmp_path / "j.log")
+        for i in range(10):
+            journal.record(Message(FILLER, "credit", filler_xml(i)))
+        tail = list(journal.read_indexed(after=7))
+        assert [seq for seq, _ in tail] == [8, 9, 10]
+        assert tail[0][1].payload == filler_xml(7)
+
+    def test_missing_journal(self, tmp_path):
+        journal = Journal(tmp_path / "absent.log")
+        assert list(journal.read_indexed()) == []
+        assert journal.last_seq == 0
+
+    def test_corrupt_record(self, tmp_path):
+        path = tmp_path / "j.log"
+        path.write_text("not a journal line\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            list(Journal(path).read_indexed())
+
+
+class TestEngineDeliver:
+    def test_structure_then_filler(self):
+        engine = XCQLEngine()
+        assert engine.deliver(Message(TAG_STRUCTURE, "credit", TS_XML)) == 0
+        assert "credit" in engine.stores
+        assert engine.deliver(Message(FILLER, "credit", filler_xml(1))) == 1
+        assert engine.deliver(Message(FILLER, "credit", filler_xml(1))) == 0
+        assert engine.stores["credit"].filler_count == 1
+
+    def test_filler_before_structure_raises(self):
+        engine = XCQLEngine()
+        with pytest.raises(TranslationError, match="unknown stream"):
+            engine.deliver(Message(FILLER, "ghost", filler_xml(1)))
+
+    def test_unknown_kind(self):
+        engine = XCQLEngine()
+        with pytest.raises(ValueError, match="unknown message kind"):
+            engine.deliver(Message("noise", "credit", "<x/>"))
+
+
+# -- end-to-end scenarios -----------------------------------------------------------
+
+
+class TestEndToEnd:
+    def test_live_delivery_multi_client_convergence(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            engines = [XCQLEngine(), XCQLEngine()]
+            clients = []
+            for engine in engines:
+                client = StreamClient("127.0.0.1", server.port, engine=engine)
+                assert await client.connect() == 1
+                await asyncio.wait_for(
+                    client.subscribe([Subscription("credit")]), 5
+                )
+                clients.append(client)
+            await server.publish(Message(TAG_STRUCTURE, "credit", TS_XML))
+            for i in range(20):
+                await server.publish(Message(FILLER, "credit", filler_xml(i)))
+            await wait_until(lambda: all(c.received == 21 for c in clients))
+            for engine in engines:
+                store = engine.stores["credit"]
+                assert store.filler_count == 20
+            # Byte-identical arrival everywhere, applied through feed_raw.
+            assert [
+                f.to_xml() for f in engines[0].stores["credit"].fillers_since(0)
+            ] == [
+                f.to_xml() for f in engines[1].stores["credit"].fillers_since(0)
+            ]
+            for client in clients:
+                await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_batching_coalesces_frames(self, tmp_path):
+        async def scenario():
+            server = await start_server(
+                tmp_path, max_batch_bytes=1 << 20, max_delay_ms=50.0
+            )
+            got = []
+            client = StreamClient("127.0.0.1", server.port, on_message=got.append)
+            await client.connect()
+            await asyncio.wait_for(client.subscribe([Subscription("s")]), 5)
+            await server.publish(Message(TAG_STRUCTURE, "s", TS_XML))
+            for i in range(100):
+                await server.publish(Message(FILLER, "s", filler_xml(i)))
+            await wait_until(lambda: len(got) == 101)
+            # 100 fillers crossed the wire in a handful of frames, not 100.
+            assert client.batches <= 10
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_flush_on_size_bound(self, tmp_path):
+        async def scenario():
+            # A tiny byte bound forces a flush per envelope even though
+            # the delay window would have coalesced them.
+            server = await start_server(
+                tmp_path, max_batch_bytes=10, max_delay_ms=1000.0
+            )
+            got = []
+            client = StreamClient("127.0.0.1", server.port, on_message=got.append)
+            await client.connect()
+            await asyncio.wait_for(client.subscribe([Subscription("s")]), 5)
+            for i in range(5):
+                await server.publish(Message(FILLER, "s", filler_xml(i)))
+            await wait_until(lambda: len(got) == 5, timeout=3.0)
+            assert client.batches == 5
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_compressed_batches_are_byte_exact(self, tmp_path):
+        async def scenario():
+            server = await start_server(
+                tmp_path,
+                compress_threshold=64,  # force compression
+                max_batch_bytes=1 << 20,
+                max_delay_ms=20.0,
+            )
+            engine = XCQLEngine()
+            got = []
+            client = StreamClient(
+                "127.0.0.1", server.port, engine=engine, on_message=got.append
+            )
+            await client.connect()
+            await asyncio.wait_for(client.subscribe([Subscription("credit")]), 5)
+            await server.publish(Message(TAG_STRUCTURE, "credit", TS_XML))
+            published = [filler_xml(i, balance=1000 + i) for i in range(30)]
+            for payload in published:
+                await server.publish(Message(FILLER, "credit", payload))
+            await wait_until(lambda: len(got) == 31)
+            assert client.compressed_batches > 0
+            assert [m.payload for m in got[1:]] == published
+            assert engine.stores["credit"].filler_count == 30
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_slow_consumer_drop_policy_bounds_memory(self, tmp_path):
+        async def scenario():
+            server = await start_server(
+                tmp_path,
+                slow_policy=DROP,
+                queue_frames=4,
+                max_batch_bytes=1024,
+                max_delay_ms=1.0,
+            )
+            # A deliberately slow consumer: handshakes, subscribes, then
+            # never reads another byte off the socket.
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(proto.encode_control(proto.HELLO, versions=[1]))
+            writer.write(
+                proto.encode_control(
+                    proto.SUBSCRIBE,
+                    subscriptions=[{"stream": "s"}],
+                    catchup=False,
+                )
+            )
+            await writer.drain()
+            await wait_until(
+                lambda: server._conns and server._conns[0].subscriptions
+            )
+            big = "<customer>" + "x" * 4096 + "</customer>"
+            for i in range(2000):
+                await server.publish(
+                    Message(
+                        FILLER,
+                        "s",
+                        f'<filler id="{i}" tsid="2" validTime="2004-01-01">'
+                        f"{big}</filler>",
+                    )
+                )
+            stats = server.stats()
+            assert stats["dropped_frames"] > 0  # shedding, not buffering
+            assert stats["queued_frames"] <= 4  # bounded queue held
+            assert stats["disconnected_slow"] == 0
+            writer.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_slow_consumer_disconnect_policy(self, tmp_path):
+        async def scenario():
+            server = await start_server(
+                tmp_path,
+                slow_policy=DISCONNECT,
+                queue_frames=2,
+                max_batch_bytes=1024,
+                max_delay_ms=1.0,
+            )
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(proto.encode_control(proto.HELLO, versions=[1]))
+            writer.write(
+                proto.encode_control(
+                    proto.SUBSCRIBE,
+                    subscriptions=[{"stream": "s"}],
+                    catchup=False,
+                )
+            )
+            await writer.drain()
+            await wait_until(
+                lambda: server._conns and server._conns[0].subscriptions
+            )
+            big = "<customer>" + "x" * 4096 + "</customer>"
+            for i in range(2000):
+                await server.publish(
+                    Message(
+                        FILLER,
+                        "s",
+                        f'<filler id="{i}" tsid="2" validTime="2004-01-01">'
+                        f"{big}</filler>",
+                    )
+                )
+                if server.disconnected_slow:
+                    break
+            assert server.disconnected_slow == 1
+            assert len(server._conns) == 0
+            writer.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_block_policy_keeps_everything(self, tmp_path):
+        async def scenario():
+            server = await start_server(
+                tmp_path,
+                slow_policy=BLOCK,
+                queue_frames=2,
+                max_batch_bytes=256,
+                max_delay_ms=1.0,
+            )
+            got = []
+            client = StreamClient("127.0.0.1", server.port, on_message=got.append)
+            await client.connect()
+            await asyncio.wait_for(client.subscribe([Subscription("s")]), 5)
+            for i in range(200):
+                await server.publish(Message(FILLER, "s", filler_xml(i)))
+            await wait_until(lambda: len(got) == 200)
+            assert [m.payload for m in got] == [filler_xml(i) for i in range(200)]
+            assert server.stats()["dropped_frames"] == 0
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_kill_and_reconnect_catchup_byte_identical(self, tmp_path):
+        """The acceptance scenario: a killed client, reconnected with its
+        last seen seq, converges to the always-connected client's bytes."""
+
+        async def scenario():
+            server = await start_server(tmp_path)
+            steady_got, flaky_got = [], []
+            steady = StreamClient(
+                "127.0.0.1", server.port, on_message=steady_got.append
+            )
+            await steady.connect()
+            await asyncio.wait_for(steady.subscribe([Subscription("credit")]), 5)
+
+            flaky = StreamClient(
+                "127.0.0.1", server.port, on_message=flaky_got.append
+            )
+            await flaky.connect()
+            await asyncio.wait_for(flaky.subscribe([Subscription("credit")]), 5)
+
+            await server.publish(Message(TAG_STRUCTURE, "credit", TS_XML))
+            for i in range(10):
+                await server.publish(Message(FILLER, "credit", filler_xml(i)))
+            await wait_until(lambda: flaky.received == 11 and steady.received == 11)
+
+            # Kill the flaky client mid-stream (no BYE, socket just dies).
+            flaky._writer.close()
+            await flaky.closed.wait()
+            survivor_seq = flaky.last_seen
+            for i in range(10, 25):
+                await server.publish(Message(FILLER, "credit", filler_xml(i)))
+            await wait_until(lambda: steady.received == 26)
+
+            # Reconnect with the stored seq; journal replay fills the gap.
+            revived = StreamClient(
+                "127.0.0.1", server.port, on_message=flaky_got.append
+            )
+            await revived.connect()
+            await asyncio.wait_for(
+                revived.subscribe([Subscription("credit")], catchup=True), 5
+            )
+            ack = await asyncio.wait_for(revived.catchup(after=survivor_seq), 5)
+            assert ack["catchup"] is True
+            assert ack["replayed"] == 15
+            await wait_until(lambda: len(flaky_got) == len(steady_got))
+
+            assert [(m.kind, m.stream, m.payload) for m in flaky_got] == [
+                (m.kind, m.stream, m.payload) for m in steady_got
+            ]
+            await steady.close()
+            await revived.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_feed_producer_path(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            got = []
+            subscriber = StreamClient(
+                "127.0.0.1", server.port, on_message=got.append
+            )
+            await subscriber.connect()
+            await asyncio.wait_for(subscriber.subscribe([Subscription("credit")]), 5)
+
+            producer = StreamClient(
+                "127.0.0.1", server.port, feed_compress_threshold=1
+            )
+            await producer.connect()
+            published = [Message(TAG_STRUCTURE, "credit", TS_XML)] + [
+                Message(FILLER, "credit", filler_xml(i)) for i in range(8)
+            ]
+            await producer.feed(published)
+            await wait_until(lambda: len(got) == 9)
+            # Compressed FEED frames still land byte-exact after the
+            # server's streaming decompression.
+            assert [m.payload for m in got] == [m.payload for m in published]
+            assert server.fed_entries == 9
+            assert server.journal.last_seq == 9
+            await producer.close()
+            await subscriber.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_unsupported_version_refused(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(proto.encode_control(proto.HELLO, versions=[99]))
+            await writer.drain()
+            decoder = FrameDecoder()
+            frames = []
+            while not frames:
+                data = await asyncio.wait_for(reader.read(65536), 5)
+                assert data, "server closed without an ERROR frame"
+                frames = decoder.feed(data)
+            assert frames[0].type == proto.ERROR
+            assert frames[0].header["code"] == "unsupported-version"
+            assert await asyncio.wait_for(reader.read(65536), 5) == b""
+            writer.close()
+            await server.close()
+
+        run(scenario())
+
+
+class TestRoutingFrontDoor:
+    def test_tsid_narrowed_subscription_skips(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            got = []
+            client = StreamClient("127.0.0.1", server.port, on_message=got.append)
+            await client.connect()
+            await asyncio.wait_for(
+                client.subscribe([Subscription("credit", tsid=5)]), 5
+            )
+            await server.publish(Message(TAG_STRUCTURE, "credit", TS_XML))
+            for i in range(6):
+                await server.publish(
+                    Message(FILLER, "credit", filler_xml(i, tsid=2))
+                )
+            for i in range(6, 9):
+                await server.publish(
+                    Message(FILLER, "credit", filler_xml(i, tsid=5))
+                )
+            await wait_until(lambda: len(got) == 4)  # structure + 3 alerts
+            await asyncio.sleep(0.05)
+            assert len(got) == 4
+            assert all(
+                peek_filler(m.payload)[1] == 5 for m in got if m.kind == FILLER
+            )
+            assert server.routing_skips == 6
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_predicate_probe_skips_non_matching(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            predicate = RoutingPredicate(
+                tuple_tag="customer",
+                path=("balance",),
+                attribute=None,
+                text_only=False,
+                op=">",
+                value=500.0,
+                numeric=True,
+            )
+            got = []
+            client = StreamClient("127.0.0.1", server.port, on_message=got.append)
+            await client.connect()
+            await asyncio.wait_for(
+                client.subscribe(
+                    [Subscription("credit", tsid=2, predicate=predicate)]
+                ),
+                5,
+            )
+            await server.publish(Message(TAG_STRUCTURE, "credit", TS_XML))
+            await server.publish(
+                Message(FILLER, "credit", filler_xml(1, balance=100))
+            )
+            await server.publish(
+                Message(FILLER, "credit", filler_xml(2, balance=900))
+            )
+            await wait_until(lambda: len(got) == 2)  # structure + matching
+            await asyncio.sleep(0.05)
+            assert peek_filler(got[1].payload)[0] == 2
+            assert server.routing_probes >= 2
+            assert server.routing_skips == 1
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_supersede_wakes_past_predicate(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            predicate = RoutingPredicate(
+                tuple_tag="customer",
+                path=("balance",),
+                attribute=None,
+                text_only=False,
+                op=">",
+                value=500.0,
+                numeric=True,
+            )
+            got = []
+            client = StreamClient("127.0.0.1", server.port, on_message=got.append)
+            await client.connect()
+            await asyncio.wait_for(
+                client.subscribe(
+                    [Subscription("credit", tsid=2, predicate=predicate)]
+                ),
+                5,
+            )
+            await server.publish(Message(TAG_STRUCTURE, "credit", TS_XML))
+            # First version fails the predicate: skipped.
+            await server.publish(
+                Message(FILLER, "credit", filler_xml(1, balance=100))
+            )
+            # A second version of the same non-event filler must be
+            # delivered even though its balance also fails the predicate:
+            # the previous version's annotations move regardless.
+            await server.publish(
+                Message(FILLER, "credit", filler_xml(1, balance=50))
+            )
+            await wait_until(lambda: len(got) == 2)
+            assert peek_filler(got[1].payload) == (1, 2, [])
+            assert "50" in got[1].payload
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+
+class TestServerBootstrap:
+    def test_structures_recovered_from_journal(self, tmp_path):
+        async def scenario():
+            journal = Journal(os.path.join(tmp_path, "boot.journal"))
+            server = await start_server(tmp_path, journal=journal)
+            await server.publish(Message(TAG_STRUCTURE, "credit", TS_XML))
+            await server.publish(Message(FILLER, "credit", filler_xml(1)))
+            await server.close()
+
+            # A restarted server re-derives schemas (and codecs) from the
+            # journal and keeps numbering where it left off.
+            reborn = StreamServer(journal=journal, max_delay_ms=2.0)
+            await reborn.start()
+            assert reborn.seq == 2
+            assert "credit" in reborn._structures
+            got = []
+            client = StreamClient("127.0.0.1", reborn.port, on_message=got.append)
+            await client.connect()
+            await asyncio.wait_for(
+                client.subscribe([Subscription("credit")], catchup=True), 5
+            )
+            await asyncio.wait_for(client.catchup(after=0), 5)
+            await wait_until(lambda: len(got) == 2)
+            assert got[1].payload == filler_xml(1)
+            await client.close()
+            await reborn.close()
+
+        run(scenario())
+
+    def test_fresh_subscriber_receives_current_schema(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)
+            await server.publish(Message(TAG_STRUCTURE, "credit", TS_XML))
+            await server.publish(Message(FILLER, "credit", filler_xml(1)))
+            engine = XCQLEngine()
+            client = StreamClient("127.0.0.1", server.port, engine=engine)
+            await client.connect()
+            # No catch-up: live-only subscription still learns the schema.
+            await asyncio.wait_for(client.subscribe([Subscription("credit")]), 5)
+            await server.publish(Message(FILLER, "credit", filler_xml(2)))
+            await wait_until(lambda: client.received == 2)
+            assert engine.stores["credit"].filler_count == 1
+            await client.close()
+            await server.close()
+
+        run(scenario())
