@@ -147,7 +147,8 @@ def xcql_main(argv: list[str] | None = None) -> int:
         "of N worker processes (the multi-process clearing house) instead "
         "of a single-process scheduler, and report the coordinator's "
         "dispatch/poll/failover counters alongside each shard's engine "
-        "and scheduler statistics",
+        "and scheduler statistics; with 'serve': run an N-shard "
+        "coordinator behind the broadcast front door (see --workers)",
     )
     network = parser.add_argument_group("network transport (serve/tail)")
     network.add_argument("--host", default="127.0.0.1", help="bind/connect host")
@@ -155,7 +156,23 @@ def xcql_main(argv: list[str] | None = None) -> int:
         "--port", type=int, default=0, help="port (serve default 0 = ephemeral)"
     )
     network.add_argument(
-        "--journal", help="with 'serve': journal file backing the broadcast"
+        "--journal",
+        help="with 'serve': journal file backing the broadcast "
+        "(optional for a --worker host)",
+    )
+    network.add_argument(
+        "--worker",
+        action="store_true",
+        help="with 'serve': host the protocol-v2 WORKER role so a remote "
+        "coordinator can run a shard on this server (DISPATCH/POLL/"
+        "RESPAWN frames); --journal becomes optional",
+    )
+    network.add_argument(
+        "--workers",
+        metavar="HOST:PORT,...",
+        help="with 'serve --shards N': comma-separated addresses of "
+        "--worker servers; the first addresses host shards remotely over "
+        "protocol v2, remaining shards run as local worker processes",
     )
     network.add_argument(
         "--batch-bytes",
@@ -287,8 +304,20 @@ def _serve(args, parser) -> int:
     seeded by publishing the snapshot (tag structure first, then every
     filler) — a non-empty journal is served as-is, so restarting never
     duplicates history.  Producers connect with FEED; subscribers catch
-    up from the journal and follow live.  Prints the server stats as
-    JSON on shutdown (``--linger`` or Ctrl-C).
+    up from the journal and follow live.
+
+    Two sharding extensions share this front door.  ``--worker`` hosts
+    the protocol-v2 WORKER role so a remote coordinator can run a shard
+    on this server (``--journal`` becomes optional: worker shard state
+    is connection-scoped, bootstrapped by the coordinator's journal).
+    ``--shards N [--workers host:port,...]`` runs an N-shard
+    :class:`~repro.streams.sharding.ShardedEngine` *behind* the door:
+    every published message — journal replay, ``--store`` seed, live
+    FEED traffic — is also delivered to the coordinator, which dispatches
+    it across its shard links (remote v2 workers first, local worker
+    processes for the rest).  Prints the server stats (merged with the
+    coordinator's, under ``"sharded"``) as JSON on shutdown (``--linger``
+    or Ctrl-C).
     """
     import asyncio
     import json
@@ -297,26 +326,52 @@ def _serve(args, parser) -> int:
     from repro.streams.net import StreamServer
     from repro.streams.transport import FILLER, TAG_STRUCTURE, Message
 
-    if args.journal is None:
-        parser.error("serve requires --journal")
+    if args.worker and args.shards is not None:
+        parser.error("--worker and --shards are mutually exclusive "
+                     "(a worker hosts a shard; a coordinator runs them)")
+    if args.workers is not None and args.shards is None:
+        parser.error("--workers requires --shards")
+    if args.journal is None and not args.worker:
+        parser.error("serve requires --journal (unless --worker)")
     threshold = (
         None if args.compress_threshold < 0 else args.compress_threshold
     )
+    addresses = (
+        [part.strip() for part in args.workers.split(",") if part.strip()]
+        if args.workers else []
+    )
+
+    engine = None
+    if args.shards is not None:
+        if args.shards < 1:
+            parser.error("--shards must be a positive integer")
+        from repro.streams.sharding import ShardedEngine
+
+        # Links connect here, synchronously, before the loop starts —
+        # an unreachable worker fails fast with a clear message.
+        engine = ShardedEngine(args.shards, workers=addresses)
 
     async def main() -> dict:
-        journal = Journal(args.journal)
+        journal = Journal(args.journal) if args.journal else None
         server = StreamServer(
             args.host,
             args.port,
             journal=journal,
+            engine=engine,
+            worker=args.worker,
             max_batch_bytes=args.batch_bytes,
             max_delay_ms=args.delay_ms,
             compress_threshold=threshold,
             queue_frames=args.queue_frames,
             slow_policy=args.slow_policy,
         )
-        seed_empty = journal.last_seq == 0
+        seed_empty = journal is None or journal.last_seq == 0
         await server.start()
+        if engine is not None and journal is not None and not seed_empty:
+            # Catch the coordinator up with served history so its shards
+            # hold the same partition a fresh subscriber would replay.
+            for _seq, message in journal.read_indexed():
+                engine.deliver(message)
         if args.store and seed_empty:
             store = load_store(args.store)
             if store.tag_structure is not None:
@@ -333,9 +388,15 @@ def _serve(args, parser) -> int:
                 await server.publish(
                     Message(FILLER, args.stream, filler.to_xml())
                 )
+        role = (
+            "worker" if args.worker
+            else f"coordinator ({engine.shard_count} shards, "
+                 f"{len(addresses)} remote)" if engine is not None
+            else "broadcast"
+        )
         print(
             f"serving on {args.host}:{server.port} "
-            f"(journal seq {server.seq})",
+            f"(journal seq {server.seq}, role {role})",
             file=sys.stderr,
         )
         try:
@@ -346,6 +407,8 @@ def _serve(args, parser) -> int:
         except (KeyboardInterrupt, asyncio.CancelledError):
             pass
         stats = server.stats()
+        if engine is not None:
+            stats["sharded"] = engine.stats()
         await server.close()
         return stats
 
@@ -353,6 +416,9 @@ def _serve(args, parser) -> int:
         stats = asyncio.run(main())
     except KeyboardInterrupt:
         return 0
+    finally:
+        if engine is not None:
+            engine.close()
     print(json.dumps(stats, indent=2, default=str))
     return 0
 

@@ -190,6 +190,11 @@ class XCQLEngine:
         # Event-automaton captures recorded by feed_raw and answered to the
         # scheduler's wake path; see AutomatonHost below.
         self.automaton_host = AutomatonHost()
+        # deliver() tallies by message kind: every delivery layer (channel
+        # subscriber, network client, serve front door) funnels through
+        # deliver, so these two numbers are the uniform ingest gauge the
+        # merged stats report at any deployment topology.
+        self.delivered = {"tag_structure": 0, "filler": 0}
 
     # -- stream registry ----------------------------------------------------------
 
@@ -297,11 +302,14 @@ class XCQLEngine:
             self.register_stream(
                 message.stream, structure, store=self.stores.get(message.stream)
             )
+            self.delivered["tag_structure"] += 1
             return 0
         if message.kind == "filler":
             # An unregistered stream raises the usual unknown-stream
             # TranslationError from feed_raw's store lookup.
-            return self.feed_raw(message.stream, [message.payload])
+            added = self.feed_raw(message.stream, [message.payload])
+            self.delivered["filler"] += 1
+            return added
         raise ValueError(f"unknown message kind {message.kind!r}")
 
     def _scan_envelope(
@@ -660,6 +668,7 @@ class XCQLEngine:
         return {
             "plan_cache": self.plan_cache_info(),
             "automata": self.automaton_host.stats(),
+            "delivered": dict(self.delivered),
             "streams": streams,
         }
 

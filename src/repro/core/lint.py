@@ -158,9 +158,14 @@ _PIPELINE_EXEMPT = ("core/pipeline.py", "core/optimizer.py")
 #: Modules that must stay DOM-free.  The stream-automaton
 #: compiler/matcher's whole point is matching raw parse events without
 #: materializing nodes; the network wire layer frames bytes and must
-#: never parse the envelopes it carries — for both, any import of the
-#: DOM node types is a layering regression.
-_DOM_FREE_MODULES = ("xquery/automata.py", "streams/netproto.py")
+#: never parse the envelopes it carries; the in-process transport moves
+#: wire text between endpoints and peeks with regexes only — for all
+#: three, any import of the DOM node types is a layering regression.
+_DOM_FREE_MODULES = (
+    "xquery/automata.py",
+    "streams/netproto.py",
+    "streams/transport.py",
+)
 
 
 def lint_sources(paths: Iterable[str]) -> list[Diagnostic]:
@@ -174,11 +179,17 @@ def lint_sources(paths: Iterable[str]) -> list[Diagnostic]:
     fingerprint.  An ``automata-dom-import`` diagnostic is reported when
     :mod:`repro.xquery.automata` imports the DOM node types — the
     automaton layer matches raw parse events and must never materialize
-    nodes itself — and a ``netproto-dom-import`` when
-    :mod:`repro.streams.netproto` does: the wire layer frames bytes and
+    nodes itself — a ``netproto-dom-import`` when
+    :mod:`repro.streams.netproto` does (the wire layer frames bytes and
     forwards envelope text verbatim, so a DOM import there means some
-    payload is being parsed on the framing hot path.  Unparseable files
-    yield ``syntax-error`` diagnostics; the linter never raises.
+    payload is being parsed on the framing hot path), and a
+    ``transport-dom-import`` when :mod:`repro.streams.transport` does
+    (channels and shard links move wire text; peeks are regex-only).
+    The netproto module is additionally held *repro-free*
+    (``netproto-repro-import``): both endpoints of every deployment
+    embed it, so any ``repro.*`` import there couples the wire format to
+    engine internals.  Unparseable files yield ``syntax-error``
+    diagnostics; the linter never raises.
     """
     diagnostics: list[Diagnostic] = []
     for path in _python_files(paths):
@@ -191,6 +202,8 @@ def lint_sources(paths: Iterable[str]) -> list[Diagnostic]:
             continue
         if normalized.endswith(_DOM_FREE_MODULES):
             _check_dom_free(path, tree, diagnostics)
+        if normalized.endswith("streams/netproto.py"):
+            _check_repro_free(path, tree, diagnostics)
         if normalized.endswith(_PIPELINE_EXEMPT):
             continue
         for node in _pyast.walk(tree):
@@ -213,12 +226,20 @@ def lint_sources(paths: Iterable[str]) -> list[Diagnostic]:
 
 def _check_dom_free(path: str, tree: _pyast.AST, out: list[Diagnostic]) -> None:
     """Flag any import of the DOM node module inside a DOM-free module."""
-    if path.replace(os.sep, "/").endswith("streams/netproto.py"):
+    normalized = path.replace(os.sep, "/")
+    if normalized.endswith("streams/netproto.py"):
         code = "netproto-dom-import"
         why = (
             "the wire-protocol module must stay DOM-free (it frames bytes "
             "and forwards envelope text verbatim); parse payloads at the "
             "endpoints, not in the framing layer"
+        )
+    elif normalized.endswith("streams/transport.py"):
+        code = "transport-dom-import"
+        why = (
+            "the transport module must stay DOM-free (channels and shard "
+            "links move wire text between endpoints; peeks are regex-only); "
+            "parse payloads at the endpoints, not in the delivery layer"
         )
     else:
         code = "automata-dom-import"
@@ -227,15 +248,33 @@ def _check_dom_free(path: str, tree: _pyast.AST, out: list[Diagnostic]) -> None:
             "raw parse events); move node materialization to the engine's "
             "automaton host"
         )
+    for module, lineno in _imported_modules(tree):
+        if module == "repro.dom" or module.startswith("repro.dom."):
+            out.append(Diagnostic(code, f"{path}:{lineno}: {why}"))
+
+
+def _check_repro_free(path: str, tree: _pyast.AST, out: list[Diagnostic]) -> None:
+    """Flag any ``repro.*`` import inside the wire-protocol module."""
+    for module, lineno in _imported_modules(tree):
+        if module == "repro" or module.startswith("repro."):
+            out.append(
+                Diagnostic(
+                    "netproto-repro-import",
+                    f"{path}:{lineno}: the wire layer is embedded by every "
+                    "endpoint of every deployment and must not import "
+                    "repro internals — mirror constants locally instead",
+                )
+            )
+
+
+def _imported_modules(tree: _pyast.AST) -> list[tuple[str, int]]:
+    modules: list[tuple[str, int]] = []
     for node in _pyast.walk(tree):
-        modules: list[tuple[str, int]] = []
         if isinstance(node, _pyast.ImportFrom):
             modules.append((node.module or "", node.lineno))
         elif isinstance(node, _pyast.Import):
             modules.extend((alias.name, node.lineno) for alias in node.names)
-        for module, lineno in modules:
-            if module == "repro.dom" or module.startswith("repro.dom."):
-                out.append(Diagnostic(code, f"{path}:{lineno}: {why}"))
+    return modules
 
 
 def _python_files(paths: Iterable[str]) -> list[str]:

@@ -48,6 +48,27 @@ Catch-up sequence (the no-retransmission model's only recovery path)::
 
 Replay and live traffic may overlap at the boundary; entries carry their
 journal seq, so the client absorbs duplicates idempotently.
+
+Catch-up replay is *predicate-narrowed*: the journal's filler version
+counts are reconstructed up to the client's resume point, so a
+``RoutingPredicate`` subscription replays exactly what it would have
+been sent live — non-matching and non-superseding entries are skipped
+(``replay_skipped`` counts them) instead of the old tsid-conservative
+flood.
+
+The WORKER role (protocol v2)
+-----------------------------
+
+A server started with ``worker=True`` additionally hosts remote shards
+for :class:`~repro.streams.sharding.ShardedEngine` coordinators: a v2
+connection's DISPATCH/POLL/RESPAWN frames are mapped by a per-connection
+:class:`~repro.streams.sharding.ShardWorkerHost` onto the same shard
+server the multiprocessing workers run.  Shard state is
+connection-scoped (a reconnecting coordinator re-bootstraps from its
+journal, exactly like respawning a dead pipe worker).  The role is pure
+addition: subscribe/tail/feed traffic — including from v1-only peers,
+which negotiate down and never see a WORKER frame — is served unchanged
+on the same port.
 """
 
 from __future__ import annotations
@@ -67,12 +88,14 @@ from repro.streams.compression import TagCodec
 from repro.streams import netproto as proto
 from repro.streams.netproto import FrameDecoder, ProtocolError
 from repro.streams.scheduler import _route_match
+from repro.streams.sharding import ShardWorkerHost
 from repro.streams.transport import FILLER, TAG_STRUCTURE, Message, peek_filler
 
 __all__ = [
     "StreamServer",
     "StreamClient",
     "Subscription",
+    "run_worker",
     "BLOCK",
     "DROP",
     "DISCONNECT",
@@ -418,6 +441,7 @@ class _Connection:
         self.live = False  # delivering live traffic (post catch-up)
         self.hold: deque = deque()  # (seq, Message) held during catch-up
         self.acked = 0
+        self.shard: Optional[ShardWorkerHost] = None  # v2 WORKER role state
         self.writer_task: Optional[asyncio.Task] = None
         self.transport_writer: Optional[asyncio.StreamWriter] = None
 
@@ -436,7 +460,9 @@ class StreamServer:
     no-retransmission radio).  ``engine`` is optional — when attached,
     every published message is also ingested locally
     (:meth:`XCQLEngine.deliver`), which is how ``repro-xcql serve``
-    answers standing queries while broadcasting.
+    answers standing queries while broadcasting.  ``worker=True``
+    enables the v2 WORKER role: the same front door then also hosts
+    remote shards for sharded coordinators.
     """
 
     def __init__(
@@ -446,6 +472,7 @@ class StreamServer:
         *,
         journal: Optional[Journal] = None,
         engine=None,
+        worker: bool = False,
         max_batch_bytes: int = 64 * 1024,
         max_delay_ms: float = 5.0,
         compress_threshold: Optional[int] = 64 * 1024,
@@ -459,6 +486,7 @@ class StreamServer:
         self._requested_port = port
         self.journal = journal
         self.engine = engine
+        self.worker = bool(worker)
         self.max_batch_bytes = int(max_batch_bytes)
         self.max_delay_ms = float(max_delay_ms)
         self.compress_threshold = compress_threshold
@@ -483,7 +511,19 @@ class StreamServer:
         self.routing_skips = 0
         self.fed_entries = 0
         self.replayed_entries = 0
+        self.replay_skipped = 0
         self.disconnected_slow = 0
+        # Outbox counters of closed connections — drops and disconnects
+        # must stay observable at the front door after the culprit left.
+        self._retired_outboxes = {
+            "frames_sent": 0,
+            "bytes_sent": 0,
+            "batches": 0,
+            "compressed_batches": 0,
+            "dropped_frames": 0,
+            "dropped_entries": 0,
+        }
+        self._retired_workers = {"commands": 0, "polls": 0, "resets": 0}
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -495,10 +535,20 @@ class StreamServer:
         )
 
     def _bootstrap_structures(self) -> None:
-        """Recover stream schemas (and codecs) from the journal."""
+        """Recover stream schemas, codecs, and supersede state.
+
+        A restarted server must keep probing the routing front door with
+        the same answers it would have given before the restart: the
+        per-filler version counts (the conservative supersede wake) are
+        part of that state, so they are rebuilt from the journal along
+        with the schemas — otherwise the first post-restart version of a
+        long-lived fragment would look like its first version ever.
+        """
         for seq, message in self.journal.read_indexed():
             if message.kind == TAG_STRUCTURE:
                 self._register_structure(seq, message)
+        for key, count in self.journal.filler_version_counts().items():
+            self._version_counts[key] = count
 
     @property
     def port(self) -> int:
@@ -521,6 +571,12 @@ class StreamServer:
     def _close_conn(self, conn: _Connection) -> None:
         if conn in self._conns:
             self._conns.remove(conn)
+            for key in self._retired_outboxes:
+                self._retired_outboxes[key] += getattr(conn.outbox, key)
+            if conn.shard is not None:
+                shard = conn.shard.stats()
+                for key in self._retired_workers:
+                    self._retired_workers[key] += shard[key]
         conn.outbox.stop()
         if conn.transport_writer is not None:
             try:
@@ -723,18 +779,58 @@ class StreamServer:
                 proto.encode_control(proto.HELLO, version=version, seq=self._seq)
             )
             return True
+        if proto.min_version(frame.type) > conn.version:
+            # A WORKER frame on a v1 connection: the peer negotiated a
+            # version without these types, so this is garbage framing,
+            # not a degraded-mode request.
+            raise ProtocolError(
+                f"{frame.name} needs protocol "
+                f"v{proto.min_version(frame.type)}; this connection "
+                f"negotiated v{conn.version}"
+            )
         if frame.type == proto.SUBSCRIBE:
             return await self._on_subscribe(conn, frame)
         if frame.type == proto.CATCHUP:
             return await self._on_catchup(conn, frame)
         if frame.type == proto.FEED:
             return await self._on_feed(conn, frame)
+        if frame.type in (proto.DISPATCH, proto.POLL, proto.RESPAWN):
+            return await self._on_worker_frame(conn, frame)
         if frame.type == proto.ACK:
             conn.acked = int(frame.header.get("seq", conn.acked) or 0)
             return True
         if frame.type == proto.BYE:
             return False
         raise ProtocolError(f"unexpected {frame.name} frame")
+
+    async def _on_worker_frame(self, conn: _Connection, frame: proto.Frame) -> bool:
+        """Serve one v2 WORKER frame (the remote-shard role)."""
+        if not self.worker:
+            await self._send_error(
+                conn,
+                "no-worker-role",
+                "this server does not host remote shards",
+            )
+            return False
+        if conn.shard is None:
+            conn.shard = ShardWorkerHost()
+        if frame.type == proto.DISPATCH:
+            reply = conn.shard.dispatch(frame.header)
+            await conn.outbox.put_control(proto.encode_control(proto.ACK, **reply))
+            return True
+        if frame.type == proto.POLL:
+            reply = conn.shard.poll(frame.header)
+            await conn.outbox.put_control(
+                proto.encode_control(proto.POLL_REPLY, **reply)
+            )
+            return True
+        conn.shard.reset()  # RESPAWN
+        await conn.outbox.put_control(
+            proto.encode_control(
+                proto.ACK, id=frame.header.get("id"), ok=True, result=True
+            )
+        )
+        return True
 
     async def _on_subscribe(self, conn: _Connection, frame: proto.Frame) -> bool:
         entries = frame.header.get("subscriptions")
@@ -761,15 +857,37 @@ class StreamServer:
     async def _on_catchup(self, conn: _Connection, frame: proto.Frame) -> bool:
         after = int(frame.header.get("after", 0) or 0)
         replayed = 0
+        skipped = 0
         max_seq = after
         if self.journal is not None:
+            # Predicate subscriptions need the supersede state each
+            # journal entry was published under.  It is reconstructed,
+            # not approximated: version counts up to the resume point,
+            # then maintained entry by entry through the replay — so the
+            # replay filter gives byte-identical answers to the live
+            # front door, and superseded/non-matching entries are
+            # skipped instead of flooding the reconnecting client.
+            counts: Optional[dict] = None
+            if any(sub.predicate is not None for sub in conn.subscriptions):
+                counts = self.journal.filler_version_counts(upto=after)
             for seq, message in self.journal.read_indexed(after):
-                if not self._replay_match(conn, message):
+                supersede = False
+                if message.kind == FILLER and counts is not None:
+                    try:
+                        key = (message.stream, peek_filler(message.payload)[0])
+                    except ValueError:
+                        key = None
+                    if key is not None:
+                        supersede = counts.get(key, 0) > 0
+                        counts[key] = counts.get(key, 0) + 1
+                if not self._replay_match(conn, message, supersede):
+                    skipped += 1
                     continue
                 await conn.outbox.enqueue(seq, message)
                 replayed += 1
                 max_seq = seq
         self.replayed_entries += replayed
+        self.replay_skipped += skipped
         # Drain the live traffic held during replay, skipping overlap.
         while conn.hold:
             seq, message = conn.hold.popleft()
@@ -779,32 +897,34 @@ class StreamServer:
         conn.live = True
         await conn.outbox.put_control(
             proto.encode_control(
-                proto.ACK, catchup=True, replayed=replayed, seq=self._seq
+                proto.ACK,
+                catchup=True,
+                replayed=replayed,
+                skipped=skipped,
+                seq=self._seq,
             )
         )
         return True
 
-    def _replay_match(self, conn: _Connection, message: Message) -> bool:
-        """Tsid-level replay filter (predicates replay conservatively).
+    def _replay_match(
+        self, conn: _Connection, message: Message, supersede: bool
+    ) -> bool:
+        """Replay filter: the live front-door probe, fed journal state.
 
-        Supersede state cannot be reconstructed mid-journal, so replay
-        sends every envelope a predicate subscription *might* match —
-        the probe only narrows live traffic.
+        ``supersede`` is the reconstructed had-this-filler-a-version-yet
+        flag for the entry (see :meth:`_on_catchup`); with it, the exact
+        :meth:`_should_send` probe applies — same tsid dependency test,
+        same predicate probe, same conservative non-event supersede wake
+        — so a catch-up client receives precisely the frames it would
+        have been sent live.
         """
         if message.kind != FILLER:
             return conn.subscribes_stream(message.stream)
-        for sub in conn.subscriptions:
-            if sub.stream != message.stream:
-                continue
-            if sub.tsid is None:
-                return True
-            try:
-                _fid, tsid, _holes = peek_filler(message.payload)
-            except ValueError:
-                return True
-            if sub.tsid == tsid:
-                return True
-        return False
+        try:
+            peeked = peek_filler(message.payload)
+        except ValueError:
+            return True  # undecidable — conservative replay
+        return self._should_send(conn, message, peeked, supersede, {})
 
     async def _on_feed(self, conn: _Connection, frame: proto.Frame) -> bool:
         """Ingest a producer's envelope batch and rebroadcast it."""
@@ -827,7 +947,31 @@ class StreamServer:
     # -- introspection ----------------------------------------------------------
 
     def stats(self) -> dict:
-        """Server counters in the sharded-engine stats shape."""
+        """Server counters in the sharded-engine stats shape.
+
+        ``outboxes`` aggregates every connection's batcher — including
+        connections that already left — so shed frames and slow-consumer
+        disconnects are observable at the front door, not only on the
+        per-connection objects; ``worker`` does the same for hosted
+        remote shards.
+        """
+        outboxes = dict(self._retired_outboxes)
+        for conn in self._conns:
+            for key in outboxes:
+                outboxes[key] += getattr(conn.outbox, key)
+        outboxes["queued_frames"] = sum(
+            c.outbox._queue.qsize() for c in self._conns
+        )
+        worker = dict(self._retired_workers)
+        hosted = 0
+        for conn in self._conns:
+            if conn.shard is None:
+                continue
+            hosted += 1
+            shard = conn.shard.stats()
+            for key in self._retired_workers:
+                worker[key] += shard[key]
+        worker["hosted_shards"] = hosted
         return {
             "seq": self._seq,
             "connections": len(self._conns),
@@ -837,10 +981,52 @@ class StreamServer:
             "routing_skips": self.routing_skips,
             "fed_entries": self.fed_entries,
             "replayed_entries": self.replayed_entries,
+            "replay_skipped": self.replay_skipped,
             "disconnected_slow": self.disconnected_slow,
-            "dropped_frames": sum(c.outbox.dropped_frames for c in self._conns),
-            "queued_frames": sum(c.outbox._queue.qsize() for c in self._conns),
+            "dropped_frames": outboxes["dropped_frames"],
+            "queued_frames": outboxes["queued_frames"],
+            "outboxes": outboxes,
+            "worker": worker,
         }
+
+
+# -- worker entry point -------------------------------------------------------------
+
+
+def run_worker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    journal: Optional[Journal] = None,
+    ready: Optional[Callable[[int], None]] = None,
+    **server_kw,
+) -> None:
+    """Host remote shards until interrupted (blocking).
+
+    The convenience entry behind ``repro-xcql serve --worker`` and the
+    cross-host tests: one :class:`StreamServer` with the WORKER role
+    enabled, running its own event loop.  ``ready`` is called with the
+    bound port once listening (how a spawning test learns an ephemeral
+    port).  Workers need no journal of their own — the *coordinator*
+    journals every batch before dispatching, which is exactly what makes
+    its failover story transport-blind — but one can be passed to make
+    the front door double as a durable broadcast server.
+    """
+
+    async def _main() -> None:
+        server = StreamServer(host, port, journal=journal, worker=True, **server_kw)
+        await server.start()
+        if ready is not None:
+            ready(server.port)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
 
 
 # -- client -----------------------------------------------------------------------

@@ -42,11 +42,32 @@ A client opens with HELLO listing the protocol versions it speaks;
 the server answers HELLO with the one it chose (the highest common
 version, see :func:`choose_version`) or ERROR ``unsupported-version``
 and closes.  Every later frame is interpreted under the agreed version.
+
+Protocol v2: the WORKER role
+----------------------------
+
+Version 2 adds four control frames that let a ``serve`` front door host
+remote shard workers for the sharded engine (DISPATCH, POLL,
+POLL_REPLY, RESPAWN).  They are ordinary JSON control frames; what v2
+changes is *permission*, not layout.  :func:`min_version` reports the
+version a frame type first appears in, and both endpoints refuse WORKER
+frames on a connection negotiated at v1 — which is exactly how a
+v1-only peer keeps working: it never learns the new types exist and is
+served the v1 subset (subscribe/tail/feed) unchanged.
+
+- DISPATCH ``{"id", "cmd", "args"}`` — one shard command (register a
+  stream, feed a batch, add/remove a query, fetch stats, stop); the
+  worker answers ACK ``{"id", "ok", "result"|"error"}``.
+- POLL ``{"id", "now"}`` — run one scheduler pass; answered by
+  POLL_REPLY ``{"id", "emitted", "watermarks", "elapsed", "cpu"}``.
+- RESPAWN ``{"id"}`` — discard the connection's shard state so the
+  coordinator can re-bootstrap from its journal without reconnecting.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import struct
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
@@ -61,6 +82,11 @@ __all__ = [
     "CATCHUP",
     "ERROR",
     "BYE",
+    "DISPATCH",
+    "POLL",
+    "POLL_REPLY",
+    "RESPAWN",
+    "WORKER_TYPES",
     "FLAG_COMPRESSED",
     "Frame",
     "ProtocolError",
@@ -68,11 +94,12 @@ __all__ = [
     "encode_control",
     "encode_batch",
     "choose_version",
+    "min_version",
     "frame_name",
 ]
 
 #: Protocol versions this build speaks, oldest first.
-PROTOCOL_VERSIONS = (1,)
+PROTOCOL_VERSIONS = (1, 2)
 
 # Frame types (the first body byte).
 HELLO = 1
@@ -83,8 +110,16 @@ ACK = 5
 CATCHUP = 6
 ERROR = 7
 BYE = 8
+# v2 WORKER-role frames.
+DISPATCH = 9
+POLL = 10
+POLL_REPLY = 11
+RESPAWN = 12
 
-_CONTROL_TYPES = frozenset({HELLO, SUBSCRIBE, ACK, CATCHUP, ERROR, BYE})
+#: The v2 WORKER-role frame types; illegal on a v1 connection.
+WORKER_TYPES = frozenset({DISPATCH, POLL, POLL_REPLY, RESPAWN})
+
+_CONTROL_TYPES = frozenset({HELLO, SUBSCRIBE, ACK, CATCHUP, ERROR, BYE}) | WORKER_TYPES
 _PAYLOAD_TYPES = frozenset({BATCH, FEED})
 
 _NAMES = {
@@ -96,6 +131,10 @@ _NAMES = {
     CATCHUP: "CATCHUP",
     ERROR: "ERROR",
     BYE: "BYE",
+    DISPATCH: "DISPATCH",
+    POLL: "POLL",
+    POLL_REPLY: "POLL_REPLY",
+    RESPAWN: "RESPAWN",
 }
 
 #: ``flags`` bit 0: every payload in the frame is tag-compressed.
@@ -303,6 +342,16 @@ def _decode_batch(body: bytes) -> Frame:
 # -- version negotiation -----------------------------------------------------------
 
 
+def min_version(ftype: int) -> int:
+    """The protocol version a frame type first appears in.
+
+    Endpoints gate on this rather than hard-coding type lists: a frame
+    whose ``min_version`` exceeds the negotiated version is a protocol
+    error on that connection, whatever this build itself speaks.
+    """
+    return 2 if ftype in WORKER_TYPES else 1
+
+
 def choose_version(offered) -> Optional[int]:
     """The highest protocol version both sides speak, or ``None``.
 
@@ -310,10 +359,15 @@ def choose_version(offered) -> Optional[int]:
     non-numeric in it is ignored (a newer client may advertise versions
     this build cannot even represent).
     """
-    usable = {
-        int(version)
-        for version in (offered or [])
-        if isinstance(version, (int, float)) and int(version) == version
-    }
+    usable = set()
+    for version in offered or []:
+        # Python's json accepts Infinity/NaN literals, and booleans are
+        # ints — neither names a protocol version; ignore, don't crash.
+        if isinstance(version, bool) or not isinstance(version, (int, float)):
+            continue
+        if isinstance(version, float) and not math.isfinite(version):
+            continue
+        if int(version) == version:
+            usable.add(int(version))
     common = usable & set(PROTOCOL_VERSIONS)
     return max(common) if common else None

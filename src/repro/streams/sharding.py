@@ -49,19 +49,44 @@ partition must stay complete) but is *not* polled on the next tick.
 Probes are conservative exactly like the in-process index: uncertainty,
 non-event supersedes, and non-routable queries all wake the shard.
 
+One link interface, three transports
+------------------------------------
+
+The coordinator speaks one interface —
+:class:`repro.streams.transport.ShardLink` — and never a medium.  Three
+implementations are interchangeable per shard:
+
+- :class:`InProcessLink` serves the shard inside the coordinator
+  process (deterministic differential testing, failover target);
+- :class:`PipeLink` spawns a ``multiprocessing`` worker and pipelines
+  pickled command tuples over a pipe;
+- :class:`NetLink` drives a remote worker host over the netproto v2
+  WORKER frames (DISPATCH/POLL/POLL_REPLY/RESPAWN) — the same framed
+  socket protocol ``serve``/``tail`` already speak, so a shard can live
+  on another host behind an ordinary ``repro-xcql serve`` front door.
+
+Dispatch, poll-merge, journaling, failover, and respawn are written
+once against the interface; :class:`ShardWorkerHost` is the server-side
+adapter that maps WORKER frame headers onto the exact same
+:class:`_ShardServer` the pipe workers run.
+
 Durability and failover
 -----------------------
 
 Every per-shard batch is journaled (:class:`repro.fragments.persist.Journal`)
-*before* it is forwarded.  A worker crash or pipe timeout degrades
-gracefully: the coordinator replays that shard's journal into an
-in-process replacement engine and re-runs its queries locally, and
-:meth:`ShardedEngine.respawn_shard` bootstraps a fresh worker process
-the same way.  Emissions stay exactly-once across the swap because the
-coordinator dedups on the same serialized identity the single-process
+*before* it is forwarded.  A worker crash, pipe timeout, or dropped
+socket degrades gracefully: the coordinator replays that shard's
+journal into an in-process replacement engine and re-runs its queries
+locally, and :meth:`ShardedEngine.respawn_shard` bootstraps a fresh
+worker — local process or remote host — the same way.  Emissions stay
+exactly-once across the swap because the coordinator dedups on the same
+serialized identity the single-process
 :class:`~repro.streams.continuous.ContinuousQuery` uses — a replayed
 worker re-deriving old answers re-reports them, and the coordinator's
-seen-set absorbs the repeats.
+seen-set absorbs the repeats.  The journal bootstrap is
+transport-blind, which is what makes failover identical whether the
+dead shard was a local child process or a remote worker on another
+host.
 
 Envelope batches whose wire size crosses ``compress_threshold`` are
 tag-compressed (:class:`~repro.streams.compression.TagCodec`) before
@@ -75,9 +100,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 import shutil
+import socket
 import tempfile
 import time
 import zlib
+from collections import deque
 from typing import Callable, Iterable, Optional, Union
 
 from repro.core.engine import XCQLEngine
@@ -86,6 +113,7 @@ from repro.dom.serializer import serialize
 from repro.fragments.model import Filler, parse_filler
 from repro.fragments.persist import Journal
 from repro.fragments.tagstructure import TagStructure, TagType
+from repro.streams import netproto as proto
 from repro.streams.compression import TagCodec
 from repro.streams.continuous import ContinuousQuery, item_identity
 from repro.streams.scheduler import (
@@ -93,10 +121,28 @@ from repro.streams.scheduler import (
     dependencies_of,
     _route_match,
 )
-from repro.streams.transport import FILLER, TAG_STRUCTURE, Message, peek_filler
+from repro.streams.transport import (
+    FILLER,
+    TAG_STRUCTURE,
+    Channel,
+    Message,
+    ShardLink,
+    peek_filler,
+)
 from repro.temporal.chrono import XSDateTime
 
-__all__ = ["ShardedEngine", "ShardedQuery", "ShardFailure", "shard_of"]
+__all__ = [
+    "ShardedEngine",
+    "ShardedQuery",
+    "ShardFailure",
+    "ShardCommandError",
+    "ShardLink",
+    "InProcessLink",
+    "PipeLink",
+    "NetLink",
+    "ShardWorkerHost",
+    "shard_of",
+]
 
 
 def shard_of(stream: str, filler_id: int, shards: int) -> int:
@@ -245,11 +291,14 @@ class _ShardServer:
                 "cpu": time.process_time() - cpu_started,
             }
         if command == "stats":
+            # Query ids are stringified so the reply has one shape on
+            # every link: JSON (the net link) cannot carry int keys, and
+            # a schema that differs by transport defeats unified stats.
             return {
                 "engine": self.engine.stats(),
                 "scheduler": self.scheduler.stats(),
                 "queries": {
-                    qid: query.stats() for qid, query in self.queries.items()
+                    str(qid): query.stats() for qid, query in self.queries.items()
                 },
             }
         if command == "stop":
@@ -278,8 +327,8 @@ def _shard_worker_main(conn, options: dict) -> None:
     conn.close()
 
 
-class _WorkerHandle:
-    """Coordinator-side proxy of one worker process.
+class PipeLink(ShardLink):
+    """Coordinator-side proxy of one local worker process.
 
     Commands are *pipelined*: :meth:`post` sends without waiting, and
     :meth:`sync` drains the outstanding acks in order — so a feed fans
@@ -287,7 +336,7 @@ class _WorkerHandle:
     tick's polls run concurrently across workers.
     """
 
-    in_process = False
+    kind = "pipe"
 
     def __init__(self, context, options: dict, timeout: float):
         self.timeout = timeout
@@ -301,6 +350,7 @@ class _WorkerHandle:
         child_conn.close()
         self.pending = 0
         self.alive = True
+        self.posted = 0
 
     def post(self, msg: tuple) -> None:
         if not self.alive:
@@ -316,6 +366,7 @@ class _WorkerHandle:
             self.alive = False
             raise ShardFailure(f"worker pipe broke: {exc}") from exc
         self.pending += 1
+        self.posted += 1
 
     def sync(self) -> list:
         """Collect every outstanding ack; raises on death or command error."""
@@ -347,11 +398,6 @@ class _WorkerHandle:
             raise ShardCommandError(error)
         return replies
 
-    def request(self, msg: tuple):
-        """Post one command and wait: returns its reply."""
-        self.post(msg)
-        return self.sync()[-1]
-
     def stop(self) -> None:
         if self.alive:
             try:
@@ -368,29 +414,36 @@ class _WorkerHandle:
             self.process.terminate()
         self.process.join(timeout=5.0)
 
+    def link_stats(self) -> dict:
+        stats = super().link_stats()
+        stats["posted"] = self.posted
+        return stats
 
-class _InProcessHandle:
+
+class InProcessLink(ShardLink):
     """A shard served inside the coordinator process (degraded mode).
 
-    Same post/sync/request surface as :class:`_WorkerHandle`; commands
+    Same post/sync/request surface as :class:`PipeLink`; commands
     execute eagerly.  Used when ``in_process=True`` (deterministic
     differential testing, single-core deployments) and as the failover
     target when a worker dies.
     """
 
-    in_process = True
+    kind = "inproc"
 
     def __init__(self, options: dict):
         self.server = _ShardServer(options)
         self._replies: list = []
         self._error: Optional[str] = None
         self.alive = True
+        self.posted = 0
 
     @property
     def pending(self) -> int:
         return len(self._replies)
 
     def post(self, msg: tuple) -> None:
+        self.posted += 1
         try:
             self._replies.append(self.server.handle(msg))
         except Exception as exc:
@@ -405,12 +458,375 @@ class _InProcessHandle:
             raise ShardCommandError(error)
         return replies
 
-    def request(self, msg: tuple):
-        self.post(msg)
-        return self.sync()[-1]
-
     def stop(self) -> None:
         self.alive = False
+
+    def link_stats(self) -> dict:
+        stats = super().link_stats()
+        stats["posted"] = self.posted
+        return stats
+
+
+# -- the netproto link (coordinator side) -------------------------------------------
+
+
+class NetLink(ShardLink):
+    """A shard served by a remote worker host over netproto v2.
+
+    A plain blocking socket client — deliberately not asyncio: the
+    coordinator's pipelined post/sync discipline is synchronous, and the
+    link lives on the coordinator's thread exactly like a pipe.  Command
+    tuples become WORKER frames (``poll`` → POLL, ``respawn`` → RESPAWN,
+    everything else → DISPATCH); replies come back in command order as
+    ACK/POLL_REPLY frames and are revived to the exact dict shapes the
+    pipe link produces, so the merge code upstream cannot tell the
+    transports apart.
+
+    The HELLO handshake advertises every version this build speaks; a
+    host that negotiates below v2 cannot carry WORKER frames, so the
+    link raises :class:`ShardFailure` and the coordinator degrades
+    through its normal failover path (the host itself still serves that
+    v1 connection's subscribe/tail surface — degraded, not refused).
+    """
+
+    kind = "net"
+
+    def __init__(
+        self,
+        address: str,
+        options: dict,
+        timeout: float,
+        max_pending: int = 512,
+    ):
+        self.address = address
+        self.timeout = timeout
+        self.max_pending = max_pending
+        self.alive = False
+        self.version: Optional[int] = None
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.dispatches = 0
+        self.polls = 0
+        self._pending: deque = deque()
+        self._frames: deque = deque()
+        self._decoder = proto.FrameDecoder()
+        self._next_id = 1
+        host, _, port_text = address.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise ValueError(f"bad worker address {address!r}: {exc}") from exc
+        try:
+            self._sock = socket.create_connection(
+                (host or "127.0.0.1", port), timeout=min(timeout, 10.0)
+            )
+        except OSError as exc:
+            raise ShardFailure(f"cannot reach worker {address}: {exc}") from exc
+        self._sock.settimeout(timeout)
+        self.alive = True
+        self._send(
+            proto.encode_control(
+                proto.HELLO,
+                versions=list(proto.PROTOCOL_VERSIONS),
+                role="shard-link",
+            )
+        )
+        frame = self._recv_frame()
+        if frame.type == proto.ERROR:
+            self._abandon()
+            raise ShardFailure(
+                f"worker {address} refused the handshake: "
+                f"{frame.header.get('error', frame.header)}"
+            )
+        if frame.type != proto.HELLO:
+            self._abandon()
+            raise ShardFailure(
+                f"worker {address} answered {frame.name}, expected HELLO"
+            )
+        self.version = int(frame.header.get("version", 1))
+        if self.version < 2:
+            # The host is alive but speaks only v1 — it has no WORKER
+            # frames to offer this link.  Say goodbye politely; the
+            # coordinator fails over instead of wedging the shard.
+            try:
+                self._send(proto.encode_control(proto.BYE))
+            except ShardFailure:
+                pass
+            self._abandon()
+            raise ShardFailure(
+                f"worker {address} negotiated protocol v{self.version}; "
+                "the WORKER role needs v2"
+            )
+        # The remote shard must evaluate with the coordinator's engine
+        # options or the differential guarantees are off.
+        self.request(("configure", dict(options)))
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def post(self, msg: tuple) -> None:
+        if not self.alive:
+            raise ShardFailure("worker link is down")
+        if len(self._pending) >= self.max_pending:
+            # Same discipline as the pipe link: drain before both ends'
+            # socket buffers can fill with unread replies.
+            self.sync()
+        command = msg[0]
+        mid = self._next_id
+        self._next_id += 1
+        if command == "poll":
+            data = proto.encode_control(proto.POLL, id=mid, now=msg[1])
+            self.polls += 1
+        elif command == "respawn":
+            data = proto.encode_control(proto.RESPAWN, id=mid)
+        elif command == "configure":
+            data = proto.encode_control(
+                proto.DISPATCH, id=mid, cmd="configure", args=[msg[1]]
+            )
+            self.dispatches += 1
+        else:
+            data = proto.encode_control(
+                proto.DISPATCH, id=mid, cmd=command, args=list(msg[1:])
+            )
+            self.dispatches += 1
+        self._send(data)
+        self._pending.append((command, mid))
+
+    def sync(self) -> list:
+        replies: list = []
+        error: Optional[str] = None
+        while self._pending:
+            frame = self._recv_frame()
+            _command, mid = self._pending[0]
+            if frame.type == proto.ERROR:
+                self._abandon()
+                raise ShardFailure(
+                    f"worker error: {frame.header.get('error', frame.header)}"
+                )
+            if frame.type not in (proto.ACK, proto.POLL_REPLY):
+                self._abandon()
+                raise ShardFailure(
+                    f"unexpected {frame.name} frame on a worker link"
+                )
+            header = frame.header
+            if header.get("id") != mid:
+                self._abandon()
+                raise ShardFailure(
+                    f"reply id {header.get('id')!r} does not match "
+                    f"command id {mid} — worker link out of sync"
+                )
+            self._pending.popleft()
+            if frame.type == proto.POLL_REPLY:
+                if "error" in header:
+                    if error is None:
+                        error = str(header["error"])
+                    replies.append(None)
+                else:
+                    replies.append(_revive_poll(header))
+            elif header.get("ok"):
+                replies.append(header.get("result"))
+            else:
+                if error is None:
+                    error = str(header.get("error"))
+                replies.append(None)
+        if error is not None:
+            raise ShardCommandError(error)
+        return replies
+
+    def respawn(self) -> None:
+        """Ask the host to discard this connection's shard state."""
+        self.request(("respawn",))
+
+    def stop(self) -> None:
+        if self.alive:
+            try:
+                self._send(proto.encode_control(proto.BYE))
+            except ShardFailure:
+                pass
+        self._abandon()
+
+    def link_stats(self) -> dict:
+        stats = super().link_stats()
+        stats.update(
+            address=self.address,
+            version=self.version,
+            frames_sent=self.frames_sent,
+            frames_received=self.frames_received,
+            bytes_sent=self.bytes_sent,
+            bytes_received=self.bytes_received,
+            dispatches=self.dispatches,
+            polls=self.polls,
+        )
+        return stats
+
+    # -- socket plumbing --------------------------------------------------------
+
+    def _send(self, data: bytes) -> None:
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            self._abandon()
+            raise ShardFailure(f"worker socket broke: {exc}") from exc
+        self.frames_sent += 1
+        self.bytes_sent += len(data)
+
+    def _recv_frame(self) -> proto.Frame:
+        while not self._frames:
+            try:
+                chunk = self._sock.recv(1 << 16)
+            except socket.timeout:
+                self._abandon()
+                raise ShardFailure(
+                    f"worker unresponsive for {self.timeout:.1f}s"
+                ) from None
+            except OSError as exc:
+                self._abandon()
+                raise ShardFailure(f"worker socket broke: {exc}") from exc
+            if not chunk:
+                self._abandon()
+                raise ShardFailure("worker closed the connection")
+            self.bytes_received += len(chunk)
+            try:
+                frames = self._decoder.feed(chunk)
+            except proto.ProtocolError as exc:
+                self._abandon()
+                raise ShardFailure(f"bad frame from worker: {exc}") from exc
+            self._frames.extend(frames)
+            self.frames_received += len(frames)
+        return self._frames.popleft()
+
+    def _abandon(self) -> None:
+        self.alive = False
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def _revive_poll(header: dict) -> dict:
+    """Rebuild a POLL_REPLY header into the pipe link's poll dict.
+
+    JSON stringifies int dict keys and turns tuples into lists; the
+    merge code (and the differential tests) must see identical shapes
+    on every link, so the damage is undone here.
+    """
+    return {
+        "emitted": {
+            int(qid): list(items)
+            for qid, items in (header.get("emitted") or {}).items()
+        },
+        "watermarks": {
+            name: tuple(mark)
+            for name, mark in (header.get("watermarks") or {}).items()
+        },
+        "elapsed": float(header.get("elapsed", 0.0)),
+        "cpu": float(header.get("cpu", 0.0)),
+    }
+
+
+def _jsonable(value):
+    """Deep-convert a worker reply into JSON-encodable primitives."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(item) for item in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class ShardWorkerHost:
+    """Server-side shard state behind one v2 worker connection.
+
+    :class:`~repro.streams.net.StreamServer` creates one per connection
+    on the first WORKER frame and calls :meth:`dispatch` / :meth:`poll`
+    / :meth:`reset`; this class maps the JSON frame headers onto the
+    exact :class:`_ShardServer` command tuples the pipe workers run, and
+    scrubs the replies down to JSON-encodable primitives.  Shard state
+    is connection-scoped — a coordinator that reconnects starts from a
+    blank shard and re-bootstraps from its journal, which is the same
+    recovery contract the pipe workers have (a dead process keeps no
+    state either).
+    """
+
+    def __init__(self) -> None:
+        self._options: dict = {}
+        self._server: Optional[_ShardServer] = None
+        self.commands = 0
+        self.polls = 0
+        self.resets = 0
+
+    def _shard(self) -> _ShardServer:
+        if self._server is None:
+            self._server = _ShardServer(self._options)
+        return self._server
+
+    def reset(self) -> None:
+        """RESPAWN: discard the shard so the peer can re-bootstrap."""
+        self._server = None
+        self.resets += 1
+
+    def dispatch(self, header: dict) -> dict:
+        """Run one DISPATCH command; returns the ACK header fields."""
+        self.commands += 1
+        mid = header.get("id")
+        cmd = header.get("cmd")
+        args = header.get("args") or []
+        try:
+            if cmd == "configure":
+                self._options = dict(args[0]) if args else {}
+                # Options apply from the next (re)build; configure is the
+                # first command after HELLO, before any state exists.
+                self._server = None
+                result: object = True
+            elif cmd == "register_stream":
+                result = self._shard().handle(
+                    ("register_stream", args[0], args[1])
+                )
+            elif cmd == "feed":
+                result = self._shard().handle(
+                    ("feed", args[0], bool(args[1]), list(args[2]))
+                )
+            elif cmd == "feed_raw":
+                result = self._shard().handle(("feed_raw", args[0], list(args[1])))
+            elif cmd == "add_query":
+                result = self._shard().handle(
+                    ("add_query", int(args[0]), args[1], args[2], args[3])
+                )
+            elif cmd == "remove_query":
+                result = self._shard().handle(("remove_query", int(args[0])))
+            elif cmd == "stats":
+                result = self._shard().handle(("stats",))
+            elif cmd == "stop":
+                result = self._shard().handle(("stop",))
+            else:
+                raise ValueError(f"unknown worker command {cmd!r}")
+        except Exception as exc:  # report, don't die: the link stays usable
+            return {"id": mid, "ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        return {"id": mid, "ok": True, "result": _jsonable(result)}
+
+    def poll(self, header: dict) -> dict:
+        """Run one POLL pass; returns the POLL_REPLY header fields."""
+        self.polls += 1
+        mid = header.get("id")
+        try:
+            reply = self._shard().handle(("poll", header["now"]))
+        except Exception as exc:
+            return {"id": mid, "error": f"{type(exc).__name__}: {exc}"}
+        return {"id": mid, **_jsonable(reply)}
+
+    def stats(self) -> dict:
+        return {
+            "commands": self.commands,
+            "polls": self.polls,
+            "resets": self.resets,
+            "active": self._server is not None,
+        }
 
 
 # -- the coordinator ---------------------------------------------------------------
@@ -429,6 +845,13 @@ class ShardedEngine:
         Serve every shard inside this process instead of spawning
         workers — bit-identical scheduling without multiprocessing,
         for differential tests and single-core hosts.
+    workers:
+        ``host:port`` addresses of remote worker hosts (``repro-xcql
+        serve --worker`` front doors).  Address *i* serves shard *i*
+        over a :class:`NetLink`; shards past the list fall back to the
+        local default (pipe workers, or in-process when
+        ``in_process=True``).  Mixing kinds is fine — the coordinator
+        only ever speaks :class:`~repro.streams.transport.ShardLink`.
     journal_dir:
         Where the per-shard journals live.  Defaults to a private
         temporary directory removed by :meth:`close`; pass a path to
@@ -448,6 +871,7 @@ class ShardedEngine:
         shards: int = 4,
         *,
         in_process: bool = False,
+        workers: Optional[Iterable[str]] = None,
         journal_dir: Optional[Union[str, os.PathLike]] = None,
         compress_threshold: Optional[int] = 65536,
         timeout: float = 30.0,
@@ -461,6 +885,19 @@ class ShardedEngine:
             raise ValueError("shards must be a positive integer")
         self.shard_count = int(shards)
         self.in_process = bool(in_process)
+        addresses = [str(address) for address in (workers or [])]
+        if len(addresses) > self.shard_count:
+            raise ValueError(
+                f"{len(addresses)} worker addresses for {self.shard_count} shards"
+            )
+        default_kind = "inproc" if self.in_process else "pipe"
+        # Per-shard link spec: respawns return to the preferred kind
+        # even after an in-process failover.
+        self._specs: list[tuple[str, Optional[str]]] = [
+            ("net", addresses[index]) if index < len(addresses)
+            else (default_kind, None)
+            for index in range(self.shard_count)
+        ]
         self.compress_threshold = compress_threshold
         self.timeout = timeout
         self._options = {
@@ -490,7 +927,9 @@ class ShardedEngine:
             Journal(os.path.join(self._journal_dir, f"shard-{index}.journal"))
             for index in range(self.shard_count)
         ]
-        self._shards: list = [self._fresh_handle() for _ in range(self.shard_count)]
+        self._shards: list[ShardLink] = [
+            self._new_link(index) for index in range(self.shard_count)
+        ]
         self._queries: dict[int, ShardedQuery] = {}
         self._fronts: dict[int, _FrontRoute] = {}
         self._next_qid = 1
@@ -514,15 +953,21 @@ class ShardedEngine:
         self._compressed_batches = 0
         self._failovers = 0
         self._respawns = 0
+        self._delivered = {TAG_STRUCTURE: 0, FILLER: 0}
+        self._channels: list[Channel] = []
         self._shard_watermarks: dict[int, dict] = {}
         self.last_tick_timing: dict = {}
 
     # -- shard lifecycle --------------------------------------------------------
 
-    def _fresh_handle(self):
-        if self.in_process:
-            return _InProcessHandle(self._options)
-        return _WorkerHandle(self._context, self._options, self.timeout)
+    def _new_link(self, index: int) -> ShardLink:
+        """Build shard ``index``'s link from its spec."""
+        kind, address = self._specs[index]
+        if kind == "net":
+            return NetLink(address, self._options, self.timeout)
+        if kind == "pipe":
+            return PipeLink(self._context, self._options, self.timeout)
+        return InProcessLink(self._options)
 
     def _bootstrap(self, index: int, handle) -> None:
         """Replay shard ``index``'s journal + query set into a new handle.
@@ -563,13 +1008,19 @@ class ShardedEngine:
         handle.sync()
 
     def _failover(self, index: int) -> None:
-        """Replace a dead worker with a journal-replayed in-process shard."""
+        """Replace a dead worker with a journal-replayed in-process shard.
+
+        Transport-blind on purpose: whether the shard was a local child
+        process or a remote worker host, everything it ever saw is in
+        its write-ahead journal, so the replacement is built the same
+        way from the same records.
+        """
         old = self._shards[index]
         try:
             old.stop()
         except Exception:
             pass
-        handle = _InProcessHandle(self._options)
+        handle = InProcessLink(self._options)
         self._bootstrap(index, handle)
         self._shards[index] = handle
         self._failovers += 1
@@ -578,22 +1029,45 @@ class ShardedEngine:
         # deduped promptly.
         self._dirty.add(index)
 
-    def respawn_shard(self, index: int) -> None:
-        """Replace shard ``index`` with a fresh worker process.
+    def respawn_shard(self, index: int, address: Optional[str] = None) -> None:
+        """Replace shard ``index`` with a fresh worker.
 
         The journal bootstrap path: the new worker replays the shard's
         write-ahead journal, then the standing queries are re-added.  Use
         after a failover to climb back from in-process degraded mode, or
         to recycle a worker proactively.
+
+        ``address`` retargets the shard to a (new) remote worker host —
+        how a coordinator migrates a shard onto another machine, or
+        re-adopts a replacement host after the original was killed.  A
+        still-connected :class:`NetLink` respawning onto its own host is
+        recycled in place with a RESPAWN frame (the host discards the
+        connection's shard state) instead of reconnecting.
         """
         if not 0 <= index < self.shard_count:
             raise IndexError(f"no shard {index}")
+        if address is not None:
+            self._specs[index] = ("net", str(address))
         old = self._shards[index]
+        if (
+            isinstance(old, NetLink)
+            and old.alive
+            and self._specs[index] == ("net", old.address)
+        ):
+            try:
+                old.respawn()
+                old.request(("configure", dict(self._options)))
+                self._bootstrap(index, old)
+                self._respawns += 1
+                self._dirty.add(index)
+                return
+            except (ShardFailure, ShardCommandError):
+                pass  # the host went away mid-recycle; fall through
         try:
             old.stop()
         except Exception:
             pass
-        handle = self._fresh_handle()
+        handle = self._new_link(index)
         self._bootstrap(index, handle)
         self._shards[index] = handle
         self._respawns += 1
@@ -969,6 +1443,22 @@ class ShardedEngine:
             self.feed_raw(message.stream, [message.payload])
         else:
             raise ValueError(f"unknown message kind {message.kind!r}")
+        self._delivered[message.kind] += 1
+
+    def attach_channel(self, channel: Channel, subscribe: bool = True) -> Channel:
+        """Wire a transport channel into this coordinator.
+
+        Subscribes :meth:`deliver` (unless ``subscribe=False`` for a
+        channel wired by hand) and, either way, adopts the channel into
+        :meth:`stats` — so drop/duplication tallies of a lossy feed are
+        observable at the front door instead of only on the channel
+        object itself.  Returns the channel for chaining.
+        """
+        if subscribe:
+            channel.subscribe(self.deliver)
+        if channel not in self._channels:
+            self._channels.append(channel)
+        return channel
 
     # -- plumbing -----------------------------------------------------------------
 
@@ -997,7 +1487,16 @@ class ShardedEngine:
     # -- observability ------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Coordinator counters plus every shard's engine/scheduler stats."""
+        """One merged dict: coordinator counters, per-shard link + engine stats.
+
+        The shape is deployment-independent — every shard entry carries
+        its link ``kind`` and transport counters next to the worker's
+        engine/scheduler/query payloads, the coordinator block reports
+        the dispatch probe/wake/skip tallies plus the last tick's
+        wall/CPU timings, and attached channels surface their
+        drop/duplication counters here rather than only per-object.
+        ``repro-xcql serve --shards`` dumps exactly this dict as JSON.
+        """
         self._check_open()
         shards = []
         for index in range(self.shard_count):
@@ -1006,19 +1505,25 @@ class ShardedEngine:
             except ShardFailure:
                 self._failover(index)
                 payload = self._shards[index].request(("stats",))
+            link = self._shards[index]
             shards.append(
                 {
                     "index": index,
-                    "in_process": self._shards[index].in_process,
+                    "kind": link.kind,
+                    "in_process": link.in_process,
+                    "link": link.link_stats(),
                     **payload,
                 }
             )
+        timing = self.last_tick_timing
         return {
             "shards": shards,
             "coordinator": {
                 "shard_count": self.shard_count,
+                "links": [link.kind for link in self._shards],
                 "queries": len(self._queries),
                 "fed": self._fed,
+                "delivered": dict(self._delivered),
                 "ticks": self._ticks,
                 "dispatch_probes": self._dispatch_probes,
                 "dispatch_wakes": self._dispatch_wakes,
@@ -1029,7 +1534,25 @@ class ShardedEngine:
                 "compressed_batches": self._compressed_batches,
                 "failovers": self._failovers,
                 "respawns": self._respawns,
+                "timings": {
+                    "post": timing.get("post", 0.0),
+                    "wait": timing.get("wait", 0.0),
+                    "merge": timing.get("merge", 0.0),
+                    "shard_elapsed": {
+                        str(index): value
+                        for index, value in sorted(
+                            timing.get("shard_elapsed", {}).items()
+                        )
+                    },
+                    "shard_cpu": {
+                        str(index): value
+                        for index, value in sorted(
+                            timing.get("shard_cpu", {}).items()
+                        )
+                    },
+                },
             },
+            "channels": [channel.stats() for channel in self._channels],
             "watermarks": {
                 index: dict(marks)
                 for index, marks in sorted(self._shard_watermarks.items())

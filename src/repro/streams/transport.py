@@ -9,6 +9,14 @@ the store; servers may schedule repeats of critical fragments).
 
 Messages are delivered as wire text (serialized XML), so every hop runs
 through the real serializer and parser.
+
+:class:`ShardLink` is the other half of the transport story: where a
+channel broadcasts *outward* to subscribers, a shard link is the
+coordinator's private duplex lane to one shard worker.  The sharded
+engine speaks this interface exclusively — dispatch, poll-merge,
+journaling, failover, and respawn are written once against it — and
+:mod:`repro.streams.sharding` provides the three implementations
+(in-process, multiprocessing pipe, netproto socket).
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable
 
-__all__ = ["Message", "Channel", "LossyChannel", "peek_filler"]
+__all__ = ["Message", "Channel", "LossyChannel", "ShardLink", "peek_filler"]
 
 TAG_STRUCTURE = "tag_structure"
 FILLER = "filler"
@@ -73,8 +81,67 @@ class Message:
         return len(self.payload.encode("utf-8"))
 
 
+class ShardLink:
+    """The uniform surface of one shard worker, whatever carries the bytes.
+
+    Commands are *pipelined*: :meth:`post` sends without waiting, and
+    :meth:`sync` drains the outstanding replies in order — so a feed
+    fans out to every shard before the first round-trip completes, and a
+    tick's polls run concurrently across workers.  Implementations
+    translate the command tuples onto their medium (direct calls, a
+    pickled pipe, netproto v2 WORKER frames) but must preserve exactly
+    this contract:
+
+    - :meth:`post` raises :class:`~repro.streams.sharding.ShardFailure`
+      when the worker is unreachable (dead process, broken pipe, closed
+      socket);
+    - :meth:`sync` returns one reply per posted command, in order, and
+      raises ``ShardFailure`` on death/timeouts or
+      :class:`~repro.streams.sharding.ShardCommandError` after the drain
+      when a command raised worker-side — the link survives command
+      errors, only transport failures kill it;
+    - ``poll`` replies arrive as the same dict shape on every link
+      (``emitted`` keyed by int qid, ``watermarks`` as tuples).
+
+    ``kind`` identifies the implementation in merged stats
+    (``"inproc"``, ``"pipe"``, ``"net"``).
+    """
+
+    kind = "link"
+    alive = True
+    pending = 0
+
+    def post(self, msg: tuple) -> None:
+        """Send one command tuple without waiting for its reply."""
+        raise NotImplementedError
+
+    def sync(self) -> list:
+        """Collect every outstanding reply, in post order."""
+        raise NotImplementedError
+
+    def request(self, msg: tuple):
+        """Post one command and wait: returns its reply."""
+        self.post(msg)
+        return self.sync()[-1]
+
+    def stop(self) -> None:
+        """Release the worker and the medium (idempotent)."""
+        raise NotImplementedError
+
+    @property
+    def in_process(self) -> bool:
+        """Back-compat alias: does this shard run inside the coordinator?"""
+        return self.kind == "inproc"
+
+    def link_stats(self) -> dict:
+        """Transport-level counters in one schema-stable shape."""
+        return {"kind": self.kind, "alive": bool(self.alive), "pending": self.pending}
+
+
 class Channel:
     """An in-process broadcast channel with subscriber fan-out."""
+
+    kind = "channel"
 
     def __init__(self) -> None:
         self._subscribers: list[Callable[[Message], None]] = []
@@ -113,6 +180,7 @@ class Channel:
     def stats(self) -> dict:
         """Counters in the same shape the sharded engine reports."""
         return {
+            "kind": self.kind,
             "published": self.published,
             "delivered": self.delivered,
             "subscribers": len(self._subscribers),
@@ -127,6 +195,8 @@ class LossyChannel(Channel):
     server's repetition of critical fragments reaching a client twice).
     The RNG is seeded, so failures replay exactly.
     """
+
+    kind = "lossy"
 
     def __init__(self, loss_rate: float = 0.0, duplicate_rate: float = 0.0, seed: int = 0):
         super().__init__()

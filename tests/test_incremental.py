@@ -8,7 +8,7 @@ from datetime import datetime, timedelta
 import pytest
 
 from repro import Strategy, TagStructure, XCQLEngine
-from repro.core.optimizer import analyze_delta
+from repro.core.pipeline import analyze_delta
 from repro.dom import parse_document
 from repro.dom.serializer import serialize
 from repro.fragments.model import Filler

@@ -167,11 +167,22 @@ class TestFraming:
 
     def test_version_negotiation(self):
         assert proto.choose_version([1]) == 1
-        assert proto.choose_version([1, 2, 99]) == 1
+        assert proto.choose_version([1, 2, 99]) == 2  # highest common is v2 now
+        assert proto.choose_version([2]) == 2
         assert proto.choose_version([99]) is None
         assert proto.choose_version([]) is None
         assert proto.choose_version(None) is None
         assert proto.choose_version(["junk", 1.0]) == 1
+        # json accepts Infinity/NaN and booleans are ints; neither is a
+        # protocol version, and none may crash negotiation.
+        assert proto.choose_version([float("inf"), float("nan"), True]) is None
+
+    def test_worker_frames_need_v2(self):
+        assert proto.PROTOCOL_VERSIONS == (1, 2)
+        for ftype in sorted(proto.WORKER_TYPES):
+            assert proto.min_version(ftype) == 2
+        for ftype in (proto.HELLO, proto.SUBSCRIBE, proto.BATCH, proto.ACK):
+            assert proto.min_version(ftype) == 1
 
 
 class TestStreamingCodec:
@@ -214,6 +225,7 @@ class TestTransportSatellites:
         channel.subscribe(lambda m: None)
         channel.publish(Message(FILLER, "s", "<x/>"))
         assert channel.stats() == {
+            "kind": "channel",
             "published": 1,
             "delivered": 1,
             "subscribers": 1,
@@ -337,7 +349,7 @@ class TestEndToEnd:
             clients = []
             for engine in engines:
                 client = StreamClient("127.0.0.1", server.port, engine=engine)
-                assert await client.connect() == 1
+                assert await client.connect() == 2
                 await asyncio.wait_for(
                     client.subscribe([Subscription("credit")]), 5
                 )
@@ -800,6 +812,344 @@ class TestServerBootstrap:
             await wait_until(lambda: client.received == 2)
             assert engine.stores["credit"].filler_count == 1
             await client.close()
+            await server.close()
+
+        run(scenario())
+
+
+# -- the WORKER role (protocol v2) ------------------------------------------------
+
+
+async def _raw_connect(port: int, versions):
+    """Open a raw protocol connection; returns (reader, writer, decoder,
+    negotiated HELLO frame)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    decoder = FrameDecoder()
+    writer.write(proto.encode_control(proto.HELLO, versions=list(versions)))
+    await writer.drain()
+    frames = []
+    while not frames:
+        data = await asyncio.wait_for(reader.read(65536), 5)
+        assert data, "server closed during the handshake"
+        frames = decoder.feed(data)
+    return reader, writer, decoder, frames[0]
+
+
+async def _exchange(reader, writer, decoder, data, count=1):
+    """Send one frame, await ``count`` reply frames."""
+    writer.write(data)
+    await writer.drain()
+    frames = []
+    while len(frames) < count:
+        chunk = await asyncio.wait_for(reader.read(65536), 5)
+        assert chunk, "server closed mid-exchange"
+        frames.extend(decoder.feed(chunk))
+    return frames
+
+
+class TestWorkerRole:
+    def test_worker_host_serves_dispatch_poll_respawn(self, tmp_path):
+        """A v2 peer drives a full shard lifecycle with raw frames."""
+
+        async def scenario():
+            server = await start_server(tmp_path, worker=True)
+            reader, writer, decoder, hello = await _raw_connect(
+                server.port, proto.PROTOCOL_VERSIONS
+            )
+            assert hello.type == proto.HELLO
+            assert hello.header["version"] == 2
+
+            (ack,) = await _exchange(
+                reader, writer, decoder,
+                proto.encode_control(
+                    proto.DISPATCH, id=1, cmd="configure", args=[{}]
+                ),
+            )
+            assert ack.type == proto.ACK
+            assert ack.header == {"id": 1, "ok": True, "result": True}
+
+            (ack,) = await _exchange(
+                reader, writer, decoder,
+                proto.encode_control(
+                    proto.DISPATCH, id=2, cmd="register_stream",
+                    args=["credit", TS_XML],
+                ),
+            )
+            assert ack.header["ok"] is True
+
+            (reply,) = await _exchange(
+                reader, writer, decoder,
+                proto.encode_control(
+                    proto.POLL, id=3, now="2004-02-01T00:00:00"
+                ),
+            )
+            assert reply.type == proto.POLL_REPLY
+            assert reply.header["id"] == 3
+            assert reply.header["emitted"] == {}
+            assert "watermarks" in reply.header
+
+            (ack,) = await _exchange(
+                reader, writer, decoder,
+                proto.encode_control(proto.RESPAWN, id=4),
+            )
+            assert ack.type == proto.ACK
+            assert ack.header == {"id": 4, "ok": True, "result": True}
+            # RESPAWN discarded the shard: its streams are gone, and the
+            # error comes back as a failed ACK, not a dead connection.
+            (ack,) = await _exchange(
+                reader, writer, decoder,
+                proto.encode_control(
+                    proto.DISPATCH, id=5, cmd="feed",
+                    args=["credit", False, [filler_xml(1)]],
+                ),
+            )
+            assert ack.header["ok"] is False
+            assert "credit" in ack.header["error"]
+
+            stats = server.stats()
+            assert stats["worker"]["commands"] == 3
+            assert stats["worker"]["polls"] == 1
+            assert stats["worker"]["resets"] == 1
+            assert stats["worker"]["hosted_shards"] == 1
+            writer.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_v1_peer_served_degraded_not_refused(self, tmp_path):
+        """A v1-only peer still gets the full v1 surface on a worker
+        host; only the WORKER frames are out of bounds."""
+
+        async def scenario():
+            server = await start_server(tmp_path, worker=True)
+            await server.publish(Message(TAG_STRUCTURE, "credit", TS_XML))
+            reader, writer, decoder, hello = await _raw_connect(
+                server.port, [1]
+            )
+            assert hello.header["version"] == 1  # served, not refused
+
+            # Reply is an ACK plus the current schema announcement.
+            frames = await _exchange(
+                reader, writer, decoder,
+                proto.encode_control(
+                    proto.SUBSCRIBE,
+                    subscriptions=[{"stream": "credit"}],
+                    catchup=False,
+                ),
+                count=2,
+            )
+            ack = next(f for f in frames if f.type == proto.ACK)
+            assert ack.header.get("subscribed") == 1
+            assert any(f.type == proto.BATCH for f in frames)
+
+            # A WORKER frame on the v1 connection is a protocol error:
+            # the peer negotiated a version without those types.
+            frames = await _exchange(
+                reader, writer, decoder,
+                proto.encode_control(proto.DISPATCH, id=1, cmd="stats",
+                                     args=[]),
+            )
+            assert frames[0].type == proto.ERROR
+            assert "v2" in frames[0].header["detail"]
+            assert await asyncio.wait_for(reader.read(65536), 5) == b""
+            writer.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_worker_frames_refused_without_worker_role(self, tmp_path):
+        async def scenario():
+            server = await start_server(tmp_path)  # worker=False
+            reader, writer, decoder, hello = await _raw_connect(
+                server.port, proto.PROTOCOL_VERSIONS
+            )
+            assert hello.header["version"] == 2
+            frames = await _exchange(
+                reader, writer, decoder,
+                proto.encode_control(
+                    proto.DISPATCH, id=1, cmd="configure", args=[{}]
+                ),
+            )
+            assert frames[0].type == proto.ERROR
+            assert frames[0].header["code"] == "no-worker-role"
+            writer.close()
+            await server.close()
+
+        run(scenario())
+
+
+# -- predicate-narrowed catch-up --------------------------------------------------
+
+
+class TestPredicateCatchup:
+    PREDICATE = RoutingPredicate(
+        tuple_tag="customer",
+        path=("balance",),
+        attribute=None,
+        text_only=False,
+        op=">",
+        value=500.0,
+        numeric=True,
+    )
+
+    async def _publish_history(self, server):
+        """Mixed history: matches, non-matches, supersedes, other tsids."""
+        await server.publish(Message(TAG_STRUCTURE, "credit", TS_XML))
+        await server.publish(Message(FILLER, "credit", filler_xml(1, 100)))
+        await server.publish(Message(FILLER, "credit", filler_xml(2, 900)))
+        # id=1 again: fails the predicate too, but supersedes → delivered.
+        await server.publish(Message(FILLER, "credit", filler_xml(1, 50)))
+        await server.publish(Message(FILLER, "credit", filler_xml(3, 700)))
+        await server.publish(Message(FILLER, "credit", filler_xml(4, 10)))
+        await server.publish(Message(FILLER, "credit", filler_xml(9, tsid=5)))
+        await server.publish(Message(FILLER, "credit", filler_xml(2, 40)))
+
+    def test_catchup_replay_byte_identical_to_live_delivery(self, tmp_path):
+        """The satellite acceptance: a predicate subscriber replaying the
+        journal sees exactly the bytes a live predicate subscriber saw —
+        supersede state is reconstructed, not approximated — and exactly
+        what client-side filtering of an unfiltered replay derives."""
+
+        async def scenario():
+            server = await start_server(tmp_path)
+            live_got = []
+            live = StreamClient(
+                "127.0.0.1", server.port, on_message=live_got.append
+            )
+            await live.connect()
+            await asyncio.wait_for(
+                live.subscribe(
+                    [Subscription("credit", tsid=2, predicate=self.PREDICATE)]
+                ),
+                5,
+            )
+            await self._publish_history(server)
+            # structure + 900 + supersede(50) + 700 + supersede(40)
+            await wait_until(lambda: len(live_got) == 5)
+            await asyncio.sleep(0.05)
+            assert len(live_got) == 5
+
+            late_got = []
+            late = StreamClient(
+                "127.0.0.1", server.port, on_message=late_got.append
+            )
+            await late.connect()
+            await asyncio.wait_for(
+                late.subscribe(
+                    [Subscription("credit", tsid=2, predicate=self.PREDICATE)],
+                    catchup=True,
+                ),
+                5,
+            )
+            ack = await asyncio.wait_for(late.catchup(after=0), 5)
+            assert ack["replayed"] == 5
+            assert ack["skipped"] == 3  # 100, 10, and the tsid-5 alert
+            await wait_until(lambda: len(late_got) == len(live_got))
+            assert [(m.kind, m.payload) for m in late_got] == [
+                (m.kind, m.payload) for m in live_got
+            ]
+            assert server.replay_skipped == 3
+            assert server.stats()["replay_skipped"] == 3
+
+            # Unfiltered replay + client-side narrowing derives the same
+            # byte stream: the server-side skip loses nothing.
+            full_got = []
+            full = StreamClient(
+                "127.0.0.1", server.port, on_message=full_got.append
+            )
+            await full.connect()
+            await asyncio.wait_for(
+                full.subscribe([Subscription("credit")], catchup=True), 5
+            )
+            full_ack = await asyncio.wait_for(full.catchup(after=0), 5)
+            assert full_ack["replayed"] == 8
+            assert full_ack["skipped"] == 0
+            await wait_until(lambda: len(full_got) == 8)
+            versions_seen: set[int] = set()
+            derived = []
+            for message in full_got:
+                if message.kind != FILLER:
+                    derived.append((message.kind, message.payload))
+                    continue
+                filler_id, tsid, _holes = peek_filler(message.payload)
+                if tsid != 2:
+                    continue
+                supersede = filler_id in versions_seen
+                versions_seen.add(filler_id)
+                balance = float(
+                    message.payload.split("<balance>")[1].split("<")[0]
+                )
+                if supersede or balance > 500.0:
+                    derived.append((message.kind, message.payload))
+            assert derived == [(m.kind, m.payload) for m in late_got]
+
+            await live.close()
+            await late.close()
+            await full.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_restarted_server_narrows_with_recovered_supersede_state(
+        self, tmp_path
+    ):
+        """Version counts are rebuilt from the journal on restart, so a
+        catch-up against a fresh process makes the same skip decisions
+        the original made live."""
+
+        async def scenario():
+            journal = Journal(os.path.join(tmp_path, "narrow.journal"))
+            server = await start_server(tmp_path, journal=journal)
+            await self._publish_history(server)
+            await server.close()
+
+            reborn = StreamServer(journal=journal, max_delay_ms=2.0)
+            await reborn.start()
+            got = []
+            client = StreamClient(
+                "127.0.0.1", reborn.port, on_message=got.append
+            )
+            await client.connect()
+            await asyncio.wait_for(
+                client.subscribe(
+                    [Subscription("credit", tsid=2, predicate=self.PREDICATE)],
+                    catchup=True,
+                ),
+                5,
+            )
+            ack = await asyncio.wait_for(client.catchup(after=0), 5)
+            assert ack["replayed"] == 5
+            assert ack["skipped"] == 3
+            await client.close()
+            await reborn.close()
+
+        run(scenario())
+
+
+class TestServerStatsAggregation:
+    def test_outbox_counters_survive_disconnects(self, tmp_path):
+        """Per-connection outbox tallies fold into a retired aggregate on
+        close instead of vanishing with the connection."""
+
+        async def scenario():
+            server = await start_server(tmp_path)
+            client_got = []
+            client = StreamClient(
+                "127.0.0.1", server.port, on_message=client_got.append
+            )
+            await client.connect()
+            await asyncio.wait_for(client.subscribe([Subscription("credit")]), 5)
+            await server.publish(Message(TAG_STRUCTURE, "credit", TS_XML))
+            for i in range(5):
+                await server.publish(Message(FILLER, "credit", filler_xml(i)))
+            await wait_until(lambda: len(client_got) == 6)
+            live = server.stats()["outboxes"]
+            assert live["frames_sent"] > 0
+            await client.close()
+            await asyncio.sleep(0.05)
+            retired = server.stats()["outboxes"]
+            assert retired["frames_sent"] >= live["frames_sent"]
+            assert retired["bytes_sent"] > 0
             await server.close()
 
         run(scenario())

@@ -1,0 +1,227 @@
+"""Property/fuzz tests for the wire layer (netproto).
+
+The decoder's contract under hostility: any chunking of valid frames
+round-trips exactly; a truncated frame yields nothing until completed;
+an oversize length prefix is rejected before buffering; arbitrary
+garbage raises :class:`ProtocolError` and nothing else; version
+negotiation never crashes, whatever a HELLO advertises.
+
+Hypothesis drives the shapes; every property is deterministic given the
+drawn example, so failures shrink to minimal reproducers.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from hypothesis import given, settings, strategies as st
+
+from repro.streams import netproto as proto
+from repro.streams.netproto import FrameDecoder, ProtocolError
+
+CONTROL_TYPES = sorted(
+    {
+        proto.HELLO,
+        proto.SUBSCRIBE,
+        proto.ACK,
+        proto.CATCHUP,
+        proto.ERROR,
+        proto.BYE,
+    }
+    | set(proto.WORKER_TYPES)
+)
+PAYLOAD_TYPES = [proto.FEED, proto.BATCH]
+
+_keys = st.from_regex(r"[a-z][a-z0-9_]{0,7}", fullmatch=True)
+_values = st.one_of(
+    st.integers(-(2**31), 2**31),
+    st.text(max_size=16),
+    st.booleans(),
+    st.none(),
+    st.lists(st.integers(0, 99), max_size=3),
+)
+_headers = st.dictionaries(_keys, _values, max_size=4)
+_payload_text = st.text(max_size=64)
+_entries = st.lists(
+    st.tuples(st.integers(0, 2**62), _payload_text), max_size=4
+)
+_stream_names = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=12
+)
+
+
+@st.composite
+def control_frame(draw):
+    ftype = draw(st.sampled_from(CONTROL_TYPES))
+    header = draw(_headers)
+    return proto.encode_control(ftype, **header), ("control", ftype, header)
+
+
+@st.composite
+def payload_frame(draw):
+    ftype = draw(st.sampled_from(PAYLOAD_TYPES))
+    stream = draw(_stream_names)
+    kind = draw(st.sampled_from(["filler", "tag_structure"]))
+    entries = draw(_entries)
+    data = proto.encode_batch(ftype, stream, kind, entries)
+    return data, ("payload", ftype, stream, kind, entries)
+
+
+any_frame = st.one_of(control_frame(), payload_frame())
+
+
+def _check(decoded: proto.Frame, expected) -> None:
+    if expected[0] == "control":
+        _tag, ftype, header = expected
+        assert decoded.type == ftype
+        # encode_control serializes with json; null-valued keys survive.
+        assert decoded.header == json.loads(json.dumps(header))
+    else:
+        _tag, ftype, stream, kind, entries = expected
+        assert decoded.type == ftype
+        assert decoded.stream == stream
+        assert decoded.kind == kind
+        assert decoded.entries == entries
+
+
+class TestDecoderRoundtrip:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        frames=st.lists(any_frame, min_size=1, max_size=5),
+        data=st.data(),
+    )
+    def test_interleaved_frames_roundtrip_under_any_chunking(
+        self, frames, data
+    ):
+        """Control and payload frames interleave; chunk boundaries may
+        fall mid-prefix, mid-header, or mid-payload."""
+        blob = b"".join(encoded for encoded, _ in frames)
+        cuts = sorted(
+            data.draw(
+                st.lists(
+                    st.integers(0, max(len(blob), 1)), max_size=8
+                ),
+                label="cuts",
+            )
+        )
+        pieces, start = [], 0
+        for cut in cuts + [len(blob)]:
+            pieces.append(blob[start:cut])
+            start = cut
+        decoder = FrameDecoder()
+        out = []
+        for piece in pieces:
+            out.extend(decoder.feed(piece))
+        assert len(out) == len(frames)
+        for decoded, (_encoded, expected) in zip(out, frames):
+            _check(decoded, expected)
+        assert decoder.frames_decoded == len(frames)
+        assert decoder.bytes_decoded == len(blob)
+
+    @settings(max_examples=100, deadline=None)
+    @given(frame=any_frame, data=st.data())
+    def test_truncation_yields_nothing_until_complete(self, frame, data):
+        encoded, expected = frame
+        cut = data.draw(
+            st.integers(0, len(encoded) - 1), label="truncate-at"
+        )
+        decoder = FrameDecoder()
+        assert decoder.feed(encoded[:cut]) == []
+        (decoded,) = decoder.feed(encoded[cut:])
+        _check(decoded, expected)
+
+    @settings(max_examples=50, deadline=None)
+    @given(length=st.integers(1025, 2**32 - 1))
+    def test_oversize_length_prefix_rejected_before_buffering(self, length):
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        try:
+            decoder.feed(struct.pack(">I", length))
+        except ProtocolError as exc:
+            assert "exceeds" in str(exc)
+        else:
+            raise AssertionError("oversize prefix accepted")
+
+    @settings(max_examples=200, deadline=None)
+    @given(garbage=st.binary(max_size=2048))
+    def test_garbage_raises_protocol_error_or_decodes(self, garbage):
+        """Arbitrary bytes either decode (if they happen to frame) or
+        raise ProtocolError — never KeyError/UnicodeDecodeError/etc."""
+        decoder = FrameDecoder(max_frame_bytes=4096)
+        try:
+            decoder.feed(garbage)
+        except ProtocolError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(frame=any_frame, garbage=st.binary(min_size=1, max_size=64))
+    def test_valid_prefix_still_decodes_before_trailing_garbage(
+        self, frame, garbage
+    ):
+        encoded, expected = frame
+        decoder = FrameDecoder(max_frame_bytes=4096)
+        try:
+            out = decoder.feed(encoded + garbage)
+        except ProtocolError:
+            # The garbage poisoned the buffer after the valid frame was
+            # already counted; framing cannot resynchronize past it.
+            assert decoder.frames_decoded >= 1
+            return
+        assert out and out[0].type == expected[1]
+        _check(out[0], expected)
+
+
+class TestNegotiationProperties:
+    _offer = st.lists(
+        st.one_of(
+            st.integers(-10, 300),
+            st.floats(allow_nan=True, allow_infinity=True),
+            st.text(max_size=4),
+            st.booleans(),
+            st.none(),
+        ),
+        max_size=8,
+    )
+
+    @settings(max_examples=200, deadline=None)
+    @given(offered=_offer)
+    def test_choose_version_total_and_exact(self, offered):
+        """Never raises; returns exactly the highest finite integral
+        offer this build also speaks, else None."""
+        chosen = proto.choose_version(offered)
+        usable = set()
+        for version in offered:
+            if isinstance(version, bool) or not isinstance(
+                version, (int, float)
+            ):
+                continue
+            if isinstance(version, float) and (
+                version != version or version in (float("inf"), float("-inf"))
+            ):
+                continue
+            if int(version) == version:
+                usable.add(int(version))
+        common = usable & set(proto.PROTOCOL_VERSIONS)
+        assert chosen == (max(common) if common else None)
+
+    @settings(max_examples=100, deadline=None)
+    @given(offered=_offer)
+    def test_v1_and_v2_asymmetry(self, offered):
+        """Adding this build's own versions to any offer always yields
+        the top version — mixed-age fleets converge upward."""
+        chosen = proto.choose_version(
+            list(offered) + list(proto.PROTOCOL_VERSIONS)
+        )
+        assert chosen == max(proto.PROTOCOL_VERSIONS)
+
+    def test_worker_types_partition(self):
+        """Every frame type is either v1 or v2; WORKER frames are
+        exactly the v2 set."""
+        all_types = [
+            proto.HELLO, proto.SUBSCRIBE, proto.FEED, proto.BATCH,
+            proto.ACK, proto.CATCHUP, proto.ERROR, proto.BYE,
+            proto.DISPATCH, proto.POLL, proto.POLL_REPLY, proto.RESPAWN,
+        ]
+        v2 = {t for t in all_types if proto.min_version(t) == 2}
+        assert v2 == set(proto.WORKER_TYPES)
+        assert all(proto.min_version(t) == 1 for t in all_types if t not in v2)

@@ -3,7 +3,8 @@
 import pytest
 
 from repro import Strategy
-from repro.core.optimizer import count_calls, hoist_common_fillers
+from repro.core.optimizer import count_calls
+from repro.core.pipeline import hoist_common_fillers
 from repro.dom import serialize
 from repro.xquery import parse_xcql, to_source
 

@@ -35,7 +35,7 @@ from repro.xquery.parser import parse
 # The tests replicate the pre-refactor compile sequence as the
 # differential reference; production code must import these through
 # repro.core.pipeline (enforced by lint_sources over src/).
-from repro.core.optimizer import hoist_common_fillers, lower_interval_joins
+from repro.core.pipeline import hoist_common_fillers, lower_interval_joins
 
 from tests.conftest import NOW_2003_12_15
 from tests.test_paper_queries_verbatim import PAPER_QUERIES, STRUCTURES

@@ -1,22 +1,34 @@
 """Differential and failure-mode tests for the sharded engine.
 
 The load-bearing property is byte-identity: for any shard count, arrival
-order, transport (``feed`` vs ``feed_raw``), and worker lifecycle
-(kills, respawns), the coordinator's merged emissions must equal the
-single-process scheduler's — per tick as a multiset of identity strings,
-and cumulatively.  The single-process arm is always a fresh
-``XCQLEngine`` + ``QueryScheduler`` over the same arrival history.
+order, transport (``feed`` vs ``feed_raw``), shard-link kind (in-process
+handle, pipe worker process, netproto remote worker), and worker
+lifecycle (kills, respawns), the coordinator's merged emissions must
+equal the single-process scheduler's — per tick as a multiset of
+identity strings, and cumulatively.  The single-process arm is always a
+fresh ``XCQLEngine`` + ``QueryScheduler`` over the same arrival history.
+
+Remote workers are real ``run_worker`` hosts in child processes; shard
+state is connection-scoped on the host, so one host can serve every net
+shard in the suite.
 """
 
+import multiprocessing
 import random
 
 import pytest
 
 from repro import Fragmenter, Strategy, TagStructure, XCQLEngine
 from repro.dom import Element, Text, parse_document
+from repro.streams import netproto as proto
 from repro.streams.continuous import ContinuousQuery, item_identity
 from repro.streams.scheduler import QueryScheduler
-from repro.streams.sharding import ShardedEngine, shard_of
+from repro.streams.sharding import (
+    NetLink,
+    ShardedEngine,
+    ShardFailure,
+    shard_of,
+)
 from repro.streams.transport import (
     FILLER,
     TAG_STRUCTURE,
@@ -100,6 +112,54 @@ def run_solo(batches, queries=QUERIES, raw_every=None):
     return ticks
 
 
+LINKS = ["inproc", "pipe", "net"]
+
+
+def _net_worker_entry(conn):  # runs in a child process
+    from repro.streams.net import run_worker
+
+    run_worker(port=0, ready=conn.send)
+
+
+def _start_net_worker():
+    """Start a real remote-worker host; returns (process, address)."""
+    context = multiprocessing.get_context()
+    parent, child = context.Pipe()
+    process = context.Process(
+        target=_net_worker_entry, args=(child,), daemon=True
+    )
+    process.start()
+    child.close()
+    if not parent.poll(30):
+        process.terminate()
+        raise RuntimeError("worker host never reported its port")
+    port = parent.recv()
+    parent.close()
+    return process, f"127.0.0.1:{port}"
+
+
+@pytest.fixture(scope="module")
+def worker_address():
+    """One shared remote-worker host (shard state is per-connection)."""
+    process, address = _start_net_worker()
+    yield address
+    process.terminate()
+    process.join(5)
+
+
+def link_kwargs(link, shards, worker_address=None):
+    """ShardedEngine kwargs that realize one ShardLink kind everywhere."""
+    if link == "inproc":
+        return {"in_process": True}
+    if link == "pipe":
+        return {"in_process": False, "timeout": 30.0}
+    return {
+        "in_process": False,
+        "workers": [worker_address] * shards,
+        "timeout": 30.0,
+    }
+
+
 def run_sharded(batches, shards, queries=QUERIES, raw_every=None, **kw):
     """Per-tick sorted emission lists from a ShardedEngine."""
     engine = ShardedEngine(shards, in_process=kw.pop("in_process", True), **kw)
@@ -179,10 +239,24 @@ class TestDifferential:
             item for tick in baseline for per_query in tick for item in per_query
         )
 
-    def test_identical_with_mixed_feed_and_feed_raw(self):
+    @pytest.mark.parametrize("link", LINKS)
+    def test_identical_across_link_kinds(self, link, worker_address):
+        batches = ledger_batches()
+        solo = run_solo(batches)
+        sharded, stats = run_sharded(
+            batches, 2, **link_kwargs(link, 2, worker_address)
+        )
+        assert sharded == solo
+        assert [shard["kind"] for shard in stats["shards"]] == [link] * 2
+        assert stats["coordinator"]["links"] == [link] * 2
+
+    @pytest.mark.parametrize("link", LINKS)
+    def test_identical_with_mixed_feed_and_feed_raw(self, link, worker_address):
         batches = ledger_batches()
         solo = run_solo(batches, raw_every=2)
-        sharded, _ = run_sharded(batches, 2, raw_every=2)
+        sharded, _ = run_sharded(
+            batches, 2, raw_every=2, **link_kwargs(link, 2, worker_address)
+        )
         assert sharded == solo
 
     def test_identical_with_compression_forced(self):
@@ -377,6 +451,110 @@ class TestWorkerLifecycle:
         assert all(not shard["in_process"] for shard in stats["shards"])
 
 
+class TestRemoteWorkerLifecycle:
+    def test_sigkilled_remote_worker_fails_over_then_respawns_remote(self):
+        """The cross-host acceptance scenario: SIGKILL the remote worker
+        mid-run, absorb the crash via journal failover (in-process
+        degraded mode), then re-adopt a replacement host with
+        ``respawn_shard(index, address=...)`` — byte-identical
+        emissions throughout."""
+        batches = ledger_batches(count=24, batch=6)
+        solo = run_solo(batches)
+        victim, victim_address = _start_net_worker()
+        spare = None
+        engine = ShardedEngine(2, workers=[victim_address], timeout=30.0)
+        try:
+            engine.register_stream(
+                "ledger", TagStructure.from_xml(LEDGER_STRUCTURE_XML)
+            )
+            standing = [
+                engine.add_query(source, strategy=Strategy.QAC_PLUS)
+                for source in QUERIES
+            ]
+            engine.tick(NOW)
+            ticks = []
+            for number, batch in enumerate(batches):
+                if number == 1:
+                    # SIGKILL the *host process*: the socket dies with no
+                    # BYE, exactly like a machine dropping off the rack.
+                    victim.kill()
+                    victim.join()
+                if number == 2:
+                    spare, spare_address = _start_net_worker()
+                    engine.respawn_shard(0, address=spare_address)
+                engine.feed("ledger", batch)
+                results = engine.tick(NOW)
+                ticks.append([sorted(results[query]) for query in standing])
+            stats = engine.stats()
+            assert stats["coordinator"]["failovers"] == 1
+            assert stats["coordinator"]["respawns"] == 1
+            # Back on a remote worker, not stuck in degraded mode.
+            assert stats["shards"][0]["kind"] == "net"
+            assert stats["shards"][0]["link"]["address"] == spare_address
+            assert stats["shards"][1]["kind"] == "pipe"
+            assert ticks == solo
+        finally:
+            engine.close()
+            for process in (victim, spare):
+                if process is not None:
+                    process.terminate()
+                    process.join(5)
+
+    def test_respawn_recycles_live_net_link_in_place(self, worker_address):
+        """Respawning a healthy net shard reuses the connection (RESPAWN
+        frame): the host discards that connection's shard state and the
+        journal bootstrap rebuilds it — no reconnect, same link object."""
+        batches = ledger_batches(count=18, batch=6)
+        solo = run_solo(batches)
+        engine = ShardedEngine(
+            2, workers=[worker_address, worker_address], timeout=30.0
+        )
+        try:
+            engine.register_stream(
+                "ledger", TagStructure.from_xml(LEDGER_STRUCTURE_XML)
+            )
+            standing = [
+                engine.add_query(source, strategy=Strategy.QAC_PLUS)
+                for source in QUERIES
+            ]
+            engine.tick(NOW)
+            recycled = engine._shards[0]
+            ticks = []
+            for number, batch in enumerate(batches):
+                if number == 1:
+                    engine.respawn_shard(0)
+                engine.feed("ledger", batch)
+                results = engine.tick(NOW)
+                ticks.append([sorted(results[query]) for query in standing])
+            stats = engine.stats()
+            assert stats["coordinator"]["respawns"] == 1
+            assert engine._shards[0] is recycled  # recycled, not rebuilt
+            assert [s["kind"] for s in stats["shards"]] == ["net", "net"]
+            assert ticks == solo
+        finally:
+            engine.close()
+
+    def test_v1_only_host_is_refused_by_the_link(self, worker_address,
+                                                 monkeypatch):
+        """A host that negotiates v1 has no WORKER frames to offer: the
+        link says BYE and raises ShardFailure so the coordinator can fail
+        over instead of wedging.  (Downgrading our *offer* to v1 makes
+        the real host negotiate v1 — same wire outcome as an old host.)"""
+        monkeypatch.setattr(proto, "PROTOCOL_VERSIONS", (1,))
+        with pytest.raises(ShardFailure, match="needs v2"):
+            NetLink(worker_address, {}, timeout=10.0)
+
+    def test_unreachable_worker_fails_fast(self):
+        with pytest.raises(ShardFailure, match="cannot reach"):
+            NetLink("127.0.0.1:9", {}, timeout=2.0)
+        with pytest.raises(ValueError, match="bad worker address"):
+            NetLink("127.0.0.1:not-a-port", {}, timeout=2.0)
+
+    def test_more_addresses_than_shards_rejected(self):
+        with pytest.raises(ValueError, match="worker addresses"):
+            ShardedEngine(1, workers=["a:1", "b:2"])
+
+
 class TestClearingHouse:
     def test_channel_subscriber_ingest(self):
         structure_xml = LEDGER_STRUCTURE_XML.strip()
@@ -393,11 +571,47 @@ class TestClearingHouse:
         finally:
             engine.close()
 
+    def test_attached_lossy_channel_counters_surface_in_stats(self):
+        """Satellite fix: drop/duplication tallies of a lossy feed are
+        observable at the coordinator's front door, not only on the
+        channel object someone happens to hold."""
+        from repro.streams.transport import LossyChannel
+
+        engine = ShardedEngine(2, in_process=True)
+        try:
+            # Register the schema out of band so a dropped announcement
+            # cannot wedge ingest; the lossy feed carries only fillers.
+            engine.register_stream(
+                "ledger", TagStructure.from_xml(LEDGER_STRUCTURE_XML)
+            )
+            channel = LossyChannel(loss_rate=0.4, duplicate_rate=0.2, seed=11)
+            engine.attach_channel(channel)
+            for i in range(50):
+                channel.publish(
+                    Message(FILLER, "ledger", txn_filler(i, 60).to_xml())
+                )
+            stats = engine.stats()
+            (entry,) = stats["channels"]
+            assert entry["kind"] == "lossy"
+            assert entry["dropped"] > 0
+            assert entry["duplicated"] > 0
+            delivered = stats["coordinator"]["delivered"]
+            assert delivered[FILLER] == entry["delivered"] + entry["duplicated"]
+            assert delivered[TAG_STRUCTURE] == 0
+        finally:
+            engine.close()
+
     def test_stats_shape(self):
         batches = ledger_batches(count=12, batch=6)
         _, stats = run_sharded(batches, 2)
         assert {"shards", "coordinator", "watermarks"} <= set(stats)
+        assert {"links", "delivered", "timings"} <= set(stats["coordinator"])
+        assert {"post", "wait", "merge"} <= set(stats["coordinator"]["timings"])
+        assert stats["channels"] == []
         for shard in stats["shards"]:
-            assert {"engine", "scheduler", "queries"} <= set(shard)
+            assert {"engine", "scheduler", "queries", "kind", "link"} <= set(
+                shard
+            )
+            assert shard["link"]["kind"] == shard["kind"]
             # The merged automaton-host view travels with scheduler stats.
             assert "host" in shard["scheduler"]["automata"]

@@ -19,7 +19,8 @@ import random
 from datetime import datetime, timedelta
 
 from repro.core.engine import XCQLEngine
-from repro.core.optimizer import DELTA_VAR, SHARED_VAR, analyze_shared
+from repro.core.optimizer import DELTA_VAR, SHARED_VAR
+from repro.core.pipeline import analyze_shared
 from repro.core.translator import Strategy
 from repro.dom.parser import parse_document
 from repro.dom.serializer import serialize
